@@ -1,0 +1,547 @@
+//! One function per paper artifact (Tables I–III, Figures 2–6).
+//!
+//! Every experiment runs the full pipeline — stratify, estimate, optimize,
+//! partition, place, execute — on the simulated heterogeneous cluster
+//! (§V-A: machine types cycling x/2x/3x/4x, 440/345/250/155 W, four
+//! datacenter solar traces). Reported numbers are simulated seconds and
+//! dirty kilojoules; EXPERIMENTS.md records how their *shape* compares to
+//! the paper's measurements.
+
+use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_core::framework::{Framework, FrameworkConfig, Quality, Strategy};
+use pareto_core::partitioner::PartitionLayout;
+use pareto_core::StratifierConfig;
+use pareto_datagen::Dataset;
+use pareto_workloads::WorkloadKind;
+
+use crate::harness::{fmt_kj, fmt_secs, Table};
+
+/// Default mining support for tree corpora. Must sit below the largest
+/// family's corpus share (so frequent cross-tree patterns exist) but above
+/// the noise floor of the smallest partitions.
+pub const TREE_SUPPORT: f64 = 0.04;
+/// Default mining support for the text corpus.
+pub const TEXT_SUPPORT: f64 = 0.10;
+/// Het-Energy-Aware α for mining experiments. The paper used 0.999 on its
+/// testbed; the knee of the frontier depends on the relative scale of the
+/// time and energy objectives (§III-D discusses exactly this sensitivity),
+/// and on the simulated testbed it sits at ≈0.995.
+pub const ALPHA_MINING: f64 = 0.995;
+/// Het-Energy-Aware α for compression experiments (paper: 0.995, i.e. a
+/// lower α than mining; same knee-tracking argument as [`ALPHA_MINING`]).
+pub const ALPHA_COMPRESSION: f64 = 0.995;
+/// Graph datasets are scaled up relative to tree/text (the paper's UK and
+/// Arabic graphs are 1–2 orders of magnitude larger than its other
+/// corpora; a 6x factor preserves that ordering at laptop scale).
+pub const GRAPH_SCALE_BOOST: f64 = 6.0;
+/// Mining datasets are scaled up so that even the smallest Het-Aware
+/// partition at p = 16 keeps an absolute support of several transactions.
+/// SON's local thresholds degenerate when `support x partition` rounds to
+/// 1 (every subset of any single record becomes "locally frequent"); the
+/// paper's 50k–800k-record corpora are never near that floor, so the
+/// boost keeps the simulation in the same regime.
+pub const MINING_SCALE_BOOST: f64 = 16.0;
+/// Partition counts swept in Figures 2–4.
+pub const PARTITION_SWEEP: [usize; 4] = [2, 4, 8, 16];
+
+/// Global experiment settings.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpSettings {
+    /// Dataset scale factor (1.0 = thousands of records; experiments
+    /// default lower so the full suite runs in minutes).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpSettings {
+    fn default() -> Self {
+        ExpSettings {
+            scale: 0.25,
+            seed: 2017,
+        }
+    }
+}
+
+/// One measured (dataset × partitions × strategy) cell.
+#[derive(Debug, Clone)]
+pub struct StrategyRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Partition count `p`.
+    pub partitions: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Scalarization α, where applicable.
+    pub alpha: Option<f64>,
+    /// Measured makespan (simulated seconds).
+    pub makespan_s: f64,
+    /// Total dirty energy, paper-linear form (joules).
+    pub dirty_linear_j: f64,
+    /// Total dirty energy, clamped form (joules).
+    pub dirty_clamped_j: f64,
+    /// Total energy drawn (joules).
+    pub energy_j: f64,
+    /// Compression ratio (compression workloads).
+    pub ratio: Option<f64>,
+    /// SON candidate-set size (mining workloads).
+    pub candidates: Option<usize>,
+    /// Globally frequent patterns found (mining workloads).
+    pub frequent: Option<usize>,
+}
+
+/// Build the §V-A cluster for `p` partitions.
+pub fn make_cluster(p: usize, seed: u64) -> SimCluster {
+    SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, seed))
+}
+
+fn framework_config(strategy: Strategy, layout: PartitionLayout, seed: u64) -> FrameworkConfig {
+    FrameworkConfig {
+        strategy,
+        layout,
+        stratifier: StratifierConfig {
+            num_strata: 16,
+            sketch_size: 48,
+            l: 4,
+            max_iters: 12,
+            seed: seed ^ 0x57A7,
+        },
+        seed,
+        ..FrameworkConfig::default()
+    }
+}
+
+/// Run one (dataset, p, strategy) cell.
+pub fn run_strategy(
+    dataset: &Dataset,
+    p: usize,
+    strategy: Strategy,
+    layout: PartitionLayout,
+    workload: WorkloadKind,
+    seed: u64,
+) -> StrategyRow {
+    let cluster = make_cluster(p, seed);
+    let fw = Framework::new(&cluster, framework_config(strategy, layout, seed));
+    let outcome = fw.run(dataset, workload);
+    let (ratio, candidates, frequent) = match &outcome.quality {
+        Quality::Compression { ratio, .. } => (Some(*ratio), None, None),
+        Quality::Mining {
+            candidates,
+            global_frequent,
+            ..
+        } => (None, Some(*candidates), Some(*global_frequent)),
+    };
+    let alpha = match strategy {
+        Strategy::HetAware => Some(1.0),
+        Strategy::HetEnergyAware { alpha } => Some(alpha),
+        _ => None,
+    };
+    StrategyRow {
+        dataset: dataset.name.clone(),
+        partitions: p,
+        strategy: strategy.label().to_string(),
+        alpha,
+        makespan_s: outcome.report.makespan_seconds,
+        dirty_linear_j: outcome.report.total_dirty_linear,
+        dirty_clamped_j: outcome.report.total_dirty_clamped,
+        energy_j: outcome.report.total_energy_joules,
+        ratio,
+        candidates,
+        frequent,
+    }
+}
+
+fn standard_headers() -> Vec<&'static str> {
+    vec![
+        "dataset",
+        "p",
+        "strategy",
+        "time_s",
+        "dirty_linear_kJ",
+        "dirty_clamped_kJ",
+        "energy_kJ",
+        "extra",
+    ]
+}
+
+fn push_row(table: &mut Table, r: &StrategyRow) {
+    let extra = if let Some(ratio) = r.ratio {
+        format!("ratio={ratio:.2}")
+    } else if let (Some(c), Some(f)) = (r.candidates, r.frequent) {
+        format!("cands={c} freq={f}")
+    } else {
+        String::new()
+    };
+    table.row(vec![
+        r.dataset.clone(),
+        r.partitions.to_string(),
+        r.strategy.clone(),
+        fmt_secs(r.makespan_s),
+        fmt_kj(r.dirty_linear_j),
+        fmt_kj(r.dirty_clamped_j),
+        fmt_kj(r.energy_j),
+        extra,
+    ]);
+}
+
+/// The three §V-C strategies for a mining experiment.
+fn mining_strategies() -> [Strategy; 3] {
+    [
+        Strategy::Stratified,
+        Strategy::HetAware,
+        Strategy::HetEnergyAware {
+            alpha: ALPHA_MINING,
+        },
+    ]
+}
+
+fn compression_strategies() -> [Strategy; 3] {
+    [
+        Strategy::Stratified,
+        Strategy::HetAware,
+        Strategy::HetEnergyAware {
+            alpha: ALPHA_COMPRESSION,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Table I — datasets
+// ---------------------------------------------------------------------------
+
+/// Table I: the five datasets (synthetic equivalents) and their sizes.
+pub fn table1(st: ExpSettings) -> Table {
+    let mut t = Table::new(
+        "Table I — datasets (synthetic equivalents)",
+        &["dataset", "type", "records", "elements", "bytes"],
+    );
+    for ds in [
+        pareto_datagen::swissprot_syn(st.seed, st.scale * MINING_SCALE_BOOST),
+        pareto_datagen::treebank_syn(st.seed, st.scale * MINING_SCALE_BOOST),
+        pareto_datagen::uk_syn(st.seed, st.scale * GRAPH_SCALE_BOOST),
+        pareto_datagen::arabic_syn(st.seed, st.scale * GRAPH_SCALE_BOOST),
+        pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST),
+    ] {
+        // Table I reports the sizes actually used by the experiments,
+        // including the graph boost.
+        t.row(vec![
+            ds.name.clone(),
+            ds.kind.to_string(),
+            ds.len().to_string(),
+            ds.total_elements().to_string(),
+            ds.total_bytes().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2 & 3 — frequent pattern mining sweeps
+// ---------------------------------------------------------------------------
+
+fn mining_sweep(datasets: &[Dataset], support: f64, st: ExpSettings, title: &str) -> (Table, Vec<StrategyRow>) {
+    let mut table = Table::new(title, &standard_headers());
+    let mut rows = Vec::new();
+    for ds in datasets {
+        for &p in &PARTITION_SWEEP {
+            for strategy in mining_strategies() {
+                let row = run_strategy(
+                    ds,
+                    p,
+                    strategy,
+                    PartitionLayout::Representative,
+                    WorkloadKind::FrequentPatterns { support },
+                    st.seed,
+                );
+                push_row(&mut table, &row);
+                rows.push(row);
+            }
+        }
+    }
+    (table, rows)
+}
+
+/// Fig. 2: frequent tree mining on SwissProt-syn and Treebank-syn —
+/// execution time (a, c) and dirty energy (b, d) across partition counts.
+pub fn fig2(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
+    let datasets = vec![
+        pareto_datagen::swissprot_syn(st.seed, st.scale * MINING_SCALE_BOOST),
+        pareto_datagen::treebank_syn(st.seed, st.scale * MINING_SCALE_BOOST),
+    ];
+    mining_sweep(
+        &datasets,
+        TREE_SUPPORT,
+        st,
+        "Fig. 2 — frequent tree mining (time & dirty energy)",
+    )
+}
+
+/// Fig. 3: Apriori text mining on RCV1-syn — time (a) and dirty energy (b).
+pub fn fig3(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
+    let datasets = vec![pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST)];
+    mining_sweep(
+        &datasets,
+        TEXT_SUPPORT,
+        st,
+        "Fig. 3 — frequent text mining on RCV1-syn (time & dirty energy)",
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 + Tables II/III — graph compression
+// ---------------------------------------------------------------------------
+
+/// Fig. 4: WebGraph compression of UK-syn and Arabic-syn — time (a, c),
+/// dirty energy (b, d) and compression ratio (e, f).
+pub fn fig4(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
+    let datasets = vec![
+        pareto_datagen::uk_syn(st.seed, st.scale * GRAPH_SCALE_BOOST),
+        pareto_datagen::arabic_syn(st.seed, st.scale * GRAPH_SCALE_BOOST),
+    ];
+    let mut table = Table::new(
+        "Fig. 4 — webgraph compression (time, dirty energy, ratio)",
+        &standard_headers(),
+    );
+    let mut rows = Vec::new();
+    for ds in &datasets {
+        for &p in &PARTITION_SWEEP {
+            for strategy in compression_strategies() {
+                let row = run_strategy(
+                    ds,
+                    p,
+                    strategy,
+                    PartitionLayout::SimilarTogether,
+                    WorkloadKind::WebGraph,
+                    st.seed,
+                );
+                push_row(&mut table, &row);
+                rows.push(row);
+            }
+        }
+    }
+    (table, rows)
+}
+
+fn lz77_table(ds: &Dataset, st: ExpSettings, title: &str) -> (Table, Vec<StrategyRow>) {
+    let mut table = Table::new(title, &["strategy", "time_s", "ratio", "dirty_linear_kJ"]);
+    let mut rows = Vec::new();
+    for strategy in compression_strategies() {
+        let row = run_strategy(
+            ds,
+            8,
+            strategy,
+            PartitionLayout::SimilarTogether,
+            WorkloadKind::Lz77,
+            st.seed,
+        );
+        table.row(vec![
+            row.strategy.clone(),
+            fmt_secs(row.makespan_s),
+            format!("{:.2}", row.ratio.unwrap_or(0.0)),
+            fmt_kj(row.dirty_linear_j),
+        ]);
+        rows.push(row);
+    }
+    (table, rows)
+}
+
+/// Table II: LZ77 on UK-syn, 8 partitions.
+pub fn table2(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
+    let ds = pareto_datagen::uk_syn(st.seed, st.scale * GRAPH_SCALE_BOOST);
+    lz77_table(&ds, st, "Table II — LZ77 on UK-syn (8 partitions)")
+}
+
+/// Table III: LZ77 on Arabic-syn, 8 partitions.
+pub fn table3(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
+    let ds = pareto_datagen::arabic_syn(st.seed, st.scale * GRAPH_SCALE_BOOST);
+    lz77_table(&ds, st, "Table III — LZ77 on Arabic-syn (8 partitions)")
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 & 6 — Pareto frontiers
+// ---------------------------------------------------------------------------
+
+/// α values swept for the frontier plots. Clustered near 1 because the
+/// energy objective's scale dwarfs the time objective's (§III-D).
+pub const ALPHA_SWEEP: [f64; 9] = [
+    1.0, 0.999_99, 0.999_9, 0.999, 0.995, 0.99, 0.95, 0.9, 0.0,
+];
+
+/// Sweep α for one dataset/workload at `p = 8`; includes the Stratified
+/// baseline as the final row (the paper's yellow marker above the
+/// frontier).
+pub fn frontier_sweep(
+    ds: &Dataset,
+    workload: WorkloadKind,
+    layout: PartitionLayout,
+    st: ExpSettings,
+    title: &str,
+) -> (Table, Vec<StrategyRow>) {
+    let mut table = Table::new(
+        title,
+        &["dataset", "alpha", "time_s", "dirty_linear_kJ", "dirty_clamped_kJ"],
+    );
+    let mut rows = Vec::new();
+    let mut emit = |row: StrategyRow, table: &mut Table| {
+        table.row(vec![
+            row.dataset.clone(),
+            row.alpha.map_or("baseline".into(), |a| format!("{a}")),
+            fmt_secs(row.makespan_s),
+            fmt_kj(row.dirty_linear_j),
+            fmt_kj(row.dirty_clamped_j),
+        ]);
+        rows.push(row);
+    };
+    for &alpha in &ALPHA_SWEEP {
+        let strategy = if alpha >= 1.0 {
+            Strategy::HetAware
+        } else {
+            Strategy::HetEnergyAware { alpha }
+        };
+        emit(
+            run_strategy(ds, 8, strategy, layout, workload, st.seed),
+            &mut table,
+        );
+    }
+    emit(
+        run_strategy(ds, 8, Strategy::Stratified, layout, workload, st.seed),
+        &mut table,
+    );
+    (table, rows)
+}
+
+/// Fig. 5: Pareto frontiers on tree, text and graph workloads (p = 8).
+pub fn fig5(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
+    let mut all_rows = Vec::new();
+    let mut combined = Table::new(
+        "Fig. 5 — Pareto frontiers (8 partitions): α sweep vs Stratified baseline",
+        &["dataset", "alpha", "time_s", "dirty_linear_kJ", "dirty_clamped_kJ"],
+    );
+    let cases: Vec<(Dataset, WorkloadKind, PartitionLayout)> = vec![
+        (
+            pareto_datagen::treebank_syn(st.seed, st.scale * MINING_SCALE_BOOST),
+            WorkloadKind::FrequentPatterns {
+                support: TREE_SUPPORT,
+            },
+            PartitionLayout::Representative,
+        ),
+        (
+            pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST),
+            WorkloadKind::FrequentPatterns {
+                support: TEXT_SUPPORT,
+            },
+            PartitionLayout::Representative,
+        ),
+        (
+            pareto_datagen::uk_syn(st.seed, st.scale * GRAPH_SCALE_BOOST),
+            WorkloadKind::WebGraph,
+            PartitionLayout::SimilarTogether,
+        ),
+    ];
+    for (ds, workload, layout) in &cases {
+        let (t, rows) = frontier_sweep(ds, *workload, *layout, st, "sub");
+        for row in t.to_csv().lines().skip(1) {
+            let cells: Vec<String> = row.split(',').map(|s| s.to_string()).collect();
+            combined.row(cells);
+        }
+        all_rows.extend(rows);
+    }
+    (combined, all_rows)
+}
+
+/// Fig. 6: frontiers across support thresholds on tree and text (p = 8).
+pub fn fig6(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
+    let mut combined = Table::new(
+        "Fig. 6 — Pareto frontiers across support thresholds (8 partitions)",
+        &[
+            "dataset",
+            "support",
+            "alpha",
+            "time_s",
+            "dirty_linear_kJ",
+            "dirty_clamped_kJ",
+        ],
+    );
+    let mut all_rows = Vec::new();
+    let tree = pareto_datagen::treebank_syn(st.seed, st.scale * MINING_SCALE_BOOST);
+    let text = pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST);
+    let cases: Vec<(&Dataset, Vec<f64>)> = vec![
+        (&tree, vec![0.04, 0.05, 0.08]),
+        (&text, vec![0.08, 0.1, 0.15]),
+    ];
+    for (ds, supports) in cases {
+        for support in supports {
+            let (t, rows) = frontier_sweep(
+                ds,
+                WorkloadKind::FrequentPatterns { support },
+                PartitionLayout::Representative,
+                st,
+                "sub",
+            );
+            for line in t.to_csv().lines().skip(1) {
+                let mut cells: Vec<String> = line.split(',').map(|s| s.to_string()).collect();
+                cells.insert(1, format!("{support}"));
+                combined.row(cells);
+            }
+            all_rows.extend(rows);
+        }
+    }
+    (combined, all_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpSettings {
+        ExpSettings {
+            scale: 0.02,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn table1_lists_five_datasets() {
+        let t = table1(tiny());
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn lz77_tables_have_three_strategies() {
+        let (t, rows) = table2(tiny());
+        assert_eq!(t.len(), 3);
+        assert!(rows.iter().all(|r| r.ratio.unwrap() > 1.0));
+    }
+
+    #[test]
+    fn frontier_sweep_shapes() {
+        let ds = pareto_datagen::uk_syn(7, 0.02);
+        let (t, rows) = frontier_sweep(
+            &ds,
+            WorkloadKind::WebGraph,
+            PartitionLayout::SimilarTogether,
+            tiny(),
+            "t",
+        );
+        assert_eq!(t.len(), ALPHA_SWEEP.len() + 1);
+        // Baseline row has no alpha.
+        assert!(rows.last().unwrap().alpha.is_none());
+        // Het-Aware (alpha=1) must beat the baseline on time.
+        assert!(rows[0].makespan_s < rows.last().unwrap().makespan_s);
+    }
+
+    #[test]
+    fn run_strategy_reports_quality() {
+        let ds = pareto_datagen::rcv1_syn(7, 0.02);
+        let row = run_strategy(
+            &ds,
+            4,
+            Strategy::Stratified,
+            PartitionLayout::Representative,
+            WorkloadKind::FrequentPatterns { support: 0.15 },
+            7,
+        );
+        assert!(row.candidates.is_some());
+        assert!(row.makespan_s > 0.0);
+    }
+}

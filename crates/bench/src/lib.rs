@@ -1,0 +1,24 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§V) on the simulated testbed.
+//!
+//! The [`experiments`] module holds one function per artifact (Table I–III,
+//! Figures 2–6); each returns structured rows and can emit both an aligned
+//! text table and a CSV. The [`ablations`] module quantifies the design
+//! choices DESIGN.md calls out (linear vs polynomial cost models, pipeline
+//! width, stratified vs simple-random sampling, compositeKModes `L`,
+//! mean-green-rate approximation error).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p pareto-bench --bin experiments -- all
+//! ```
+
+pub mod ablations;
+pub mod claims;
+pub mod experiments;
+pub mod harness;
+
+pub use claims::{check_claims, render_claims, ClaimResult};
+pub use experiments::{ExpSettings, StrategyRow};
+pub use harness::{write_csv, Table};

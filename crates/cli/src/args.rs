@@ -1,0 +1,358 @@
+//! Hand-rolled argument parsing (no CLI dependency, mirrors the style of
+//! the `experiments` binary).
+
+use std::path::PathBuf;
+
+use pareto_core::framework::Strategy;
+use pareto_core::partitioner::PartitionLayout;
+use pareto_datagen::DataKind;
+use pareto_workloads::WorkloadKind;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  paretofab gen --preset <swissprot|treebank|uk|arabic|rcv1>
+                [--scale F] [--seed N] --out FILE
+  paretofab partition <common options> --out DIR
+  paretofab run       <common options>
+  paretofab frontier  <common options>   (predicted alpha sweep)
+
+common options:
+  --input FILE            dataset in loader text format
+  --preset NAME           …or generate the synthetic preset instead
+  --kind <tree|graph|text> (required with --input)
+  --nodes P               cluster size (default 8)
+  --strategy <stratified|het-aware|het-energy-aware|het-energy-aware-norm|
+              random|round-robin|cluster-mode>   (default het-aware)
+  --alpha A               scalarization weight for the energy-aware strategies
+  --layout <representative|similar>              (default representative)
+  --workload <patterns|patterns-eclat|lz77|webgraph>  (default patterns)
+  --support S             mining support fraction (default 0.1)
+  --scale F --seed N      synthetic generation controls";
+
+/// A parsed invocation.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Generate a synthetic corpus to a file.
+    Gen {
+        /// Preset name.
+        preset: String,
+        /// Scale factor.
+        scale: f64,
+        /// Seed.
+        seed: u64,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// Plan a partitioning and write partition files.
+    Partition {
+        /// Shared data/cluster/strategy options.
+        common: Common,
+        /// Output directory.
+        out: PathBuf,
+    },
+    /// Plan, place, and execute on the simulated cluster.
+    Run {
+        /// Shared data/cluster/strategy options.
+        common: Common,
+    },
+    /// Print the predicted Pareto frontier (alpha sweep, no execution).
+    Frontier {
+        /// Shared data/cluster/strategy options.
+        common: Common,
+    },
+}
+
+/// Options shared by `partition` and `run`.
+#[derive(Debug, Clone)]
+pub struct Common {
+    /// Input file (exclusive with `preset`).
+    pub input: Option<PathBuf>,
+    /// Synthetic preset (exclusive with `input`).
+    pub preset: Option<String>,
+    /// Data kind for `input`.
+    pub kind: Option<DataKind>,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Partitioning strategy.
+    pub strategy: Strategy,
+    /// Record layout.
+    pub layout: PartitionLayout,
+    /// Workload driven by the estimator and `run`.
+    pub workload: WorkloadKind,
+    /// Generation scale (presets only).
+    pub scale: f64,
+    /// Seed for everything.
+    pub seed: u64,
+}
+
+impl Default for Common {
+    fn default() -> Self {
+        Common {
+            input: None,
+            preset: None,
+            kind: None,
+            nodes: 8,
+            strategy: Strategy::HetAware,
+            layout: PartitionLayout::Representative,
+            workload: WorkloadKind::FrequentPatterns { support: 0.1 },
+            scale: 0.25,
+            seed: 2017,
+        }
+    }
+}
+
+/// Parse an argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?.as_str();
+    let mut common = Common::default();
+    let mut out: Option<PathBuf> = None;
+    let mut alpha: Option<f64> = None;
+    let mut support: Option<f64> = None;
+    let mut strategy_name: Option<String> = None;
+
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--input" => common.input = Some(PathBuf::from(value("--input")?)),
+            "--preset" => common.preset = Some(value("--preset")?),
+            "--kind" => {
+                common.kind = Some(match value("--kind")?.as_str() {
+                    "tree" => DataKind::Tree,
+                    "graph" => DataKind::Graph,
+                    "text" => DataKind::Text,
+                    other => return Err(format!("unknown kind {other:?}")),
+                })
+            }
+            "--nodes" => {
+                common.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("bad --nodes: {e}"))?
+            }
+            "--strategy" => strategy_name = Some(value("--strategy")?),
+            "--alpha" => {
+                alpha = Some(
+                    value("--alpha")?
+                        .parse()
+                        .map_err(|e| format!("bad --alpha: {e}"))?,
+                )
+            }
+            "--layout" => {
+                common.layout = match value("--layout")?.as_str() {
+                    "representative" => PartitionLayout::Representative,
+                    "similar" => PartitionLayout::SimilarTogether,
+                    other => return Err(format!("unknown layout {other:?}")),
+                }
+            }
+            "--workload" => {
+                common.workload = match value("--workload")?.as_str() {
+                    "patterns" => WorkloadKind::FrequentPatterns { support: 0.1 },
+                    "patterns-eclat" => {
+                        WorkloadKind::FrequentPatternsEclat { support: 0.1 }
+                    }
+                    "lz77" => WorkloadKind::Lz77,
+                    "webgraph" => WorkloadKind::WebGraph,
+                    other => return Err(format!("unknown workload {other:?}")),
+                }
+            }
+            "--support" => {
+                support = Some(
+                    value("--support")?
+                        .parse()
+                        .map_err(|e| format!("bad --support: {e}"))?,
+                )
+            }
+            "--scale" => {
+                common.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--seed" => {
+                common.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    // Resolve strategy name + alpha.
+    if let Some(name) = strategy_name {
+        common.strategy = match name.as_str() {
+            "stratified" => Strategy::Stratified,
+            "het-aware" => Strategy::HetAware,
+            "het-energy-aware" => Strategy::HetEnergyAware {
+                alpha: alpha.unwrap_or(0.995),
+            },
+            "het-energy-aware-norm" => Strategy::HetEnergyAwareNormalized {
+                alpha: alpha.unwrap_or(0.5),
+            },
+            "random" => Strategy::Random,
+            "round-robin" => Strategy::RoundRobin,
+            "cluster-mode" => Strategy::ClusterMode,
+            other => return Err(format!("unknown strategy {other:?}")),
+        };
+    } else if let Some(a) = alpha {
+        common.strategy = Strategy::HetEnergyAware { alpha: a };
+    }
+    // Resolve support into the workload.
+    if let Some(s) = support {
+        if !(0.0..=1.0).contains(&s) || s == 0.0 {
+            return Err(format!("--support must be in (0, 1], got {s}"));
+        }
+        match common.workload {
+            WorkloadKind::FrequentPatterns { .. } => {
+                common.workload = WorkloadKind::FrequentPatterns { support: s };
+            }
+            WorkloadKind::FrequentPatternsEclat { .. } => {
+                common.workload = WorkloadKind::FrequentPatternsEclat { support: s };
+            }
+            _ => {}
+        }
+    }
+
+    match sub {
+        "gen" => {
+            let preset = common
+                .preset
+                .clone()
+                .ok_or("gen requires --preset")?;
+            Ok(Command::Gen {
+                preset,
+                scale: common.scale,
+                seed: common.seed,
+                out: out.ok_or("gen requires --out FILE")?,
+            })
+        }
+        "partition" => {
+            validate_data_source(&common)?;
+            Ok(Command::Partition {
+                common,
+                out: out.ok_or("partition requires --out DIR")?,
+            })
+        }
+        "run" => {
+            validate_data_source(&common)?;
+            Ok(Command::Run { common })
+        }
+        "frontier" => {
+            validate_data_source(&common)?;
+            Ok(Command::Frontier { common })
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn validate_data_source(common: &Common) -> Result<(), String> {
+    match (&common.input, &common.preset) {
+        (Some(_), Some(_)) => Err("--input and --preset are mutually exclusive".into()),
+        (None, None) => Err("need --input FILE or --preset NAME".into()),
+        (Some(_), None) if common.kind.is_none() => {
+            Err("--input requires --kind <tree|graph|text>".into())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_gen() {
+        let cmd = parse(&argv("gen --preset rcv1 --scale 0.1 --seed 3 --out x.txt")).unwrap();
+        match cmd {
+            Command::Gen {
+                preset,
+                scale,
+                seed,
+                out,
+            } => {
+                assert_eq!(preset, "rcv1");
+                assert_eq!(scale, 0.1);
+                assert_eq!(seed, 3);
+                assert_eq!(out, PathBuf::from("x.txt"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_run_with_strategy_and_support() {
+        let cmd = parse(&argv(
+            "run --preset treebank --nodes 4 --strategy het-energy-aware --alpha 0.99 \
+             --workload patterns --support 0.05",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { common } => {
+                assert_eq!(common.nodes, 4);
+                assert_eq!(
+                    common.strategy,
+                    Strategy::HetEnergyAware { alpha: 0.99 }
+                );
+                assert_eq!(
+                    common.workload,
+                    WorkloadKind::FrequentPatterns { support: 0.05 }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_conflicting_sources() {
+        assert!(parse(&argv("run --preset rcv1 --input x.txt --kind text")).is_err());
+        assert!(parse(&argv("run")).is_err());
+        assert!(parse(&argv("partition --preset rcv1")).is_err()); // no --out
+    }
+
+    #[test]
+    fn input_requires_kind() {
+        assert!(parse(&argv("run --input x.txt")).is_err());
+        assert!(parse(&argv("run --input x.txt --kind text")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_values() {
+        assert!(parse(&argv("run --preset rcv1 --bogus 1")).is_err());
+        assert!(parse(&argv("run --preset rcv1 --layout diagonal")).is_err());
+        assert!(parse(&argv("run --preset rcv1 --support 0")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_frontier() {
+        let cmd = parse(&argv("frontier --preset rcv1 --nodes 4")).unwrap();
+        assert!(matches!(cmd, Command::Frontier { .. }));
+    }
+
+    #[test]
+    fn cluster_mode_and_norm_strategies() {
+        let cmd = parse(&argv("run --preset rcv1 --strategy cluster-mode")).unwrap();
+        match cmd {
+            Command::Run { common } => assert_eq!(common.strategy, Strategy::ClusterMode),
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd =
+            parse(&argv("run --preset rcv1 --strategy het-energy-aware-norm --alpha 0.4"))
+                .unwrap();
+        match cmd {
+            Command::Run { common } => assert_eq!(
+                common.strategy,
+                Strategy::HetEnergyAwareNormalized { alpha: 0.4 }
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Command implementations.
+
+use std::fs;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_core::estimator::{EnergyEstimator, HeterogeneityEstimator, SamplingPlan};
+use pareto_core::framework::{Framework, FrameworkConfig, Quality};
+use pareto_core::pareto::ParetoModeler;
+use pareto_core::{Stratifier, StratifierConfig};
+use pareto_datagen::{loaders, writers, DataKind, Dataset};
+
+use crate::args::{Command, Common};
+
+/// Dispatch a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Gen {
+            preset,
+            scale,
+            seed,
+            out,
+        } => gen(&preset, scale, seed, &out),
+        Command::Partition { common, out } => partition(&common, &out),
+        Command::Run { common } => execute(&common),
+        Command::Frontier { common } => frontier(&common),
+    }
+}
+
+fn dataset_from_preset(name: &str, seed: u64, scale: f64) -> Result<Dataset, String> {
+    Ok(match name {
+        "swissprot" => pareto_datagen::swissprot_syn(seed, scale),
+        "treebank" => pareto_datagen::treebank_syn(seed, scale),
+        "uk" => pareto_datagen::uk_syn(seed, scale),
+        "arabic" => pareto_datagen::arabic_syn(seed, scale),
+        "rcv1" => pareto_datagen::rcv1_syn(seed, scale),
+        other => return Err(format!("unknown preset {other:?}")),
+    })
+}
+
+fn load_dataset(common: &Common) -> Result<Dataset, String> {
+    if let Some(preset) = &common.preset {
+        return dataset_from_preset(preset, common.seed, common.scale);
+    }
+    let input = common.input.as_ref().expect("validated by the parser");
+    let kind = common.kind.expect("validated by the parser");
+    let file = fs::File::open(input).map_err(|e| format!("open {input:?}: {e}"))?;
+    let name = input
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".into());
+    loaders::load(&name, kind, BufReader::new(file)).map_err(|e| format!("load {input:?}: {e}"))
+}
+
+fn gen(preset: &str, scale: f64, seed: u64, out: &Path) -> Result<(), String> {
+    let ds = dataset_from_preset(preset, seed, scale)?;
+    let file = fs::File::create(out).map_err(|e| format!("create {out:?}: {e}"))?;
+    writers::write(&ds, BufWriter::new(file)).map_err(|e| format!("write {out:?}: {e}"))?;
+    eprintln!(
+        "wrote {} ({} records, {} kind) to {}",
+        ds.name,
+        ds.len(),
+        ds.kind,
+        out.display()
+    );
+    Ok(())
+}
+
+fn build_framework_parts(common: &Common) -> (Dataset, SimCluster, FrameworkConfig) {
+    let cluster = SimCluster::new(NodeSpec::paper_cluster(
+        common.nodes,
+        400.0,
+        2,
+        9,
+        common.seed,
+    ));
+    let cfg = FrameworkConfig {
+        strategy: common.strategy,
+        layout: common.layout,
+        seed: common.seed,
+        ..FrameworkConfig::default()
+    };
+    (Dataset::new("placeholder", DataKind::Text, vec![]), cluster, cfg)
+}
+
+fn partition(common: &Common, out: &Path) -> Result<(), String> {
+    let dataset = load_dataset(common)?;
+    let (_, cluster, cfg) = build_framework_parts(common);
+    let fw = Framework::new(&cluster, cfg);
+    let plan = fw.plan(&dataset, common.workload);
+
+    fs::create_dir_all(out).map_err(|e| format!("mkdir {out:?}: {e}"))?;
+    for (node, indices) in plan.partitions.iter().enumerate() {
+        let sub = Dataset::new(
+            format!("{}-part{node}", dataset.name),
+            dataset.kind,
+            indices.iter().map(|&i| dataset.items[i].clone()).collect(),
+        );
+        let path = out.join(format!("partition-{node:02}.txt"));
+        let file = fs::File::create(&path).map_err(|e| format!("create {path:?}: {e}"))?;
+        writers::write(&sub, BufWriter::new(file)).map_err(|e| format!("write {path:?}: {e}"))?;
+    }
+    // Plan summary.
+    let path = out.join("plan.txt");
+    let mut f = BufWriter::new(fs::File::create(&path).map_err(|e| format!("{e}"))?);
+    let mut emit = |line: String| {
+        let _ = writeln!(f, "{line}");
+    };
+    emit(format!("dataset: {} ({} records)", dataset.name, dataset.len()));
+    emit(format!("strategy: {}", common.strategy.label()));
+    emit(format!("sizes: {:?}", plan.sizes));
+    if let Some(point) = &plan.pareto {
+        emit(format!("alpha: {}", point.alpha));
+        emit(format!("predicted makespan: {:.2}s", point.predicted_makespan));
+        emit(format!(
+            "predicted dirty energy: {:.1} kJ",
+            point.predicted_dirty_joules / 1000.0
+        ));
+    }
+    if let Some(models) = &plan.time_models {
+        for m in models {
+            emit(format!(
+                "node {}: f(x) = {:.6e}*x + {:.3} (R^2 {:.4})",
+                m.node_id, m.fit.slope, m.fit.intercept, m.fit.r_squared
+            ));
+        }
+    }
+    eprintln!(
+        "wrote {} partition files + plan.txt to {}",
+        plan.partitions.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn frontier(common: &Common) -> Result<(), String> {
+    let dataset = load_dataset(common)?;
+    let (_, cluster, _) = build_framework_parts(common);
+    let strat = Stratifier::new(StratifierConfig::default()).stratify(&dataset);
+    let (models, _) = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), common.seed)
+        .estimate(&dataset, &strat, common.workload);
+    let profiles = EnergyEstimator::profiles(&cluster, 0.0, 6.0 * 3600.0);
+    let modeler = ParetoModeler::new(models.iter().map(|m| m.fit).collect(), profiles)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "predicted Pareto frontier for {} on {} nodes:",
+        dataset.name, common.nodes
+    );
+    println!("{:>10} {:>12} {:>14}  sizes", "alpha", "time_s", "dirty_kJ");
+    for alpha in [1.0, 0.9999, 0.999, 0.995, 0.99, 0.95, 0.9, 0.5, 0.0] {
+        let point = modeler
+            .solve(dataset.len(), alpha)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:>10} {:>12.2} {:>14.2}  {:?}",
+            alpha,
+            point.predicted_makespan,
+            point.predicted_dirty_joules / 1000.0,
+            point.sizes
+        );
+    }
+    Ok(())
+}
+
+fn execute(common: &Common) -> Result<(), String> {
+    let dataset = load_dataset(common)?;
+    let (_, cluster, cfg) = build_framework_parts(common);
+    let fw = Framework::new(&cluster, cfg);
+    let outcome = fw.run(&dataset, common.workload);
+
+    println!(
+        "dataset            {} ({} records)",
+        dataset.name,
+        dataset.len()
+    );
+    println!("strategy           {}", common.strategy.label());
+    println!("partition sizes    {:?}", outcome.plan.sizes);
+    println!(
+        "makespan           {:.2} s",
+        outcome.report.makespan_seconds
+    );
+    println!(
+        "dirty energy       {:.1} kJ (linear) / {:.1} kJ (clamped)",
+        outcome.report.total_dirty_linear / 1000.0,
+        outcome.report.total_dirty_clamped / 1000.0
+    );
+    println!(
+        "total energy       {:.1} kJ",
+        outcome.report.total_energy_joules / 1000.0
+    );
+    println!("imbalance          {:.2}", outcome.report.imbalance());
+    match outcome.quality {
+        Quality::Mining {
+            global_frequent,
+            candidates,
+            false_positives,
+        } => println!(
+            "quality            {global_frequent} frequent patterns, \
+             {candidates} candidates, {false_positives} false positives pruned"
+        ),
+        Quality::Compression {
+            input_bytes,
+            output_bytes,
+            ratio,
+        } => println!(
+            "quality            {input_bytes} -> {output_bytes} bytes (ratio {ratio:.2})"
+        ),
+    }
+    Ok(())
+}

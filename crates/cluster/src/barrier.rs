@@ -1,0 +1,132 @@
+//! The global barrier (§IV).
+//!
+//! "We used the atomic *fetch-and-increment* command provided by Redis to
+//! create a global barrier routine." Pivot extraction, sketch generation,
+//! sketch clustering and final partitioning are separated by this barrier.
+//!
+//! The implementation mirrors the Redis pattern: each participant `INCR`s a
+//! shared counter and then polls it until all participants have arrived.
+//! Here the polling is a real condvar wait (so threaded executions block
+//! correctly), while the *simulated* cost charged per participant is the
+//! `INCR` round trip plus one confirmation poll — what a well-behaved
+//! Redis client pays on the happy path.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cost::Cost;
+use crate::kvstore::KvStore;
+
+/// A reusable global barrier for a fixed participant count.
+#[derive(Debug, Clone)]
+pub struct GlobalBarrier {
+    store: KvStore,
+    key: String,
+    participants: usize,
+    sync: Arc<(Mutex<()>, Condvar)>,
+}
+
+impl GlobalBarrier {
+    /// Create a barrier over `store` under `key` for `participants`
+    /// arrivals. The key must not be in use for anything else.
+    pub fn new(store: KvStore, key: impl Into<String>, participants: usize) -> Self {
+        assert!(participants >= 1, "barrier needs at least one participant");
+        GlobalBarrier {
+            store,
+            key: key.into(),
+            participants,
+            sync: Arc::new((Mutex::new(()), Condvar::new())),
+        }
+    }
+
+    /// Arrive and wait for all participants. Returns the simulated cost
+    /// this participant incurred (INCR + confirmation read).
+    pub fn arrive_and_wait(&self) -> Cost {
+        let (count, incr_cost) = self
+            .store
+            .incr(&self.key)
+            .expect("barrier key must hold a counter");
+        let generation_target = self.participants as i64;
+        // Generation = which multiple of `participants` we are waiting for;
+        // supports reuse of the same barrier across phases.
+        let target = ((count - 1) / generation_target + 1) * generation_target;
+        let (lock, cvar) = &*self.sync;
+        let mut guard = lock.lock();
+        loop {
+            let (now, _) = self
+                .store
+                .counter_value(&self.key)
+                .expect("barrier key must hold a counter");
+            if now >= target {
+                cvar.notify_all();
+                break;
+            }
+            cvar.wait(&mut guard);
+        }
+        drop(guard);
+        // Happy-path cost: the INCR plus one confirming poll.
+        incr_cost.plus(Cost::request(8))
+    }
+
+    /// The barrier's counter key.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_participant_passes_immediately() {
+        let b = GlobalBarrier::new(KvStore::new(), "b", 1);
+        let cost = b.arrive_and_wait();
+        assert_eq!(cost.round_trips, 2);
+    }
+
+    #[test]
+    fn all_threads_block_until_last_arrival() {
+        let n = 6;
+        let b = GlobalBarrier::new(KvStore::new(), "phase", n);
+        let before = Arc::new(AtomicUsize::new(0));
+        let after = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = b.clone();
+                let before = before.clone();
+                let after = after.clone();
+                s.spawn(move || {
+                    before.fetch_add(1, Ordering::SeqCst);
+                    b.arrive_and_wait();
+                    // At the moment anyone passes, everyone has arrived.
+                    assert_eq!(before.load(Ordering::SeqCst), n);
+                    after.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(after.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_phases() {
+        let n = 4;
+        let b = GlobalBarrier::new(KvStore::new(), "reuse", n);
+        for _phase in 0..3 {
+            let passed = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..n {
+                    let b = b.clone();
+                    let passed = passed.clone();
+                    s.spawn(move || {
+                        b.arrive_and_wait();
+                        passed.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(passed.load(Ordering::SeqCst), n);
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The simulated cluster executor.
+//!
+//! [`SimCluster`] owns the node specs, one KV store per node (§IV: "we run
+//! one instance of Redis server in each of our cluster nodes"), and the
+//! cost-to-time conversion. A *job* is one closure per node — typically
+//! "run the real analytics algorithm on this node's partition" — returning
+//! a result and the exact [`Cost`] incurred. The cluster charges each
+//! node's cost through its speed factor, integrates energy over the node's
+//! green trace, and reports the job's makespan (the `v = max_i f_i(x_i)`
+//! objective of §III-D) and dirty-energy totals.
+//!
+//! Closures run on real threads (`crossbeam::scope`) so multi-second
+//! experiments use the host's cores, but all *reported* times are
+//! simulated and therefore deterministic.
+
+use pareto_energy::{dirty_energy_joules, DirtyEnergyMode};
+
+use crate::cost::Cost;
+use crate::kvstore::KvStore;
+use crate::network::NetworkModel;
+use crate::node::NodeSpec;
+
+/// Default compute rate of a type-1 node, in abstract ops/second.
+///
+/// Calibrated so the synthetic datasets at default scale yield job times of
+/// the same order as the paper's (tens to hundreds of seconds) — which also
+/// makes the energy objective's scale dominate the time objective's, the
+/// §III-D property that forces α ≈ 1 for useful trade-offs.
+pub const DEFAULT_BASE_OPS_PER_SEC: f64 = 1.0e6;
+
+/// Per-node outcome of a job.
+#[derive(Debug, Clone)]
+pub struct NodeRun {
+    /// Node index.
+    pub node_id: usize,
+    /// Simulated execution time in seconds.
+    pub seconds: f64,
+    /// Total energy drawn (joules).
+    pub energy_joules: f64,
+    /// Dirty energy, paper-linear form (can be negative).
+    pub dirty_joules_linear: f64,
+    /// Dirty energy, physically clamped form.
+    pub dirty_joules_clamped: f64,
+    /// The raw cost the node reported.
+    pub cost: Cost,
+}
+
+/// Whole-job outcome.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Per-node runs, indexed by node.
+    pub runs: Vec<NodeRun>,
+    /// Makespan: `max_i seconds_i` (the paper's `v`).
+    pub makespan_seconds: f64,
+    /// Σ dirty energy, paper-linear form.
+    pub total_dirty_linear: f64,
+    /// Σ dirty energy, clamped form.
+    pub total_dirty_clamped: f64,
+    /// Σ total draw.
+    pub total_energy_joules: f64,
+}
+
+impl JobReport {
+    /// Per-node simulated times.
+    pub fn node_seconds(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.seconds).collect()
+    }
+
+    /// Load-imbalance ratio `max/mean` of node times (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 1.0;
+        }
+        let mean: f64 =
+            self.runs.iter().map(|r| r.seconds).sum::<f64>() / self.runs.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            self.makespan_seconds / mean
+        }
+    }
+}
+
+/// The simulated heterogeneous cluster.
+pub struct SimCluster {
+    nodes: Vec<NodeSpec>,
+    stores: Vec<KvStore>,
+    network: NetworkModel,
+    base_ops_per_sec: f64,
+    /// Job start offset into the green traces, seconds.
+    job_start_s: f64,
+}
+
+impl SimCluster {
+    /// Build a cluster from node specs with the default network and
+    /// compute rate.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        let stores = nodes.iter().map(|_| KvStore::new()).collect();
+        SimCluster {
+            nodes,
+            stores,
+            network: NetworkModel::default(),
+            base_ops_per_sec: DEFAULT_BASE_OPS_PER_SEC,
+            job_start_s: 0.0,
+        }
+    }
+
+    /// Override the network model.
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Override the type-1 compute rate (abstract ops per second).
+    pub fn with_base_ops_per_sec(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0);
+        self.base_ops_per_sec = rate;
+        self
+    }
+
+    /// Set where in the green traces jobs start (seconds).
+    pub fn with_job_start(mut self, t0_seconds: f64) -> Self {
+        assert!(t0_seconds >= 0.0);
+        self.job_start_s = t0_seconds;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node specs.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// One node's spec.
+    pub fn node(&self, id: usize) -> &NodeSpec {
+        &self.nodes[id]
+    }
+
+    /// The KV store living on node `id`.
+    pub fn store(&self, id: usize) -> &KvStore {
+        &self.stores[id]
+    }
+
+    /// Network model in force.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Base compute rate (type-1 ops/second).
+    pub fn base_ops_per_sec(&self) -> f64 {
+        self.base_ops_per_sec
+    }
+
+    /// Convert a cost to simulated seconds on node `id`.
+    pub fn cost_to_seconds(&self, node_id: usize, cost: &Cost) -> f64 {
+        cost.seconds(
+            self.nodes[node_id].speed(),
+            self.base_ops_per_sec,
+            &self.network,
+        )
+    }
+
+    /// Charge a node's run and produce its [`NodeRun`].
+    fn account(&self, node_id: usize, cost: Cost) -> NodeRun {
+        let node = &self.nodes[node_id];
+        let seconds = self.cost_to_seconds(node_id, &cost);
+        let power = node.power();
+        let energy_joules = power.energy_joules(seconds);
+        let dirty_linear = dirty_energy_joules(
+            &power,
+            &node.trace,
+            self.job_start_s,
+            seconds,
+            DirtyEnergyMode::PaperLinear,
+        );
+        let dirty_clamped = dirty_energy_joules(
+            &power,
+            &node.trace,
+            self.job_start_s,
+            seconds,
+            DirtyEnergyMode::Clamped,
+        );
+        NodeRun {
+            node_id,
+            seconds,
+            energy_joules,
+            dirty_joules_linear: dirty_linear,
+            dirty_joules_clamped: dirty_clamped,
+            cost,
+        }
+    }
+
+    /// Execute one task per node **in parallel** (real threads) and account
+    /// simulated time/energy. `tasks[i]` runs logically on node `i`.
+    ///
+    /// # Panics
+    /// Panics if `tasks.len() != num_nodes()` or if any task panics.
+    pub fn execute_job<T, F>(&self, tasks: Vec<F>) -> (Vec<T>, JobReport)
+    where
+        T: Send,
+        F: FnOnce(JobCtx<'_>) -> (T, Cost) + Send,
+    {
+        assert_eq!(
+            tasks.len(),
+            self.nodes.len(),
+            "one task per node required"
+        );
+        let mut slots: Vec<Option<(T, Cost)>> = Vec::with_capacity(tasks.len());
+        for _ in 0..tasks.len() {
+            slots.push(None);
+        }
+        crossbeam::thread::scope(|scope| {
+            for (node_id, (task, slot)) in tasks.into_iter().zip(slots.iter_mut()).enumerate()
+            {
+                let ctx = JobCtx {
+                    node_id,
+                    store: &self.stores[node_id],
+                    cluster: self,
+                };
+                scope.spawn(move |_| {
+                    *slot = Some(task(ctx));
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        let mut results = Vec::with_capacity(slots.len());
+        let mut runs = Vec::with_capacity(slots.len());
+        for (node_id, slot) in slots.into_iter().enumerate() {
+            let (result, cost) = slot.expect("every task must complete");
+            runs.push(self.account(node_id, cost));
+            results.push(result);
+        }
+        let makespan = runs.iter().map(|r| r.seconds).fold(0.0, f64::max);
+        let report = JobReport {
+            makespan_seconds: makespan,
+            total_dirty_linear: runs.iter().map(|r| r.dirty_joules_linear).sum(),
+            total_dirty_clamped: runs.iter().map(|r| r.dirty_joules_clamped).sum(),
+            total_energy_joules: runs.iter().map(|r| r.energy_joules).sum(),
+            runs,
+        };
+        (results, report)
+    }
+
+    /// Account a pre-computed per-node cost vector without running
+    /// anything (used by planners that already know the costs).
+    pub fn account_costs(&self, costs: &[Cost]) -> JobReport {
+        assert_eq!(costs.len(), self.nodes.len(), "one cost per node");
+        let runs: Vec<NodeRun> = costs
+            .iter()
+            .enumerate()
+            .map(|(id, &c)| self.account(id, c))
+            .collect();
+        let makespan = runs.iter().map(|r| r.seconds).fold(0.0, f64::max);
+        JobReport {
+            makespan_seconds: makespan,
+            total_dirty_linear: runs.iter().map(|r| r.dirty_joules_linear).sum(),
+            total_dirty_clamped: runs.iter().map(|r| r.dirty_joules_clamped).sum(),
+            total_energy_joules: runs.iter().map(|r| r.energy_joules).sum(),
+            runs,
+        }
+    }
+}
+
+/// Per-task handle: which node the task runs on and that node's store.
+pub struct JobCtx<'a> {
+    /// The node this task is bound to.
+    pub node_id: usize,
+    /// The node's KV store.
+    pub store: &'a KvStore,
+    /// The owning cluster (for cross-node store access, e.g. writing to
+    /// the master node's store).
+    pub cluster: &'a SimCluster,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::MachineType;
+
+    fn cluster(p: usize) -> SimCluster {
+        SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, 42))
+    }
+
+    #[test]
+    fn equal_work_makespan_set_by_slowest() {
+        let c = cluster(4);
+        let work = Cost::compute(100_000_000);
+        let tasks: Vec<_> = (0..4).map(|_| move |_ctx: JobCtx<'_>| ((), work)).collect();
+        let (_, report) = c.execute_job(tasks);
+        // Type 4 runs at 1/4 speed => 4x the type-1 time.
+        let t1 = report.runs[0].seconds;
+        let t4 = report.runs[3].seconds;
+        assert!((t4 / t1 - 4.0).abs() < 1e-9);
+        assert!((report.makespan_seconds - t4).abs() < 1e-12);
+        assert!(report.imbalance() > 1.5);
+    }
+
+    #[test]
+    fn speed_proportional_work_balances() {
+        let c = cluster(4);
+        let speeds: Vec<f64> = c.nodes().iter().map(|n| n.speed()).collect();
+        let tasks: Vec<_> = speeds
+            .iter()
+            .map(|&s| {
+                let ops = (100_000_000.0 * s) as u64;
+                move |_ctx: JobCtx<'_>| ((), Cost::compute(ops))
+            })
+            .collect();
+        let (_, report) = c.execute_job(tasks);
+        assert!(
+            (report.imbalance() - 1.0).abs() < 1e-6,
+            "proportional sizing must balance: {:?}",
+            report.node_seconds()
+        );
+    }
+
+    #[test]
+    fn energy_accounting_consistent() {
+        let c = cluster(4);
+        let tasks: Vec<_> = (0..4)
+            .map(|_| move |_ctx: JobCtx<'_>| ((), Cost::compute(50_000_000)))
+            .collect();
+        let (_, report) = c.execute_job(tasks);
+        for run in &report.runs {
+            let watts = c.node(run.node_id).power().watts();
+            assert!((run.energy_joules - watts * run.seconds).abs() < 1e-6);
+            // Clamped dirty energy never exceeds total draw and is >= 0.
+            assert!(run.dirty_joules_clamped >= 0.0);
+            assert!(run.dirty_joules_clamped <= run.energy_joules + 1e-6);
+            // Linear <= clamped (the credit can only reduce it).
+            assert!(run.dirty_joules_linear <= run.dirty_joules_clamped + 1e-6);
+        }
+    }
+
+    #[test]
+    fn tasks_can_use_their_store() {
+        let c = cluster(2);
+        let tasks: Vec<_> = (0..2)
+            .map(|_| {
+                |ctx: JobCtx<'_>| {
+                    let mut cost = Cost::ZERO;
+                    let (_, c1) = ctx.store.set("x", &b"v"[..]).unwrap();
+                    cost.add(c1);
+                    let (_, c2) = ctx.store.get("x").unwrap();
+                    cost.add(c2);
+                    (ctx.node_id, cost)
+                }
+            })
+            .collect();
+        let (results, report) = c.execute_job(tasks);
+        assert_eq!(results, vec![0, 1]);
+        assert!(report.runs.iter().all(|r| r.cost.round_trips == 2));
+        // Stores are per-node: node 1's writes don't appear on node 0's
+        // store beyond its own.
+        assert!(matches!(
+            c.store(0).get("x").unwrap().0,
+            crate::kvstore::Reply::Bytes(_)
+        ));
+    }
+
+    #[test]
+    fn account_costs_matches_execute() {
+        let c = cluster(3);
+        let costs = vec![
+            Cost::compute(10_000_000),
+            Cost::compute(20_000_000),
+            Cost::compute(30_000_000),
+        ];
+        let report = c.account_costs(&costs);
+        let tasks: Vec<_> = costs
+            .iter()
+            .map(|&k| move |_ctx: JobCtx<'_>| ((), k))
+            .collect();
+        let (_, report2) = c.execute_job(tasks);
+        for (a, b) in report.runs.iter().zip(&report2.runs) {
+            assert_eq!(a.seconds, b.seconds);
+            assert_eq!(a.dirty_joules_linear, b.dirty_joules_linear);
+        }
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let c1 = cluster(8);
+        let c2 = cluster(8);
+        let costs: Vec<Cost> = (0..8).map(|i| Cost::compute(1_000_000 * (i + 1))).collect();
+        let r1 = c1.account_costs(&costs);
+        let r2 = c2.account_costs(&costs);
+        assert_eq!(r1.makespan_seconds, r2.makespan_seconds);
+        assert_eq!(r1.total_dirty_linear, r2.total_dirty_linear);
+    }
+
+    #[test]
+    fn machine_cycle_in_cluster() {
+        let c = cluster(8);
+        assert_eq!(c.node(0).machine_type, MachineType::Type1);
+        assert_eq!(c.node(5).machine_type, MachineType::Type2);
+    }
+
+    #[test]
+    fn base_rate_scales_times_inversely() {
+        let nodes = NodeSpec::paper_cluster(2, 400.0, 1, 9, 3);
+        let slow = SimCluster::new(nodes.clone()).with_base_ops_per_sec(1e6);
+        let fast = SimCluster::new(nodes).with_base_ops_per_sec(2e6);
+        let cost = Cost::compute(10_000_000);
+        let t_slow = slow.cost_to_seconds(0, &cost);
+        let t_fast = fast.cost_to_seconds(0, &cost);
+        assert!((t_slow / t_fast - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_start_offset_changes_energy_not_time() {
+        let nodes = NodeSpec::paper_cluster(2, 400.0, 2, 0, 3);
+        let morning = SimCluster::new(nodes.clone()).with_job_start(8.0 * 3600.0);
+        let night = SimCluster::new(nodes).with_job_start(0.0);
+        let costs = [Cost::compute(50_000_000), Cost::compute(50_000_000)];
+        let r_morning = morning.account_costs(&costs);
+        let r_night = night.account_costs(&costs);
+        assert_eq!(r_morning.makespan_seconds, r_night.makespan_seconds);
+        // At night there is no solar supply: everything is dirty.
+        assert!(
+            r_night.total_dirty_clamped >= r_morning.total_dirty_clamped,
+            "night {} should be at least as dirty as morning {}",
+            r_night.total_dirty_clamped,
+            r_morning.total_dirty_clamped
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one task per node")]
+    fn wrong_task_count_panics() {
+        let c = cluster(2);
+        let tasks: Vec<fn(JobCtx<'_>) -> ((), Cost)> = vec![|_| ((), Cost::ZERO)];
+        c.execute_job(tasks);
+    }
+}

@@ -1,0 +1,583 @@
+//! The Redis stand-in (§IV).
+//!
+//! The paper runs one non-clustered Redis per node ("in cluster mode we do
+//! not have control over which key goes to which partition") and drives it
+//! through a thin middleware. This module reproduces the primitives that
+//! middleware uses:
+//!
+//! * string values and **lists** of byte sequences (`GET`/`SET`/`RPUSH`/
+//!   `LRANGE`/`LLEN`/`DEL`),
+//! * the atomic **fetch-and-increment** (`INCR`) the global barrier is
+//!   built on,
+//! * **pipelining**: requests queue locally and ship in batches of the
+//!   configured width, paying one network round trip per batch,
+//! * the §IV **blob layout**: a whole partition's records concatenated as
+//!   `[len: u32 LE][payload]…` so "the entire data set of a partition" is
+//!   one `GET`.
+//!
+//! Every operation returns the [`Cost`] it incurred so the simulation can
+//! charge time; the store itself is a real concurrent data structure
+//! (`parking_lot::RwLock`), safe to share across worker threads.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::cost::Cost;
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// Operation applied to a key holding the wrong kind of value
+    /// (Redis' `WRONGTYPE`).
+    WrongType { key: String },
+    /// Malformed blob in [`decode_records`].
+    CorruptBlob,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::WrongType { key } => write!(f, "WRONGTYPE at key {key:?}"),
+            KvError::CorruptBlob => write!(f, "corrupt length-prefixed blob"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A reply from one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Value of a `GET`, or an `LRANGE` element context.
+    Bytes(Bytes),
+    /// All elements of a list.
+    List(Vec<Bytes>),
+    /// Counter value (after `INCR`) or a length.
+    Int(i64),
+    /// Write acknowledged.
+    Ok,
+    /// Key absent.
+    Nil,
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Bytes(Bytes),
+    List(Vec<Bytes>),
+    Counter(i64),
+}
+
+/// One queued pipeline operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Get(String),
+    Set(String, Bytes),
+    RPush(String, Bytes),
+    LRange(String),
+    LLen(String),
+    Incr(String),
+    Del(String),
+}
+
+/// Small fixed CPU cost per request processed by the store (abstract ops;
+/// at the default 1e6 ops/s base rate this is ~2 µs per request, so
+/// round-trip latency — not server CPU — dominates unpipelined traffic,
+/// as with real Redis).
+const OP_COMPUTE: u64 = 2;
+
+/// A shareable, concurrent Redis-like store.
+///
+/// ```
+/// use pareto_cluster::KvStore;
+///
+/// let kv = KvStore::new();
+/// kv.set("greeting", &b"hello"[..]).unwrap();
+/// let (n, _) = kv.incr("counter").unwrap();
+/// assert_eq!(n, 1);
+/// // Pipelining amortizes round trips (the §IV optimization).
+/// let (replies, cost) = kv
+///     .pipeline(8)
+///     .rpush("list", &b"a"[..])
+///     .rpush("list", &b"b"[..])
+///     .execute()
+///     .unwrap();
+/// assert_eq!(replies.len(), 2);
+/// assert_eq!(cost.round_trips, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    inner: Arc<RwLock<HashMap<String, Value>>>,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    fn apply(&self, op: &Op) -> Result<(Reply, u64), KvError> {
+        // Returns the reply and the payload byte count it moved.
+        let mut map = self.inner.write();
+        match op {
+            Op::Get(k) => match map.get(k) {
+                Some(Value::Bytes(b)) => Ok((Reply::Bytes(b.clone()), b.len() as u64)),
+                Some(Value::Counter(c)) => Ok((Reply::Int(*c), 8)),
+                Some(Value::List(_)) => Err(KvError::WrongType { key: k.clone() }),
+                None => Ok((Reply::Nil, 0)),
+            },
+            Op::Set(k, v) => {
+                let n = v.len() as u64;
+                map.insert(k.clone(), Value::Bytes(v.clone()));
+                Ok((Reply::Ok, n))
+            }
+            Op::RPush(k, v) => {
+                let n = v.len() as u64;
+                match map
+                    .entry(k.clone())
+                    .or_insert_with(|| Value::List(Vec::new()))
+                {
+                    Value::List(list) => {
+                        list.push(v.clone());
+                        Ok((Reply::Int(list.len() as i64), n))
+                    }
+                    _ => Err(KvError::WrongType { key: k.clone() }),
+                }
+            }
+            Op::LRange(k) => match map.get(k) {
+                Some(Value::List(list)) => {
+                    let n: u64 = list.iter().map(|b| b.len() as u64).sum();
+                    Ok((Reply::List(list.clone()), n))
+                }
+                Some(_) => Err(KvError::WrongType { key: k.clone() }),
+                None => Ok((Reply::List(Vec::new()), 0)),
+            },
+            Op::LLen(k) => match map.get(k) {
+                Some(Value::List(list)) => Ok((Reply::Int(list.len() as i64), 8)),
+                Some(_) => Err(KvError::WrongType { key: k.clone() }),
+                None => Ok((Reply::Int(0), 8)),
+            },
+            Op::Incr(k) => {
+                match map
+                    .entry(k.clone())
+                    .or_insert_with(|| Value::Counter(0))
+                {
+                    Value::Counter(c) => {
+                        *c += 1;
+                        Ok((Reply::Int(*c), 8))
+                    }
+                    _ => Err(KvError::WrongType { key: k.clone() }),
+                }
+            }
+            Op::Del(k) => {
+                let existed = map.remove(k).is_some();
+                Ok((Reply::Int(existed as i64), 0))
+            }
+        }
+    }
+
+    fn single(&self, op: Op) -> Result<(Reply, Cost), KvError> {
+        let (reply, bytes) = self.apply(&op)?;
+        Ok((
+            reply,
+            Cost {
+                compute_ops: OP_COMPUTE,
+                bytes,
+                round_trips: 1,
+            },
+        ))
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str) -> Result<(Reply, Cost), KvError> {
+        self.single(Op::Get(key.to_owned()))
+    }
+
+    /// `SET key value`.
+    pub fn set(&self, key: &str, value: impl Into<Bytes>) -> Result<(Reply, Cost), KvError> {
+        self.single(Op::Set(key.to_owned(), value.into()))
+    }
+
+    /// `RPUSH key value` — append one byte sequence to a list.
+    pub fn rpush(&self, key: &str, value: impl Into<Bytes>) -> Result<(Reply, Cost), KvError> {
+        self.single(Op::RPush(key.to_owned(), value.into()))
+    }
+
+    /// `LRANGE key 0 -1` — fetch the whole list.
+    pub fn lrange_all(&self, key: &str) -> Result<(Vec<Bytes>, Cost), KvError> {
+        match self.single(Op::LRange(key.to_owned()))? {
+            (Reply::List(items), cost) => Ok((items, cost)),
+            _ => unreachable!("LRange always yields a list reply"),
+        }
+    }
+
+    /// `LLEN key`.
+    pub fn llen(&self, key: &str) -> Result<(i64, Cost), KvError> {
+        match self.single(Op::LLen(key.to_owned()))? {
+            (Reply::Int(n), cost) => Ok((n, cost)),
+            _ => unreachable!("LLen always yields an int reply"),
+        }
+    }
+
+    /// Atomic fetch-and-increment (`INCR`); returns the post-increment
+    /// value. This is the primitive the global barrier uses (§IV).
+    pub fn incr(&self, key: &str) -> Result<(i64, Cost), KvError> {
+        match self.single(Op::Incr(key.to_owned()))? {
+            (Reply::Int(n), cost) => Ok((n, cost)),
+            _ => unreachable!("Incr always yields an int reply"),
+        }
+    }
+
+    /// `DEL key`; returns whether the key existed.
+    pub fn del(&self, key: &str) -> Result<(bool, Cost), KvError> {
+        match self.single(Op::Del(key.to_owned()))? {
+            (Reply::Int(n), cost) => Ok((n == 1, cost)),
+            _ => unreachable!("Del always yields an int reply"),
+        }
+    }
+
+    /// Read a counter without mutating (used by barrier polls).
+    pub fn counter_value(&self, key: &str) -> Result<(i64, Cost), KvError> {
+        match self.single(Op::Get(key.to_owned()))? {
+            (Reply::Int(n), cost) => Ok((n, cost)),
+            (Reply::Nil, cost) => Ok((0, cost)),
+            (Reply::Bytes(_), _) => Err(KvError::WrongType {
+                key: key.to_owned(),
+            }),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Export every entry as `(key, value)` pairs in sorted key order —
+    /// the basis of deterministic disk snapshots (see [`crate::persist`]).
+    /// Values are reported as [`Reply::Bytes`], [`Reply::List`], or
+    /// [`Reply::Int`] (counters).
+    pub fn export_entries(&self) -> Vec<(String, Reply)> {
+        let map = self.inner.read();
+        let mut entries: Vec<(String, Reply)> = map
+            .iter()
+            .map(|(k, v)| {
+                let reply = match v {
+                    Value::Bytes(b) => Reply::Bytes(b.clone()),
+                    Value::List(items) => Reply::List(items.clone()),
+                    Value::Counter(c) => Reply::Int(*c),
+                };
+                (k.clone(), reply)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Set a counter to an absolute value (snapshot restore path).
+    pub fn set_counter(&self, key: &str, value: i64) -> Result<(), KvError> {
+        let mut map = self.inner.write();
+        match map.entry(key.to_owned()).or_insert(Value::Counter(value)) {
+            Value::Counter(c) => {
+                *c = value;
+                Ok(())
+            }
+            _ => Err(KvError::WrongType {
+                key: key.to_owned(),
+            }),
+        }
+    }
+
+    /// Start a pipeline with the given batch width (Redis' preset pipeline
+    /// width, §IV). Width 1 degenerates to unpipelined requests.
+    pub fn pipeline(&self, width: usize) -> Pipeline<'_> {
+        assert!(width >= 1, "pipeline width must be >= 1");
+        Pipeline {
+            store: self,
+            width,
+            ops: Vec::new(),
+        }
+    }
+}
+
+/// A batch of queued operations sharing round trips.
+#[derive(Debug)]
+pub struct Pipeline<'a> {
+    store: &'a KvStore,
+    width: usize,
+    ops: Vec<Op>,
+}
+
+impl Pipeline<'_> {
+    /// Queue a `GET`.
+    pub fn get(mut self, key: &str) -> Self {
+        self.ops.push(Op::Get(key.to_owned()));
+        self
+    }
+
+    /// Queue a `SET`.
+    pub fn set(mut self, key: &str, value: impl Into<Bytes>) -> Self {
+        self.ops.push(Op::Set(key.to_owned(), value.into()));
+        self
+    }
+
+    /// Queue an `RPUSH`.
+    pub fn rpush(mut self, key: &str, value: impl Into<Bytes>) -> Self {
+        self.ops.push(Op::RPush(key.to_owned(), value.into()));
+        self
+    }
+
+    /// Queue an `LRANGE`.
+    pub fn lrange_all(mut self, key: &str) -> Self {
+        self.ops.push(Op::LRange(key.to_owned()));
+        self
+    }
+
+    /// Queue an `INCR`.
+    pub fn incr(mut self, key: &str) -> Self {
+        self.ops.push(Op::Incr(key.to_owned()));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Execute all queued operations in order. The cost charges
+    /// `ceil(n / width)` round trips — the pipelining amortization.
+    pub fn execute(self) -> Result<(Vec<Reply>, Cost), KvError> {
+        let mut replies = Vec::with_capacity(self.ops.len());
+        let mut cost = Cost::ZERO;
+        for op in &self.ops {
+            let (reply, bytes) = self.store.apply(op)?;
+            cost.add(Cost {
+                compute_ops: OP_COMPUTE,
+                bytes,
+                round_trips: 0,
+            });
+            replies.push(reply);
+        }
+        cost.round_trips = (self.ops.len() as u64).div_ceil(self.width as u64);
+        Ok((replies, cost))
+    }
+}
+
+/// Encode records into the §IV blob layout: `[len: u32 LE][payload]…`.
+pub fn encode_records<B: AsRef<[u8]>>(records: &[B]) -> Bytes {
+    let total: usize = records.iter().map(|r| 4 + r.as_ref().len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for r in records {
+        let r = r.as_ref();
+        out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+        out.extend_from_slice(r);
+    }
+    Bytes::from(out)
+}
+
+/// Decode a §IV blob back into records.
+pub fn decode_records(blob: &[u8]) -> Result<Vec<Bytes>, KvError> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < blob.len() {
+        if pos + 4 > blob.len() {
+            return Err(KvError::CorruptBlob);
+        }
+        let len =
+            u32::from_le_bytes(blob[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        pos += 4;
+        if pos + len > blob.len() {
+            return Err(KvError::CorruptBlob);
+        }
+        out.push(Bytes::copy_from_slice(&blob[pos..pos + len]));
+        pos += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let kv = KvStore::new();
+        kv.set("a", &b"hello"[..]).unwrap();
+        let (reply, cost) = kv.get("a").unwrap();
+        assert_eq!(reply, Reply::Bytes(Bytes::from_static(b"hello")));
+        assert_eq!(cost.round_trips, 1);
+        assert_eq!(cost.bytes, 5);
+    }
+
+    #[test]
+    fn get_missing_is_nil() {
+        let kv = KvStore::new();
+        assert_eq!(kv.get("nope").unwrap().0, Reply::Nil);
+    }
+
+    #[test]
+    fn list_push_and_range() {
+        let kv = KvStore::new();
+        kv.rpush("l", &b"a"[..]).unwrap();
+        kv.rpush("l", &b"bb"[..]).unwrap();
+        let (items, _) = kv.lrange_all("l").unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(&items[1][..], b"bb");
+        assert_eq!(kv.llen("l").unwrap().0, 2);
+        // Missing list ranges to empty.
+        assert!(kv.lrange_all("missing").unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn wrongtype_errors() {
+        let kv = KvStore::new();
+        kv.set("s", &b"x"[..]).unwrap();
+        assert!(matches!(
+            kv.rpush("s", &b"y"[..]),
+            Err(KvError::WrongType { .. })
+        ));
+        kv.rpush("l", &b"y"[..]).unwrap();
+        assert!(matches!(kv.get("l"), Err(KvError::WrongType { .. })));
+        assert!(matches!(kv.incr("s"), Err(KvError::WrongType { .. })));
+    }
+
+    #[test]
+    fn incr_is_fetch_and_increment() {
+        let kv = KvStore::new();
+        assert_eq!(kv.incr("c").unwrap().0, 1);
+        assert_eq!(kv.incr("c").unwrap().0, 2);
+        assert_eq!(kv.counter_value("c").unwrap().0, 2);
+        assert_eq!(kv.counter_value("absent").unwrap().0, 0);
+    }
+
+    #[test]
+    fn del_removes() {
+        let kv = KvStore::new();
+        kv.set("k", &b"v"[..]).unwrap();
+        assert!(kv.del("k").unwrap().0);
+        assert!(!kv.del("k").unwrap().0);
+        assert_eq!(kv.get("k").unwrap().0, Reply::Nil);
+    }
+
+    #[test]
+    fn incr_is_atomic_across_threads() {
+        let kv = KvStore::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        kv.incr("n").unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.counter_value("n").unwrap().0, 8000);
+    }
+
+    #[test]
+    fn pipeline_amortizes_round_trips() {
+        let kv = KvStore::new();
+        let mut p = kv.pipeline(16);
+        for i in 0..64 {
+            p = p.set(&format!("k{i}"), Bytes::from(vec![0u8; 10]));
+        }
+        let (replies, cost) = p.execute().unwrap();
+        assert_eq!(replies.len(), 64);
+        assert_eq!(cost.round_trips, 4); // ceil(64/16)
+        assert_eq!(cost.bytes, 640);
+        // Unpipelined equivalent pays 64 round trips.
+        let mut unbatched = Cost::ZERO;
+        for i in 0..64 {
+            let (_, c) = kv.set(&format!("u{i}"), Bytes::from(vec![0u8; 10])).unwrap();
+            unbatched.add(c);
+        }
+        assert_eq!(unbatched.round_trips, 64);
+    }
+
+    #[test]
+    fn pipeline_preserves_order() {
+        let kv = KvStore::new();
+        let (replies, _) = kv
+            .pipeline(4)
+            .incr("c")
+            .incr("c")
+            .get("c")
+            .execute()
+            .unwrap();
+        assert_eq!(replies[0], Reply::Int(1));
+        assert_eq!(replies[1], Reply::Int(2));
+        assert_eq!(replies[2], Reply::Int(2));
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let records: Vec<&[u8]> = vec![b"one", b"", b"three33"];
+        let blob = encode_records(&records);
+        // 4-byte LE length prefix per record (§IV layout).
+        assert_eq!(&blob[0..4], &3u32.to_le_bytes());
+        let decoded = decode_records(&blob).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(&decoded[0][..], b"one");
+        assert_eq!(&decoded[1][..], b"");
+        assert_eq!(&decoded[2][..], b"three33");
+    }
+
+    #[test]
+    fn blob_detects_corruption() {
+        let blob = encode_records(&[&b"abc"[..]]);
+        assert!(decode_records(&blob[..blob.len() - 1]).is_err());
+        assert!(decode_records(&[1, 0]).is_err());
+        assert_eq!(decode_records(&[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn pipeline_stops_at_first_error_with_partial_application() {
+        // Like Redis transactions-without-MULTI: ops before the failing
+        // one have already been applied when execute() reports the error.
+        let kv = KvStore::new();
+        kv.set("str", &b"x"[..]).unwrap();
+        let result = kv
+            .pipeline(4)
+            .incr("ctr")
+            .rpush("str", &b"boom"[..]) // WRONGTYPE
+            .incr("ctr")
+            .execute();
+        assert!(matches!(result, Err(KvError::WrongType { .. })));
+        // First op applied, third never ran.
+        assert_eq!(kv.counter_value("ctr").unwrap().0, 1);
+    }
+
+    #[test]
+    fn empty_pipeline_is_free() {
+        let kv = KvStore::new();
+        let (replies, cost) = kv.pipeline(8).execute().unwrap();
+        assert!(replies.is_empty());
+        assert_eq!(cost.round_trips, 0);
+        assert_eq!(cost.compute_ops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_pipeline_panics() {
+        let kv = KvStore::new();
+        let _ = kv.pipeline(0);
+    }
+
+    #[test]
+    fn partition_as_single_get() {
+        // The §IV pattern: a partition's records as one blob under one key.
+        let kv = KvStore::new();
+        let records: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let blob = encode_records(&records);
+        kv.set("partition:3", blob).unwrap();
+        let (reply, cost) = kv.get("partition:3").unwrap();
+        let Reply::Bytes(b) = reply else {
+            panic!("expected bytes")
+        };
+        assert_eq!(decode_records(&b).unwrap().len(), 100);
+        assert_eq!(cost.round_trips, 1, "whole partition in one GET");
+    }
+}

@@ -1,0 +1,69 @@
+//! Network cost model for store traffic.
+//!
+//! A deliberately simple latency + bandwidth model: each round trip pays a
+//! fixed latency, payload bytes stream at a fixed bandwidth. This is what
+//! makes Redis pipelining matter in the simulation exactly as it does on
+//! real hardware ("known to substantially improve the response times",
+//! §IV): batching k requests into one round trip saves `(k−1)·latency`.
+
+/// Latency/bandwidth network model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Per-round-trip latency in seconds.
+    pub latency_s: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// Create a model; panics on non-positive bandwidth or negative latency.
+    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
+        assert!(latency_s >= 0.0 && latency_s.is_finite());
+        assert!(bandwidth_bps > 0.0 && bandwidth_bps.is_finite());
+        NetworkModel {
+            latency_s,
+            bandwidth_bps,
+        }
+    }
+
+    /// An intra-rack datacenter network: 100 µs RTT, 1 Gbit/s effective.
+    pub fn datacenter() -> Self {
+        NetworkModel::new(100e-6, 125e6)
+    }
+
+    /// Time to move `bytes` using `round_trips` request round trips.
+    pub fn transfer_seconds(&self, bytes: u64, round_trips: u64) -> f64 {
+        round_trips as f64 * self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::datacenter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_requests() {
+        let net = NetworkModel::datacenter();
+        let many = net.transfer_seconds(1000, 1000);
+        let one = net.transfer_seconds(1000, 1);
+        assert!(many > 50.0 * one, "pipelining must matter: {many} vs {one}");
+    }
+
+    #[test]
+    fn bandwidth_term() {
+        let net = NetworkModel::new(0.0, 100.0);
+        assert!((net.transfer_seconds(250, 5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_bandwidth() {
+        NetworkModel::new(0.0, 0.0);
+    }
+}

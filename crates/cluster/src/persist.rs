@@ -1,0 +1,237 @@
+//! Disk persistence for the KV store (§III-E: "we support the final
+//! partitions to be data partitions stored on disk, or data partitions
+//! stored on Redis").
+//!
+//! A store snapshot is a single file in a tagged, length-prefixed binary
+//! layout (an RDB-like dump):
+//!
+//! ```text
+//! magic "PKV1"
+//! u32 entry_count
+//! per entry: u32 key_len, key bytes, u8 tag, payload
+//!   tag 0 = bytes:   u32 len, bytes
+//!   tag 1 = list:    u32 item_count, then per item u32 len + bytes
+//!   tag 2 = counter: i64 LE
+//! ```
+//!
+//! Keys are written in sorted order so snapshots are byte-for-byte
+//! deterministic for a given store state.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::Bytes;
+
+use crate::kvstore::{KvStore, Reply};
+
+/// Errors from snapshot I/O.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a snapshot, or structurally damaged.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot io: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+const MAGIC: &[u8; 4] = b"PKV1";
+
+/// Serialize the whole store into the snapshot byte layout.
+pub fn snapshot_to_bytes(store: &KvStore) -> Vec<u8> {
+    let entries = store.export_entries();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (key, value) in entries {
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key.as_bytes());
+        match value {
+            Reply::Bytes(b) => {
+                out.push(0);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(&b);
+            }
+            Reply::List(items) => {
+                out.push(1);
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    out.extend_from_slice(&(item.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&item);
+                }
+            }
+            Reply::Int(n) => {
+                out.push(2);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Reply::Ok | Reply::Nil => unreachable!("export yields values only"),
+        }
+    }
+    out
+}
+
+/// Rebuild a store from snapshot bytes.
+pub fn snapshot_from_bytes(data: &[u8]) -> Result<KvStore, PersistError> {
+    let mut cur = io::Cursor::new(data);
+    let mut magic = [0u8; 4];
+    cur.read_exact(&mut magic)
+        .map_err(|_| PersistError::Corrupt("missing magic"))?;
+    if &magic != MAGIC {
+        return Err(PersistError::Corrupt("bad magic"));
+    }
+    let count = read_u32(&mut cur)? as usize;
+    let store = KvStore::new();
+    for _ in 0..count {
+        let key_len = read_u32(&mut cur)? as usize;
+        let mut key = vec![0u8; key_len];
+        cur.read_exact(&mut key)
+            .map_err(|_| PersistError::Corrupt("truncated key"))?;
+        let key = String::from_utf8(key).map_err(|_| PersistError::Corrupt("non-utf8 key"))?;
+        let mut tag = [0u8; 1];
+        cur.read_exact(&mut tag)
+            .map_err(|_| PersistError::Corrupt("missing tag"))?;
+        match tag[0] {
+            0 => {
+                let len = read_u32(&mut cur)? as usize;
+                let mut buf = vec![0u8; len];
+                cur.read_exact(&mut buf)
+                    .map_err(|_| PersistError::Corrupt("truncated bytes value"))?;
+                store
+                    .set(&key, Bytes::from(buf))
+                    .expect("fresh store cannot WRONGTYPE");
+            }
+            1 => {
+                let items = read_u32(&mut cur)? as usize;
+                for _ in 0..items {
+                    let len = read_u32(&mut cur)? as usize;
+                    let mut buf = vec![0u8; len];
+                    cur.read_exact(&mut buf)
+                        .map_err(|_| PersistError::Corrupt("truncated list item"))?;
+                    store
+                        .rpush(&key, Bytes::from(buf))
+                        .expect("fresh store cannot WRONGTYPE");
+                }
+            }
+            2 => {
+                let mut buf = [0u8; 8];
+                cur.read_exact(&mut buf)
+                    .map_err(|_| PersistError::Corrupt("truncated counter"))?;
+                let n = i64::from_le_bytes(buf);
+                store
+                    .set_counter(&key, n)
+                    .expect("fresh store cannot WRONGTYPE");
+            }
+            _ => return Err(PersistError::Corrupt("unknown value tag")),
+        }
+    }
+    Ok(store)
+}
+
+/// Dump a store snapshot to `path`.
+pub fn dump_to_file(store: &KvStore, path: &Path) -> Result<(), PersistError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&snapshot_to_bytes(store))?;
+    Ok(())
+}
+
+/// Load a store snapshot from `path`.
+pub fn load_from_file(path: &Path) -> Result<KvStore, PersistError> {
+    let data = std::fs::read(path)?;
+    snapshot_from_bytes(&data)
+}
+
+fn read_u32(cur: &mut io::Cursor<&[u8]>) -> Result<u32, PersistError> {
+    let mut buf = [0u8; 4];
+    cur.read_exact(&mut buf)
+        .map_err(|_| PersistError::Corrupt("truncated length"))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> KvStore {
+        let kv = KvStore::new();
+        kv.set("partition:data", &b"blobblob"[..]).unwrap();
+        kv.rpush("records", &b"alpha"[..]).unwrap();
+        kv.rpush("records", &b""[..]).unwrap();
+        kv.rpush("records", &b"gamma"[..]).unwrap();
+        kv.incr("barrier").unwrap();
+        kv.incr("barrier").unwrap();
+        kv
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_value_kinds() {
+        let kv = populated();
+        let bytes = snapshot_to_bytes(&kv);
+        let restored = snapshot_from_bytes(&bytes).unwrap();
+        match restored.get("partition:data").unwrap().0 {
+            Reply::Bytes(b) => assert_eq!(&b[..], b"blobblob"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let (items, _) = restored.lrange_all("records").unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(&items[2][..], b"gamma");
+        assert_eq!(restored.counter_value("barrier").unwrap().0, 2);
+    }
+
+    #[test]
+    fn snapshots_are_deterministic() {
+        let a = snapshot_to_bytes(&populated());
+        let b = snapshot_to_bytes(&populated());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let kv = populated();
+        let dir = std::env::temp_dir().join("pareto-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node0.pkv");
+        dump_to_file(&kv, &path).unwrap();
+        let restored = load_from_file(&path).unwrap();
+        assert_eq!(snapshot_to_bytes(&kv), snapshot_to_bytes(&restored));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let bytes = snapshot_to_bytes(&populated());
+        assert!(matches!(
+            snapshot_from_bytes(&bytes[..bytes.len() - 3]),
+            Err(PersistError::Corrupt(_))
+        ));
+        assert!(matches!(
+            snapshot_from_bytes(b"NOPE"),
+            Err(PersistError::Corrupt("bad magic"))
+        ));
+        assert!(matches!(
+            snapshot_from_bytes(b""),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let kv = KvStore::new();
+        let restored = snapshot_from_bytes(&snapshot_to_bytes(&kv)).unwrap();
+        assert_eq!(restored.get("anything").unwrap().0, Reply::Nil);
+    }
+}

@@ -1,0 +1,600 @@
+//! Components I & II: the task-specific heterogeneity estimator and the
+//! green-energy estimator (paper §III-A, §III-B).
+//!
+//! The heterogeneity estimator learns one execution-time utility function
+//! `f_i(x) = m_i·x + c_i` per node by **progressive sampling**: it draws
+//! *stratified* samples of 0.05%–2% of the data (representative of the
+//! final partitions, which is what makes the model payload-aware), runs the
+//! **actual algorithm** on each sample, observes per-node execution time,
+//! and fits a linear regression. Higher-degree fits are available for the
+//! §III-D ablation.
+//!
+//! The energy estimator reduces each node's green trace to the mean-rate
+//! profile `k_i = E_i − ḠE_i` used by the LP (§III-D).
+
+use pareto_cluster::{Cost, SimCluster};
+use pareto_datagen::{DataItem, Dataset};
+use pareto_energy::NodeEnergyProfile;
+use pareto_stats::{progressive_schedule, stratified_sample, LinearFit, PolyFit};
+use pareto_stratify::Stratification;
+use pareto_workloads::{run_workload, WorkloadKind};
+
+/// Progressive-sampling schedule parameters (§III-A: 0.05% → 2%).
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingPlan {
+    /// Smallest sample, as a fraction of the dataset.
+    pub lo_frac: f64,
+    /// Largest sample, as a fraction of the dataset.
+    pub hi_frac: f64,
+    /// Number of samples (fit points).
+    pub steps: usize,
+    /// Floor on the smallest sample, in records. The paper's fractions
+    /// assume corpora of 10⁵–10⁷ records; on small datasets a 0.05%
+    /// sample is a handful of records, where support-threshold workloads
+    /// degenerate (every subset is "frequent") and the fitted slope is
+    /// garbage. The floor keeps every sample in the workload's sane
+    /// operating regime.
+    pub min_records: usize,
+}
+
+impl Default for SamplingPlan {
+    fn default() -> Self {
+        SamplingPlan {
+            lo_frac: 0.0005,
+            hi_frac: 0.02,
+            steps: 6,
+            min_records: 32,
+        }
+    }
+}
+
+impl SamplingPlan {
+    /// Concrete sample sizes for a dataset of `n` records: geometric steps
+    /// from `max(lo_frac·n, min_records)` to `max(hi_frac·n,
+    /// 4·min_records)`, clamped to `n` and deduplicated.
+    pub fn sizes(&self, n: usize) -> Vec<usize> {
+        assert!(n > 0, "empty population");
+        let lo = ((self.lo_frac * n as f64).round() as usize)
+            .max(self.min_records)
+            .min(n);
+        let hi = ((self.hi_frac * n as f64).round() as usize)
+            .max(self.min_records.saturating_mul(4))
+            .clamp(lo, n);
+        if lo >= hi {
+            return vec![lo];
+        }
+        // Reuse the geometric scheduler over the [lo, hi] size range.
+        progressive_schedule(hi, lo as f64 / hi as f64, 1.0, self.steps)
+    }
+}
+
+/// A fitted per-node execution-time model.
+#[derive(Debug, Clone)]
+pub struct NodeTimeModel {
+    /// Node index in the cluster.
+    pub node_id: usize,
+    /// The linear utility function `f_i` (seconds vs. record count).
+    pub fit: LinearFit,
+    /// The raw `(sample size, seconds)` observations behind the fit.
+    pub observations: Vec<(f64, f64)>,
+}
+
+impl NodeTimeModel {
+    /// Predicted seconds for a partition of `x` records, floored at 0.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.fit.predict(x).max(0.0)
+    }
+}
+
+/// Component I: learns `f_i` for every node by progressive sampling.
+pub struct HeterogeneityEstimator<'a> {
+    cluster: &'a SimCluster,
+    plan: SamplingPlan,
+    seed: u64,
+}
+
+impl<'a> HeterogeneityEstimator<'a> {
+    /// Create an estimator over `cluster`.
+    pub fn new(cluster: &'a SimCluster, plan: SamplingPlan, seed: u64) -> Self {
+        HeterogeneityEstimator {
+            cluster,
+            plan,
+            seed,
+        }
+    }
+
+    /// Run progressive sampling: the samples are stratified (so they are
+    /// representative of the final partitions — §III-A point 3), the
+    /// actual workload runs on each, and each node's observed times are
+    /// fitted with a linear model.
+    ///
+    /// Returns one model per node plus the total estimation cost charged
+    /// (the "one-time cost (small)… amortized over multiple runs" of
+    /// §III).
+    pub fn estimate(
+        &self,
+        dataset: &Dataset,
+        stratification: &Stratification,
+        workload: WorkloadKind,
+    ) -> (Vec<NodeTimeModel>, Cost) {
+        let n = dataset.len();
+        assert!(n > 0, "cannot estimate on an empty dataset");
+        let sizes = self.plan.sizes(n);
+        let mut rng = pareto_stats::seeded_rng(self.seed);
+        let mut total_cost = Cost::ZERO;
+        // (sample size, ops) per schedule point — the actual algorithm run.
+        let mut measurements: Vec<(usize, u64)> = Vec::with_capacity(sizes.len());
+        for &size in &sizes {
+            let idx = stratified_sample(&stratification.strata, size, &mut rng)
+                .expect("schedule sizes never exceed the population");
+            let records: Vec<&DataItem> = idx.iter().map(|&i| &dataset.items[i]).collect();
+            let (_, ops) = run_workload(workload, &records);
+            total_cost.add(Cost::compute(ops));
+            measurements.push((size, ops));
+        }
+
+        let models = (0..self.cluster.num_nodes())
+            .map(|node_id| {
+                let observations: Vec<(f64, f64)> = measurements
+                    .iter()
+                    .map(|&(size, ops)| {
+                        let secs =
+                            self.cluster.cost_to_seconds(node_id, &Cost::compute(ops));
+                        (size as f64, secs)
+                    })
+                    .collect();
+                let fit = fit_with_fallback(&observations);
+                NodeTimeModel {
+                    node_id,
+                    fit,
+                    observations,
+                }
+            })
+            .collect();
+        (models, total_cost)
+    }
+
+    /// §III-D ablation: fit a polynomial of the given degree to one node's
+    /// observations instead of a line.
+    pub fn fit_polynomial(
+        model: &NodeTimeModel,
+        degree: usize,
+    ) -> Result<PolyFit, pareto_stats::RegressionError> {
+        PolyFit::fit(&model.observations, degree)
+    }
+
+    /// Adaptive progressive sampling (Parthasarathy, ICDM 2002 — the
+    /// paper's reference [11]): instead of a fixed schedule, grow the
+    /// sample geometrically and **stop as soon as the fitted slope
+    /// stabilizes**, saving estimation cost when the workload's cost curve
+    /// is tame and spending more when it is not.
+    ///
+    /// Stops after `cfg.stable_rounds` consecutive fits whose slope moved
+    /// less than `cfg.stability_tol` relatively, or at `cfg.max_frac`.
+    pub fn estimate_adaptive(
+        &self,
+        dataset: &Dataset,
+        stratification: &Stratification,
+        workload: WorkloadKind,
+        cfg: &AdaptiveSamplingConfig,
+    ) -> (Vec<NodeTimeModel>, Cost, AdaptiveReport) {
+        let n = dataset.len();
+        assert!(n > 0, "cannot estimate on an empty dataset");
+        let mut rng = pareto_stats::seeded_rng(self.seed);
+        let mut total_cost = Cost::ZERO;
+        let mut measurements: Vec<(usize, u64)> = Vec::new();
+        let mut size = ((cfg.start_frac * n as f64) as usize)
+            .max(cfg.min_records)
+            .min(n);
+        // The ceiling honors the same small-dataset floor as the start, so
+        // tiny datasets still get a multi-point schedule.
+        let max_size = ((cfg.max_frac * n as f64) as usize)
+            .max(cfg.min_records.saturating_mul(4))
+            .clamp(size, n);
+        let mut prev_slope: Option<f64> = None;
+        let mut stable = 0usize;
+        let mut converged = false;
+        loop {
+            let idx = stratified_sample(&stratification.strata, size, &mut rng)
+                .expect("size clamped to population");
+            let records: Vec<&DataItem> = idx.iter().map(|&i| &dataset.items[i]).collect();
+            let (_, ops) = run_workload(workload, &records);
+            total_cost.add(Cost::compute(ops));
+            measurements.push((size, ops));
+            // Check slope stability on the base (size, ops) curve.
+            if measurements.len() >= 2 {
+                let pts: Vec<(f64, f64)> = measurements
+                    .iter()
+                    .map(|&(s, o)| (s as f64, o as f64))
+                    .collect();
+                if let Ok(fit) = LinearFit::fit(&pts) {
+                    if let Some(prev) = prev_slope {
+                        let denom = prev.abs().max(f64::MIN_POSITIVE);
+                        if ((fit.slope - prev) / denom).abs() < cfg.stability_tol {
+                            stable += 1;
+                        } else {
+                            stable = 0;
+                        }
+                    }
+                    prev_slope = Some(fit.slope);
+                }
+            }
+            if stable >= cfg.stable_rounds {
+                converged = true;
+                break;
+            }
+            if size >= max_size {
+                break;
+            }
+            size = ((size as f64 * cfg.growth) as usize).clamp(size + 1, max_size);
+        }
+        let models = (0..self.cluster.num_nodes())
+            .map(|node_id| {
+                let observations: Vec<(f64, f64)> = measurements
+                    .iter()
+                    .map(|&(s, ops)| {
+                        (
+                            s as f64,
+                            self.cluster.cost_to_seconds(node_id, &Cost::compute(ops)),
+                        )
+                    })
+                    .collect();
+                let fit = fit_with_fallback(&observations);
+                NodeTimeModel {
+                    node_id,
+                    fit,
+                    observations,
+                }
+            })
+            .collect();
+        let report = AdaptiveReport {
+            samples_used: measurements.len(),
+            largest_sample: measurements.last().map(|m| m.0).unwrap_or(0),
+            converged,
+        };
+        (models, total_cost, report)
+    }
+}
+
+/// Configuration for [`HeterogeneityEstimator::estimate_adaptive`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSamplingConfig {
+    /// First sample as a fraction of the dataset.
+    pub start_frac: f64,
+    /// Geometric growth factor between samples (> 1).
+    pub growth: f64,
+    /// Sampling budget ceiling, as a fraction of the dataset.
+    pub max_frac: f64,
+    /// Floor on sample size in records (same rationale as
+    /// [`SamplingPlan::min_records`]).
+    pub min_records: usize,
+    /// Relative slope-change threshold counting as "stable".
+    pub stability_tol: f64,
+    /// Consecutive stable fits required to stop early.
+    pub stable_rounds: usize,
+}
+
+impl Default for AdaptiveSamplingConfig {
+    fn default() -> Self {
+        AdaptiveSamplingConfig {
+            start_frac: 0.0005,
+            growth: 1.7,
+            max_frac: 0.1,
+            min_records: 32,
+            stability_tol: 0.08,
+            stable_rounds: 2,
+        }
+    }
+}
+
+/// What adaptive sampling actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveReport {
+    /// Number of progressive samples taken.
+    pub samples_used: usize,
+    /// Largest sample size reached.
+    pub largest_sample: usize,
+    /// Whether the stop was triggered by slope stability (vs the budget).
+    pub converged: bool,
+}
+
+/// Fit a line; if the observations are degenerate (a single distinct
+/// sample size survived deduplication on a tiny dataset), fall back to a
+/// through-origin proportional model.
+fn fit_with_fallback(observations: &[(f64, f64)]) -> LinearFit {
+    match LinearFit::fit(observations) {
+        Ok(fit) if fit.slope >= 0.0 => fit,
+        _ => {
+            // Proportional fallback: slope = mean(y/x), intercept 0.
+            let slope = observations
+                .iter()
+                .filter(|(x, _)| *x > 0.0)
+                .map(|(x, y)| y / x)
+                .sum::<f64>()
+                / observations.len().max(1) as f64;
+            LinearFit {
+                slope: slope.max(f64::MIN_POSITIVE),
+                intercept: 0.0,
+                r_squared: 0.0,
+                n: observations.len(),
+            }
+        }
+    }
+}
+
+/// How far a finished job strayed from its plan's time models — the
+/// trigger for re-profiling (§III-A: "the utility function f cannot be
+/// static, and it has to be learned dynamically", e.g. when a co-located
+/// tenant changes a VM's effective speed).
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Per-node relative error `|measured − predicted| / predicted` (nodes
+    /// with no work predicted and none measured report 0).
+    pub relative_errors: Vec<f64>,
+    /// The largest per-node relative error.
+    pub max_relative_error: f64,
+}
+
+impl DriftReport {
+    /// Compare a plan's predictions against a measured run.
+    ///
+    /// `models` are the fitted `f_i`, `sizes` the partition sizes actually
+    /// executed, and `measured_seconds` the per-node times from the job
+    /// report.
+    pub fn compare(
+        models: &[NodeTimeModel],
+        sizes: &[usize],
+        measured_seconds: &[f64],
+    ) -> DriftReport {
+        assert_eq!(models.len(), sizes.len(), "node-aligned inputs required");
+        assert_eq!(models.len(), measured_seconds.len(), "node-aligned inputs required");
+        let relative_errors: Vec<f64> = models
+            .iter()
+            .zip(sizes)
+            .zip(measured_seconds)
+            .map(|((m, &x), &t)| {
+                let predicted = m.predict(x as f64);
+                if predicted <= f64::EPSILON {
+                    if t <= f64::EPSILON {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (t - predicted).abs() / predicted
+                }
+            })
+            .collect();
+        let max_relative_error = relative_errors.iter().copied().fold(0.0, f64::max);
+        DriftReport {
+            relative_errors,
+            max_relative_error,
+        }
+    }
+
+    /// Whether the models should be re-learned before the next job.
+    pub fn needs_reprofiling(&self, tolerance: f64) -> bool {
+        self.max_relative_error > tolerance
+    }
+}
+
+/// Component II: reduce every node's trace to its `k_i` profile over the
+/// planning window (§III-D's mean-rate approximation).
+pub struct EnergyEstimator;
+
+impl EnergyEstimator {
+    /// Profiles for all nodes over `[t0, t0 + horizon]` seconds.
+    pub fn profiles(cluster: &SimCluster, t0: f64, horizon: f64) -> Vec<NodeEnergyProfile> {
+        cluster
+            .nodes()
+            .iter()
+            .map(|n| NodeEnergyProfile::from_trace(&n.power(), &n.trace, t0, horizon))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pareto_cluster::NodeSpec;
+    use pareto_stratify::{Stratifier, StratifierConfig};
+
+    fn setup() -> (Dataset, SimCluster, Stratification) {
+        let ds = pareto_datagen::rcv1_syn(3, 0.05); // 250 docs
+        let cluster = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, 3));
+        let strat = Stratifier::new(StratifierConfig {
+            num_strata: 8,
+            ..StratifierConfig::default()
+        })
+        .stratify(&ds);
+        (ds, cluster, strat)
+    }
+
+    #[test]
+    fn estimates_one_model_per_node() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 11);
+        let (models, cost) = est.estimate(
+            &ds,
+            &strat,
+            WorkloadKind::FrequentPatterns { support: 0.1 },
+        );
+        assert_eq!(models.len(), 4);
+        assert!(cost.compute_ops > 0);
+        for m in &models {
+            assert!(m.fit.slope >= 0.0, "time must not decrease with size");
+            assert!(!m.observations.is_empty());
+        }
+    }
+
+    #[test]
+    fn slower_nodes_get_steeper_models() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 11);
+        let (models, _) = est.estimate(&ds, &strat, WorkloadKind::Lz77);
+        // Node 3 is type 4 (speed 1/4): its slope must be ~4x node 0's.
+        let ratio = models[3].fit.slope / models[0].fit.slope;
+        assert!(
+            (ratio - 4.0).abs() < 0.2,
+            "slope ratio should reflect speed ratio, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn prediction_extrapolates_sensibly() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 5);
+        let (models, _) = est.estimate(&ds, &strat, WorkloadKind::Lz77);
+        let m = &models[0];
+        let at_full = m.predict(ds.len() as f64);
+        let at_half = m.predict(ds.len() as f64 / 2.0);
+        assert!(at_full > at_half && at_half > 0.0);
+    }
+
+    #[test]
+    fn estimation_is_deterministic() {
+        let (ds, cluster, strat) = setup();
+        let plan = SamplingPlan::default();
+        let (m1, c1) = HeterogeneityEstimator::new(&cluster, plan, 9).estimate(
+            &ds,
+            &strat,
+            WorkloadKind::Lz77,
+        );
+        let (m2, c2) = HeterogeneityEstimator::new(&cluster, plan, 9).estimate(
+            &ds,
+            &strat,
+            WorkloadKind::Lz77,
+        );
+        assert_eq!(c1.compute_ops, c2.compute_ops);
+        assert_eq!(m1[2].fit.slope, m2[2].fit.slope);
+    }
+
+    #[test]
+    fn polynomial_ablation_fits() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 5);
+        let (models, _) = est.estimate(&ds, &strat, WorkloadKind::Lz77);
+        let poly = HeterogeneityEstimator::fit_polynomial(&models[0], 2).unwrap();
+        assert_eq!(poly.degree(), 2);
+    }
+
+    #[test]
+    fn adaptive_sampling_converges_and_matches_fixed() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 11);
+        let (fixed, _) = est.estimate(&ds, &strat, WorkloadKind::Lz77);
+        let (adaptive, cost, report) = est.estimate_adaptive(
+            &ds,
+            &strat,
+            WorkloadKind::Lz77,
+            &AdaptiveSamplingConfig::default(),
+        );
+        assert!(report.samples_used >= 2);
+        assert!(cost.compute_ops > 0);
+        assert_eq!(adaptive.len(), 4);
+        // LZ77 cost is near-linear in record count, so the adaptive slope
+        // should land close to the fixed-schedule slope.
+        let rel = (adaptive[0].fit.slope - fixed[0].fit.slope).abs()
+            / fixed[0].fit.slope.max(f64::MIN_POSITIVE);
+        assert!(rel < 0.5, "adaptive slope diverged: rel err {rel}");
+    }
+
+    #[test]
+    fn adaptive_sampling_budget_cap_respected() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 3);
+        let cfg = AdaptiveSamplingConfig {
+            stability_tol: 0.0, // never stable -> must stop at the budget
+            max_frac: 0.3,
+            ..AdaptiveSamplingConfig::default()
+        };
+        let (_, _, report) = est.estimate_adaptive(&ds, &strat, WorkloadKind::Lz77, &cfg);
+        assert!(!report.converged);
+        // The cap is max(frac*n, 4*min_records), clamped to n.
+        let cap = ((ds.len() as f64 * 0.3) as usize).max(4 * 32).min(ds.len());
+        assert!(report.largest_sample <= cap);
+    }
+
+    #[test]
+    fn adaptive_sampling_stops_early_on_stable_workload() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 7);
+        let loose = AdaptiveSamplingConfig {
+            stability_tol: 0.5,
+            ..AdaptiveSamplingConfig::default()
+        };
+        let tight = AdaptiveSamplingConfig {
+            stability_tol: 1e-9,
+            ..AdaptiveSamplingConfig::default()
+        };
+        let (_, cost_loose, rep_loose) =
+            est.estimate_adaptive(&ds, &strat, WorkloadKind::Lz77, &loose);
+        let (_, cost_tight, rep_tight) =
+            est.estimate_adaptive(&ds, &strat, WorkloadKind::Lz77, &tight);
+        assert!(rep_loose.samples_used <= rep_tight.samples_used);
+        assert!(cost_loose.compute_ops <= cost_tight.compute_ops);
+        assert!(rep_loose.converged);
+    }
+
+    #[test]
+    fn drift_detects_slowed_node() {
+        let (ds, cluster, strat) = setup();
+        let est = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 11);
+        let (models, _) = est.estimate(&ds, &strat, WorkloadKind::Lz77);
+        let sizes = vec![100usize, 80, 60, 10];
+        // On-model run: measured == predicted.
+        let on_model: Vec<f64> = models
+            .iter()
+            .zip(&sizes)
+            .map(|(m, &x)| m.predict(x as f64))
+            .collect();
+        let drift = DriftReport::compare(&models, &sizes, &on_model);
+        assert!(drift.max_relative_error < 1e-9);
+        assert!(!drift.needs_reprofiling(0.2));
+        // Node 2 suddenly runs 3x slower (e.g. a noisy co-tenant).
+        let mut degraded = on_model.clone();
+        degraded[2] *= 3.0;
+        let drift = DriftReport::compare(&models, &sizes, &degraded);
+        assert!(drift.needs_reprofiling(0.2));
+        assert!((drift.relative_errors[2] - 2.0).abs() < 1e-9);
+        assert!(drift.relative_errors[0] < 1e-9);
+    }
+
+    #[test]
+    fn drift_handles_zero_predictions() {
+        let models = vec![NodeTimeModel {
+            node_id: 0,
+            fit: pareto_stats::LinearFit {
+                slope: 0.0,
+                intercept: 0.0,
+                r_squared: 0.0,
+                n: 2,
+            },
+            observations: vec![],
+        }];
+        let quiet = DriftReport::compare(&models, &[0], &[0.0]);
+        assert_eq!(quiet.max_relative_error, 0.0);
+        let surprise = DriftReport::compare(&models, &[0], &[5.0]);
+        assert!(surprise.max_relative_error.is_infinite());
+    }
+
+    #[test]
+    fn energy_profiles_cover_all_nodes() {
+        let (_, cluster, _) = setup();
+        let profiles = EnergyEstimator::profiles(&cluster, 0.0, 3600.0);
+        assert_eq!(profiles.len(), 4);
+        // Draws must match the paper's 440/345/250/155 W cycle.
+        assert_eq!(profiles[0].draw_watts, 440.0);
+        assert_eq!(profiles[3].draw_watts, 155.0);
+        // Mean green is bounded by the panel rating.
+        assert!(profiles.iter().all(|p| p.mean_green_watts >= 0.0));
+        assert!(profiles.iter().all(|p| p.mean_green_watts <= 400.0));
+    }
+
+    #[test]
+    fn fallback_fit_on_degenerate_observations() {
+        let fit = super::fit_with_fallback(&[(10.0, 1.0)]);
+        assert!(fit.slope > 0.0);
+        assert_eq!(fit.intercept, 0.0);
+    }
+}

@@ -1,0 +1,702 @@
+//! The end-to-end framework (paper Fig. 1): stratifier → estimators →
+//! Pareto modeler → partitioner → distributed execution on the simulated
+//! cluster.
+//!
+//! [`Framework::plan`] produces a [`Plan`] (strata, per-node time models,
+//! energy profiles, partition sizes and record placement);
+//! [`Framework::run`] additionally places the partitions into the per-node
+//! KV stores and executes the workload — the SON two-phase protocol for
+//! frequent pattern mining (local mine, global barrier, candidate
+//! broadcast, global count, merge) or single-phase distributed compression
+//! — returning measured makespan, dirty energy, and workload quality.
+
+use pareto_cluster::{Cost, JobCtx, JobReport, SimCluster};
+use pareto_datagen::{DataItem, Dataset};
+use pareto_energy::NodeEnergyProfile;
+use pareto_stats::LinearFit;
+use pareto_stratify::{Stratification, Stratifier, StratifierConfig};
+use pareto_workloads::{
+    lz77_compress, son_candidate_union, son_global_count, son_local_mine_with, son_merge,
+    webgraph_compress, AprioriConfig, LocalMiner, Lz77Config, MiningOutput, WebGraphConfig,
+    WorkloadKind,
+};
+
+use crate::estimator::{EnergyEstimator, HeterogeneityEstimator, NodeTimeModel, SamplingPlan};
+use crate::pareto::{ParetoModeler, ParetoPoint};
+use crate::partitioner::{DataPartitioner, PartitionLayout};
+
+/// Partitioning strategy under test (§V-C compares the first three).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// The baseline: stratified partitions of *equal* size
+    /// (heterogeneity-oblivious; Wang et al.'s scheme).
+    Stratified,
+    /// Het-Aware: optimizer with `α = 1.0` (§III-D) — pure makespan.
+    HetAware,
+    /// Het-Energy-Aware: optimizer at the given `α < 1`.
+    HetEnergyAware {
+        /// Scalarization weight (paper uses 0.999 for mining, 0.995 for
+        /// compression).
+        alpha: f64,
+    },
+    /// Het-Energy-Aware with both objectives normalized to `[0, 1]`
+    /// before scalarization (the §III-D future-work fix), so `alpha` is
+    /// scale-free: 0.5 weighs time and dirty energy equally.
+    HetEnergyAwareNormalized {
+        /// Scale-free scalarization weight in `[0, 1]`.
+        alpha: f64,
+    },
+    /// Naive baseline: uniform random placement, equal sizes.
+    Random,
+    /// Naive baseline: round-robin placement.
+    RoundRobin,
+    /// Redis-cluster-mode baseline: CRC16 hash-slot placement (§IV). No
+    /// control over partition sizes *or* contents — the contrast the
+    /// middleware exists to fix.
+    ClusterMode,
+}
+
+impl Strategy {
+    /// Short label used by the experiment harness's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Stratified => "Stratified",
+            Strategy::HetAware => "Het-Aware",
+            Strategy::HetEnergyAware { .. } => "Het-Energy-Aware",
+            Strategy::HetEnergyAwareNormalized { .. } => "Het-Energy-Aware-Norm",
+            Strategy::Random => "Random",
+            Strategy::RoundRobin => "RoundRobin",
+            Strategy::ClusterMode => "ClusterMode",
+        }
+    }
+}
+
+/// Framework configuration.
+#[derive(Debug, Clone)]
+pub struct FrameworkConfig {
+    /// Stratifier settings (sketch size, strata count, `L`, …).
+    pub stratifier: StratifierConfig,
+    /// Progressive-sampling schedule for the heterogeneity estimator.
+    pub sampling: SamplingPlan,
+    /// Partitioning strategy.
+    pub strategy: Strategy,
+    /// Record layout within partitions.
+    pub layout: PartitionLayout,
+    /// Redis-style pipeline width for bulk store traffic (§IV).
+    pub pipeline_width: usize,
+    /// Green-energy planning window (seconds) for the `k_i` profiles.
+    pub planning_horizon_s: f64,
+    /// Master seed for all randomized steps.
+    pub seed: u64,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            stratifier: StratifierConfig::default(),
+            sampling: SamplingPlan::default(),
+            strategy: Strategy::Stratified,
+            layout: PartitionLayout::Representative,
+            pipeline_width: 64,
+            planning_horizon_s: 6.0 * 3600.0,
+            seed: 0x9A9A,
+        }
+    }
+}
+
+/// Everything decided before execution.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The stratification (component III output).
+    pub stratification: Stratification,
+    /// Per-node fitted time models (absent for naive baselines).
+    pub time_models: Option<Vec<NodeTimeModel>>,
+    /// Per-node `k_i` profiles.
+    pub energy_profiles: Vec<NodeEnergyProfile>,
+    /// The optimizer's chosen point (absent for equal-size strategies).
+    pub pareto: Option<ParetoPoint>,
+    /// Final integer partition sizes (always sums to the dataset size).
+    pub sizes: Vec<usize>,
+    /// Record indices per partition.
+    pub partitions: Vec<Vec<usize>>,
+    /// One-time cost of the progressive-sampling estimation (§III: "a
+    /// one-time cost (small)… amortized over multiple runs").
+    pub estimation_cost: Cost,
+}
+
+/// Workload quality measures (paper: compression ratio; pattern counts).
+#[derive(Debug, Clone)]
+pub enum Quality {
+    /// Frequent-pattern mining outcome.
+    Mining {
+        /// Globally frequent itemsets found.
+        global_frequent: usize,
+        /// Phase-2 candidate-set size (the SON search space).
+        candidates: usize,
+        /// Candidates pruned by the global scan.
+        false_positives: usize,
+    },
+    /// Compression outcome.
+    Compression {
+        /// Total uncompressed bytes.
+        input_bytes: u64,
+        /// Total compressed bytes.
+        output_bytes: u64,
+        /// `input/output`.
+        ratio: f64,
+    },
+}
+
+/// A full run: the plan plus measured execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The plan that was executed.
+    pub plan: Plan,
+    /// Simulated execution report (makespan, per-node dirty energy).
+    pub report: JobReport,
+    /// Workload quality.
+    pub quality: Quality,
+}
+
+/// The framework, bound to a cluster.
+pub struct Framework<'a> {
+    cluster: &'a SimCluster,
+    cfg: FrameworkConfig,
+}
+
+impl<'a> Framework<'a> {
+    /// Bind a framework to a simulated cluster.
+    pub fn new(cluster: &'a SimCluster, cfg: FrameworkConfig) -> Self {
+        assert!(cfg.pipeline_width >= 1);
+        Framework { cluster, cfg }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.cfg
+    }
+
+    /// Produce the partitioning plan for `dataset` under `workload`.
+    pub fn plan(&self, dataset: &Dataset, workload: WorkloadKind) -> Plan {
+        assert!(!dataset.is_empty(), "cannot plan an empty dataset");
+        let p = self.cluster.num_nodes();
+        let n = dataset.len();
+        let stratification = Stratifier::new(self.cfg.stratifier.clone()).stratify(dataset);
+        let energy_profiles =
+            EnergyEstimator::profiles(self.cluster, 0.0, self.cfg.planning_horizon_s);
+
+        let (time_models, estimation_cost, pareto) = match self.cfg.strategy {
+            Strategy::Stratified
+            | Strategy::Random
+            | Strategy::RoundRobin
+            | Strategy::ClusterMode => (None, Cost::ZERO, None),
+            Strategy::HetAware
+            | Strategy::HetEnergyAware { .. }
+            | Strategy::HetEnergyAwareNormalized { .. } => {
+                let estimator = HeterogeneityEstimator::new(
+                    self.cluster,
+                    self.cfg.sampling,
+                    self.cfg.seed ^ 0x5A17,
+                );
+                let (models, cost) = estimator.estimate(dataset, &stratification, workload);
+                let fits: Vec<LinearFit> = models.iter().map(|m| m.fit).collect();
+                let modeler = ParetoModeler::new(fits, energy_profiles.clone())
+                    .expect("aligned models and profiles");
+                let point = match self.cfg.strategy {
+                    Strategy::HetAware => modeler.solve_het_aware(n),
+                    Strategy::HetEnergyAware { alpha } => modeler
+                        .solve(n, alpha)
+                        .expect("partitioning LP is always feasible"),
+                    Strategy::HetEnergyAwareNormalized { alpha } => modeler
+                        .solve_normalized(n, alpha)
+                        .expect("partitioning LP is always feasible"),
+                    _ => unreachable!(),
+                };
+                (Some(models), cost, Some(point))
+            }
+        };
+
+        let sizes = match &pareto {
+            Some(point) => point.sizes.clone(),
+            None => DataPartitioner::equal_sizes(n, p),
+        };
+        let partitioner = DataPartitioner::new(self.cfg.seed ^ 0x9A27);
+        let partitions = match self.cfg.strategy {
+            Strategy::Random => partitioner.random(n, &sizes),
+            Strategy::RoundRobin => DataPartitioner::round_robin(n, p),
+            Strategy::ClusterMode => {
+                let ids: Vec<u64> = dataset.items.iter().map(|i| i.id).collect();
+                DataPartitioner::hash_slots(&ids, p)
+            }
+            _ => partitioner.partition(&stratification, &sizes, self.cfg.layout),
+        };
+        // Hash placement dictates its own sizes; report what it produced.
+        let sizes = if matches!(self.cfg.strategy, Strategy::ClusterMode) {
+            partitions.iter().map(Vec::len).collect()
+        } else {
+            sizes
+        };
+        Plan {
+            stratification,
+            time_models,
+            energy_profiles,
+            pareto,
+            sizes,
+            partitions,
+            estimation_cost,
+        }
+    }
+
+    /// Plan, place, and execute the workload; returns the measured run.
+    pub fn run(&self, dataset: &Dataset, workload: WorkloadKind) -> RunOutcome {
+        let plan = self.plan(dataset, workload);
+        self.run_with_plan(dataset, workload, plan)
+    }
+
+    /// Execute a workload under an existing plan (lets experiments reuse
+    /// one plan across support thresholds etc.).
+    pub fn run_with_plan(
+        &self,
+        dataset: &Dataset,
+        workload: WorkloadKind,
+        plan: Plan,
+    ) -> RunOutcome {
+        self.place_partitions(dataset, &plan.partitions);
+        let (report, quality) = match workload {
+            WorkloadKind::FrequentPatterns { support } => {
+                self.run_mining(dataset, &plan.partitions, support, LocalMiner::Apriori)
+            }
+            WorkloadKind::FrequentPatternsEclat { support } => {
+                self.run_mining(dataset, &plan.partitions, support, LocalMiner::Eclat)
+            }
+            WorkloadKind::Lz77 | WorkloadKind::WebGraph => {
+                self.run_compression(dataset, &plan.partitions, workload)
+            }
+        };
+        RunOutcome {
+            plan,
+            report,
+            quality,
+        }
+    }
+
+    /// Write every partition into its node's store as a §IV blob (one
+    /// length-prefixed byte sequence per record, whole partition under one
+    /// key). This is the one-time placement; its cost is not part of the
+    /// measured job, matching the paper's evaluation.
+    fn place_partitions(&self, dataset: &Dataset, partitions: &[Vec<usize>]) {
+        for (node_id, part) in partitions.iter().enumerate() {
+            let records: Vec<Vec<u8>> = part
+                .iter()
+                .map(|&i| dataset.items[i].payload.to_bytes())
+                .collect();
+            let blob = pareto_cluster::kvstore::encode_records(&records);
+            self.cluster
+                .store(node_id)
+                .set("partition:data", blob)
+                .expect("fresh key cannot be WRONGTYPE");
+        }
+    }
+
+    /// Fetch a partition blob from the node's own store, charging the GET.
+    fn fetch_partition_cost(ctx: &JobCtx<'_>) -> Cost {
+        let (_, cost) = ctx
+            .store
+            .get("partition:data")
+            .expect("partition was placed before execution");
+        cost
+    }
+
+    /// SON distributed frequent-pattern mining (§V-C1): local mine →
+    /// barrier → candidate union and broadcast → global count → merge.
+    fn run_mining(
+        &self,
+        dataset: &Dataset,
+        partitions: &[Vec<usize>],
+        support: f64,
+        miner: LocalMiner,
+    ) -> (JobReport, Quality) {
+        let apriori_cfg = AprioriConfig {
+            min_support: support,
+            ..AprioriConfig::default()
+        };
+        // --- Phase 1: local mining on every node ---
+        let phase1_tasks: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                let cfg = apriori_cfg;
+                move |ctx: JobCtx<'_>| {
+                    let mut cost = Self::fetch_partition_cost(&ctx);
+                    let sets: Vec<&pareto_datagen::ItemSet> =
+                        part.iter().map(|&i| &dataset.items[i].items).collect();
+                    let local = son_local_mine_with(miner, &sets, &cfg);
+                    cost.add(Cost::compute(local.ops));
+                    // Barrier before the union step (§IV).
+                    cost.add(Cost::request(8).plus(Cost::request(8)));
+                    (local.local, cost)
+                }
+            })
+            .collect();
+        let (locals, report1): (Vec<MiningOutput>, JobReport) =
+            self.cluster.execute_job(phase1_tasks);
+
+        // --- Master: union candidates (runs on node 0, a type-1 node —
+        // the §IV master-selection priority) ---
+        let local_refs: Vec<&MiningOutput> = locals.iter().collect();
+        let candidates = son_candidate_union(&local_refs);
+        let candidate_bytes: u64 = candidates
+            .iter()
+            .map(|c| 8 * c.len() as u64 + 4)
+            .sum();
+
+        // --- Phase 2: every node counts the global candidates ---
+        let phase2_tasks: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                let candidates = &candidates;
+                move |ctx: JobCtx<'_>| {
+                    // Fetch the broadcast candidate set from the master.
+                    let mut cost = Cost::request(candidate_bytes);
+                    let sets: Vec<&pareto_datagen::ItemSet> =
+                        part.iter().map(|&i| &dataset.items[i].items).collect();
+                    let (counts, ops) = son_global_count(candidates, &sets);
+                    cost.add(Cost::compute(ops));
+                    cost.add(Cost::request(4 * counts.len() as u64)); // ship counts
+                    let _ = ctx;
+                    (counts, cost)
+                }
+            })
+            .collect();
+        let (all_counts, report2): (Vec<Vec<u32>>, JobReport) =
+            self.cluster.execute_job(phase2_tasks);
+
+        let (global, false_positives) =
+            son_merge(candidates.clone(), &all_counts, dataset.len(), support);
+        let report = sequential_report(&report1, &report2);
+        (
+            report,
+            Quality::Mining {
+                global_frequent: global.len(),
+                candidates: candidates.len(),
+                false_positives,
+            },
+        )
+    }
+
+    /// Distributed compression (§V-C2): each node compresses its own
+    /// partition independently; quality is the aggregate ratio.
+    fn run_compression(
+        &self,
+        dataset: &Dataset,
+        partitions: &[Vec<usize>],
+        workload: WorkloadKind,
+    ) -> (JobReport, Quality) {
+        let tasks: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                move |ctx: JobCtx<'_>| {
+                    let mut cost = Self::fetch_partition_cost(&ctx);
+                    let records: Vec<&DataItem> =
+                        part.iter().map(|&i| &dataset.items[i]).collect();
+                    let (input_bytes, output_bytes, ops, blob) = match workload {
+                        WorkloadKind::Lz77 => {
+                            let mut input = Vec::new();
+                            for r in &records {
+                                input.extend_from_slice(&r.payload.to_bytes());
+                            }
+                            let (out, ops) = lz77_compress(&input, &Lz77Config::default());
+                            (input.len() as u64, out.len() as u64, ops, out)
+                        }
+                        WorkloadKind::WebGraph => {
+                            let lists: Vec<&[u32]> = records
+                                .iter()
+                                .map(|r| match &r.payload {
+                                    pareto_datagen::Payload::Adjacency(ns) => ns.as_slice(),
+                                    _ => &[][..],
+                                })
+                                .collect();
+                            let (out, ops) =
+                                webgraph_compress(&lists, &WebGraphConfig::default());
+                            let in_bytes =
+                                lists.iter().map(|l| 4 + 4 * l.len() as u64).sum();
+                            (in_bytes, out.len() as u64, ops, out)
+                        }
+                        WorkloadKind::FrequentPatterns { .. }
+                        | WorkloadKind::FrequentPatternsEclat { .. } => {
+                            unreachable!("mining dispatched separately")
+                        }
+                    };
+                    cost.add(Cost::compute(ops));
+                    // Write the compressed blob back (one pipelined PUT).
+                    let (_, put_cost) = ctx
+                        .store
+                        .set("partition:compressed", blob)
+                        .expect("fresh key cannot be WRONGTYPE");
+                    cost.add(put_cost);
+                    ((input_bytes, output_bytes), cost)
+                }
+            })
+            .collect();
+        let (sizes, report): (Vec<(u64, u64)>, JobReport) = self.cluster.execute_job(tasks);
+        let input_bytes: u64 = sizes.iter().map(|s| s.0).sum();
+        let output_bytes: u64 = sizes.iter().map(|s| s.1).sum();
+        let ratio = if output_bytes == 0 {
+            0.0
+        } else {
+            input_bytes as f64 / output_bytes as f64
+        };
+        (
+            report,
+            Quality::Compression {
+                input_bytes,
+                output_bytes,
+                ratio,
+            },
+        )
+    }
+}
+
+/// Combine two barrier-separated phases into one report: per-node busy
+/// times and energies add; the makespan is the sum of per-phase makespans
+/// (every node waits at the barrier for the slowest).
+pub fn sequential_report(r1: &JobReport, r2: &JobReport) -> JobReport {
+    assert_eq!(r1.runs.len(), r2.runs.len());
+    let runs: Vec<pareto_cluster::NodeRun> = r1
+        .runs
+        .iter()
+        .zip(&r2.runs)
+        .map(|(a, b)| pareto_cluster::NodeRun {
+            node_id: a.node_id,
+            seconds: a.seconds + b.seconds,
+            energy_joules: a.energy_joules + b.energy_joules,
+            dirty_joules_linear: a.dirty_joules_linear + b.dirty_joules_linear,
+            dirty_joules_clamped: a.dirty_joules_clamped + b.dirty_joules_clamped,
+            cost: a.cost.plus(b.cost),
+        })
+        .collect();
+    JobReport {
+        makespan_seconds: r1.makespan_seconds + r2.makespan_seconds,
+        total_dirty_linear: runs.iter().map(|r| r.dirty_joules_linear).sum(),
+        total_dirty_clamped: runs.iter().map(|r| r.dirty_joules_clamped).sum(),
+        total_energy_joules: runs.iter().map(|r| r.energy_joules).sum(),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pareto_cluster::NodeSpec;
+
+    fn cluster(p: usize) -> SimCluster {
+        SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, 21))
+    }
+
+    fn text_ds() -> Dataset {
+        pareto_datagen::rcv1_syn(5, 0.04) // 200 docs
+    }
+
+    fn graph_ds() -> Dataset {
+        pareto_datagen::uk_syn(5, 0.05) // 450 vertices
+    }
+
+    fn cfg(strategy: Strategy, layout: PartitionLayout) -> FrameworkConfig {
+        FrameworkConfig {
+            strategy,
+            layout,
+            stratifier: StratifierConfig {
+                num_strata: 8,
+                ..StratifierConfig::default()
+            },
+            ..FrameworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn plan_covers_dataset_for_all_strategies() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        for strategy in [
+            Strategy::Stratified,
+            Strategy::HetAware,
+            Strategy::HetEnergyAware { alpha: 0.999 },
+            Strategy::Random,
+            Strategy::RoundRobin,
+        ] {
+            let plan = Framework::new(&cl, cfg(strategy, PartitionLayout::Representative))
+                .plan(&ds, WorkloadKind::FrequentPatterns { support: 0.1 });
+            let mut all: Vec<usize> = plan.partitions.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..ds.len()).collect::<Vec<_>>(),
+                "strategy {strategy:?} lost records"
+            );
+        }
+    }
+
+    #[test]
+    fn het_aware_gives_slow_nodes_less_data() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let plan = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+            .plan(&ds, WorkloadKind::Lz77);
+        // Node 0 is 4x faster than node 3.
+        assert!(
+            plan.sizes[0] > 2 * plan.sizes[3],
+            "sizes {:?} should favor fast nodes",
+            plan.sizes
+        );
+        assert!(plan.time_models.is_some());
+        assert!(plan.estimation_cost.compute_ops > 0);
+    }
+
+    #[test]
+    fn het_aware_beats_stratified_on_makespan() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let base = Framework::new(&cl, cfg(Strategy::Stratified, PartitionLayout::Representative))
+            .run(&ds, WorkloadKind::Lz77);
+        let het = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+            .run(&ds, WorkloadKind::Lz77);
+        assert!(
+            het.report.makespan_seconds < base.report.makespan_seconds * 0.75,
+            "het {} vs stratified {}",
+            het.report.makespan_seconds,
+            base.report.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn energy_aware_cuts_dirty_energy() {
+        let ds = graph_ds();
+        let cl = cluster(4);
+        let het = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::SimilarTogether))
+            .run(&ds, WorkloadKind::WebGraph);
+        let green = Framework::new(
+            &cl,
+            cfg(
+                Strategy::HetEnergyAware { alpha: 0.9 },
+                PartitionLayout::SimilarTogether,
+            ),
+        )
+        .run(&ds, WorkloadKind::WebGraph);
+        assert!(
+            green.report.total_dirty_linear < het.report.total_dirty_linear,
+            "green {} vs het {}",
+            green.report.total_dirty_linear,
+            het.report.total_dirty_linear
+        );
+        assert!(green.report.makespan_seconds >= het.report.makespan_seconds * 0.99);
+    }
+
+    #[test]
+    fn mining_quality_reported_and_exact() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let support = 0.2;
+        let outcome = Framework::new(
+            &cl,
+            cfg(Strategy::Stratified, PartitionLayout::Representative),
+        )
+        .run(&ds, WorkloadKind::FrequentPatterns { support });
+        let Quality::Mining {
+            global_frequent,
+            candidates,
+            false_positives,
+        } = outcome.quality
+        else {
+            panic!("expected mining quality");
+        };
+        assert!(candidates >= global_frequent);
+        assert_eq!(false_positives, candidates - global_frequent);
+        // SON is exact: compare against direct Apriori.
+        let sets: Vec<&pareto_datagen::ItemSet> = ds.items.iter().map(|i| &i.items).collect();
+        let (direct, _) = pareto_workloads::Apriori::new(AprioriConfig {
+            min_support: support,
+            ..AprioriConfig::default()
+        })
+        .mine(&sets);
+        assert_eq!(global_frequent, direct.itemsets.len());
+    }
+
+    #[test]
+    fn similar_together_improves_compression_ratio() {
+        let ds = graph_ds();
+        let cl = cluster(4);
+        let grouped = Framework::new(
+            &cl,
+            cfg(Strategy::Stratified, PartitionLayout::SimilarTogether),
+        )
+        .run(&ds, WorkloadKind::WebGraph);
+        let random = Framework::new(&cl, cfg(Strategy::Random, PartitionLayout::Representative))
+            .run(&ds, WorkloadKind::WebGraph);
+        let ratio = |q: &Quality| match q {
+            Quality::Compression { ratio, .. } => *ratio,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(
+            ratio(&grouped.quality) > ratio(&random.quality),
+            "grouped {} vs random {}",
+            ratio(&grouped.quality),
+            ratio(&random.quality)
+        );
+    }
+
+    #[test]
+    fn eclat_workload_finds_same_patterns_as_apriori() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let config = cfg(Strategy::Stratified, PartitionLayout::Representative);
+        let apriori = Framework::new(&cl, config.clone())
+            .run(&ds, WorkloadKind::FrequentPatterns { support: 0.2 });
+        let eclat = Framework::new(&cl, config)
+            .run(&ds, WorkloadKind::FrequentPatternsEclat { support: 0.2 });
+        let freq = |q: &Quality| match q {
+            Quality::Mining { global_frequent, .. } => *global_frequent,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(freq(&apriori.quality), freq(&eclat.quality));
+        // Different algorithms, different cost profiles.
+        assert_ne!(
+            apriori.report.makespan_seconds,
+            eclat.report.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let run = || {
+            Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+                .run(&ds, WorkloadKind::FrequentPatterns { support: 0.15 })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report.makespan_seconds, b.report.makespan_seconds);
+        assert_eq!(a.report.total_dirty_linear, b.report.total_dirty_linear);
+        assert_eq!(a.plan.sizes, b.plan.sizes);
+    }
+
+    #[test]
+    fn sequential_report_adds() {
+        let cl = cluster(2);
+        let r1 = cl.account_costs(&[Cost::compute(1_000_000), Cost::compute(2_000_000)]);
+        let r2 = cl.account_costs(&[Cost::compute(3_000_000), Cost::compute(1_000_000)]);
+        let combined = sequential_report(&r1, &r2);
+        assert!(
+            (combined.makespan_seconds - (r1.makespan_seconds + r2.makespan_seconds)).abs()
+                < 1e-12
+        );
+        assert!(
+            (combined.runs[0].seconds - (r1.runs[0].seconds + r2.runs[0].seconds)).abs() < 1e-12
+        );
+        assert!(
+            (combined.total_energy_joules
+                - (r1.total_energy_joules + r2.total_energy_joules))
+                .abs()
+                < 1e-9
+        );
+    }
+}

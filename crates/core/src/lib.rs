@@ -1,0 +1,63 @@
+//! # pareto-core — the Pareto partitioning framework
+//!
+//! This crate is the primary contribution of Chakrabarti, Parthasarathy &
+//! Stewart, *"A Pareto Framework for Data Analytics on Heterogeneous
+//! Systems"* (ICPP 2017): a middleware that decides **how much data to put
+//! on each node of a heterogeneous cluster, and which data**, before a
+//! distributed analytics job runs.
+//!
+//! The five components of the paper's Figure 1 map to modules here:
+//!
+//! | Paper component (Fig. 1) | Module |
+//! |---|---|
+//! | I. Task-specific heterogeneity estimator | [`estimator`] |
+//! | II. Available green-energy estimator | [`estimator`] (energy profiles) |
+//! | III. Data stratifier | re-exported from `pareto-stratify` |
+//! | IV. Pareto-optimal modeler | [`pareto`] |
+//! | V. Data partitioner | [`partitioner`] |
+//!
+//! [`framework`] wires them together into the end-to-end pipeline: stratify
+//! → progressively sample and fit per-node time models `f_i(x) = m_i x +
+//! c_i` → profile green energy into `k_i = E_i − ḠE_i` → solve the
+//! scalarized LP `min α·v + (1−α)·Σ k_i f_i(x_i)` → lay out partitions →
+//! run the real workload on the simulated cluster and report makespan and
+//! dirty energy.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pareto_cluster::{NodeSpec, SimCluster};
+//! use pareto_core::framework::{Framework, FrameworkConfig, Strategy};
+//! use pareto_workloads::WorkloadKind;
+//!
+//! let dataset = pareto_datagen::rcv1_syn(7, 0.02); // tiny synthetic corpus
+//! let cluster = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, 7));
+//! let cfg = FrameworkConfig {
+//!     strategy: Strategy::HetAware,
+//!     ..FrameworkConfig::default()
+//! };
+//! let outcome = Framework::new(&cluster, cfg)
+//!     .run(&dataset, WorkloadKind::FrequentPatterns { support: 0.05 });
+//! assert!(outcome.report.makespan_seconds > 0.0);
+//! ```
+
+pub mod estimator;
+pub mod framework;
+pub mod pareto;
+pub mod partitioner;
+pub mod scheduling;
+pub mod stealing;
+
+pub use estimator::{
+    AdaptiveReport, AdaptiveSamplingConfig, DriftReport, EnergyEstimator,
+    HeterogeneityEstimator, NodeTimeModel, SamplingPlan,
+};
+pub use framework::{Framework, FrameworkConfig, Plan, RunOutcome, Strategy};
+pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
+pub use scheduling::{best_start, sweep_start_times, StartTimeOption};
+pub use partitioner::{DataPartitioner, PartitionLayout};
+pub use stealing::{simulate_work_stealing, RecordWork, StealingOutcome};
+
+// The stratifier is a first-class component of the framework; re-export it
+// so downstream users need only this crate.
+pub use pareto_stratify::{Stratification, Stratifier, StratifierConfig};

@@ -1,0 +1,258 @@
+//! A work-stealing execution baseline (paper §I).
+//!
+//! The paper's introduction positions work stealing (Blumofe & Leiserson)
+//! as the "typical solution" to heterogeneity and argues it does not fit
+//! distributed analytics: it balances *sizes* reactively at the cost of
+//! moving data mid-job, and it cannot fix *payload* problems (a skewed
+//! partition has already inflated the SON candidate set before any steal
+//! happens). This module makes that argument measurable: an event-driven
+//! simulation of per-record work stealing over the heterogeneous cluster,
+//! comparable against the framework's proactive plans.
+//!
+//! The model: every node owns a deque of records with known per-record
+//! work; a node that drains its deque steals the *back half* of the
+//! most-loaded victim's remaining records, paying the victim's payload
+//! bytes over the network plus one round trip per steal. Simulated time
+//! advances per record; the returned report uses the same accounting as
+//! [`SimCluster::account_costs`](pareto_cluster::SimCluster).
+
+use pareto_cluster::{Cost, JobReport, SimCluster};
+
+/// Outcome of a work-stealing simulation.
+#[derive(Debug, Clone)]
+pub struct StealingOutcome {
+    /// Standard job accounting (per-node busy seconds, energy, dirty).
+    pub report: JobReport,
+    /// Number of steal events that occurred.
+    pub steals: usize,
+    /// Total records moved between nodes.
+    pub records_moved: usize,
+    /// Total bytes moved by steals.
+    pub bytes_moved: u64,
+}
+
+/// One record's execution profile.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordWork {
+    /// Compute operations the record costs (content-dependent).
+    pub ops: u64,
+    /// Payload size in bytes (what a steal must move).
+    pub bytes: u64,
+}
+
+/// Simulate work stealing over `initial` per-node record queues.
+///
+/// `work[r]` describes record `r`; `initial[i]` lists the record ids that
+/// start on node `i` (a partition of `0..work.len()`).
+pub fn simulate_work_stealing(
+    cluster: &SimCluster,
+    work: &[RecordWork],
+    initial: &[Vec<usize>],
+) -> StealingOutcome {
+    assert_eq!(
+        initial.len(),
+        cluster.num_nodes(),
+        "one initial queue per node"
+    );
+    let p = cluster.num_nodes();
+    // Per-node state: pending record queue (front = next to process),
+    // current simulated clock, and accumulated cost.
+    let mut queues: Vec<std::collections::VecDeque<usize>> = initial
+        .iter()
+        .map(|q| q.iter().copied().collect())
+        .collect();
+    let mut clock = vec![0.0f64; p];
+    let mut costs = vec![Cost::ZERO; p];
+    let mut steals = 0usize;
+    let mut records_moved = 0usize;
+    let mut bytes_moved = 0u64;
+
+    // Event-driven: always advance the node with the smallest clock.
+    // A node with work processes one record; an idle node steals or, if
+    // nothing remains anywhere, retires (clock pinned to +inf).
+    let mut retired = vec![false; p];
+    while let Some(node) = (0..p)
+        .filter(|&i| !retired[i])
+        .min_by(|&a, &b| clock[a].partial_cmp(&clock[b]).expect("finite clocks"))
+    {
+        if let Some(r) = queues[node].pop_front() {
+            let cost = Cost::compute(work[r].ops);
+            clock[node] += cluster.cost_to_seconds(node, &cost);
+            costs[node].add(cost);
+            continue;
+        }
+        // Steal from the victim with the most *remaining simulated work*
+        // (what a real scheduler approximates with queue lengths).
+        let victim = (0..p)
+            .filter(|&v| v != node && !queues[v].is_empty())
+            .max_by(|&a, &b| {
+                let load = |v: usize| -> f64 {
+                    queues[v]
+                        .iter()
+                        .map(|&r| {
+                            cluster.cost_to_seconds(v, &Cost::compute(work[r].ops))
+                        })
+                        .sum()
+                };
+                load(a).partial_cmp(&load(b)).expect("finite loads")
+            });
+        let Some(victim) = victim else {
+            retired[node] = true;
+            continue;
+        };
+        // Take the back half of the victim's queue (classic deque steal).
+        let take = queues[victim].len().div_ceil(2);
+        let start = queues[victim].len() - take;
+        let stolen: Vec<usize> = queues[victim].drain(start..).collect();
+        let moved_bytes: u64 = stolen.iter().map(|&r| work[r].bytes).sum();
+        // The thief pays the transfer before it can proceed.
+        let transfer = Cost {
+            compute_ops: 0,
+            bytes: moved_bytes,
+            round_trips: 1,
+        };
+        clock[node] += cluster.cost_to_seconds(node, &transfer);
+        costs[node].add(transfer);
+        steals += 1;
+        records_moved += stolen.len();
+        bytes_moved += moved_bytes;
+        queues[node].extend(stolen);
+    }
+
+    let report = cluster.account_costs(&costs);
+    StealingOutcome {
+        report,
+        steals,
+        records_moved,
+        bytes_moved,
+    }
+}
+
+/// Convenience: build [`RecordWork`] for every record of a dataset under a
+/// given per-record op model.
+pub fn record_work_from<F>(dataset: &pareto_datagen::Dataset, ops_of: F) -> Vec<RecordWork>
+where
+    F: Fn(&pareto_datagen::DataItem) -> u64,
+{
+    dataset
+        .items
+        .iter()
+        .map(|item| RecordWork {
+            ops: ops_of(item),
+            bytes: item.payload.to_bytes().len() as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pareto_cluster::NodeSpec;
+
+    fn cluster(p: usize) -> SimCluster {
+        SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, 3))
+    }
+
+    fn uniform_work(n: usize, ops: u64) -> Vec<RecordWork> {
+        vec![RecordWork { ops, bytes: 100 }; n]
+    }
+
+    fn equal_split(n: usize, p: usize) -> Vec<Vec<usize>> {
+        let mut parts = vec![Vec::new(); p];
+        for i in 0..n {
+            parts[i * p / n].push(i);
+        }
+        parts
+    }
+
+    #[test]
+    fn stealing_improves_on_static_equal_split() {
+        let cl = cluster(4);
+        let work = uniform_work(400, 1_000_000);
+        let initial = equal_split(400, 4);
+        // Static equal split: slowest node (1/4 speed) dominates.
+        let static_costs: Vec<Cost> = initial
+            .iter()
+            .map(|q| Cost::compute(q.iter().map(|&r| work[r].ops).sum()))
+            .collect();
+        let static_report = cl.account_costs(&static_costs);
+        let ws = simulate_work_stealing(&cl, &work, &initial);
+        assert!(ws.steals > 0, "idle fast nodes must steal");
+        assert!(
+            ws.report.makespan_seconds < static_report.makespan_seconds * 0.75,
+            "stealing {} vs static {}",
+            ws.report.makespan_seconds,
+            static_report.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn stealing_cannot_beat_oracle_proportional_split() {
+        // Proactive speed-proportional sizing needs no steals and no
+        // transfers; work stealing converges toward it but pays movement.
+        let cl = cluster(4);
+        let work = uniform_work(500, 2_000_000);
+        let total_ops: u64 = work.iter().map(|w| w.ops).sum();
+        // Oracle: ops proportional to speed 1, 1/2, 1/3, 1/4.
+        let speeds = [1.0, 0.5, 1.0 / 3.0, 0.25];
+        let s: f64 = speeds.iter().sum();
+        let oracle_costs: Vec<Cost> = speeds
+            .iter()
+            .map(|sp| Cost::compute((total_ops as f64 * sp / s) as u64))
+            .collect();
+        let oracle = cl.account_costs(&oracle_costs);
+        let ws = simulate_work_stealing(&cl, &work, &equal_split(500, 4));
+        assert!(
+            ws.report.makespan_seconds >= oracle.makespan_seconds * 0.98,
+            "stealing {} cannot beat the proactive oracle {}",
+            ws.report.makespan_seconds,
+            oracle.makespan_seconds
+        );
+        assert!(ws.bytes_moved > 0, "balancing required data movement");
+    }
+
+    #[test]
+    fn no_stealing_when_already_balanced() {
+        let cl = cluster(4);
+        let work = uniform_work(100, 1_000_000);
+        // Hand the fast node proportionally more records up front.
+        let mut initial = vec![Vec::new(); 4];
+        let shares = [48usize, 24, 16, 12];
+        let mut next = 0;
+        for (node, &take) in shares.iter().enumerate() {
+            for _ in 0..take {
+                initial[node].push(next);
+                next += 1;
+            }
+        }
+        let ws = simulate_work_stealing(&cl, &work, &initial);
+        assert_eq!(ws.records_moved, 0, "balanced start should not steal");
+        assert!(ws.report.imbalance() < 1.05);
+    }
+
+    #[test]
+    fn empty_and_single_record_inputs() {
+        let cl = cluster(2);
+        let ws = simulate_work_stealing(&cl, &[], &[vec![], vec![]]);
+        assert_eq!(ws.report.makespan_seconds, 0.0);
+        let work = uniform_work(1, 5_000_000);
+        let ws = simulate_work_stealing(&cl, &work, &[vec![0], vec![]]);
+        assert!(ws.report.makespan_seconds > 0.0);
+    }
+
+    #[test]
+    fn all_records_processed_exactly_once() {
+        let cl = cluster(3);
+        let work: Vec<RecordWork> = (0..97)
+            .map(|i| RecordWork {
+                ops: 100_000 + (i as u64 % 7) * 50_000,
+                bytes: 64,
+            })
+            .collect();
+        let initial = equal_split(97, 3);
+        let ws = simulate_work_stealing(&cl, &work, &initial);
+        let total_ops: u64 = work.iter().map(|w| w.ops).sum();
+        let charged: u64 = ws.report.runs.iter().map(|r| r.cost.compute_ops).sum();
+        assert_eq!(charged, total_ops, "every record charged exactly once");
+    }
+}

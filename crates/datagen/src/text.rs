@@ -1,0 +1,88 @@
+//! Text records: documents as bags of word ids (§III-C step 1).
+//!
+//! "For text datasets, we represent each document as a set of words in it."
+//! Word ids index a vocabulary; the RCV1-like synthetic corpus in
+//! [`crate::generators`] draws them from per-topic Zipfian distributions.
+
+use crate::item::ItemSet;
+
+/// A document: an ordered list of word-id tokens (duplicates allowed —
+/// itemization deduplicates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Tokens in document order.
+    pub tokens: Vec<u32>,
+}
+
+impl Document {
+    /// Wrap a token list.
+    pub fn new(tokens: Vec<u32>) -> Self {
+        Document { tokens }
+    }
+
+    /// Number of tokens (with duplicates).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Itemize: the *set* of word ids. An empty document maps to a reserved
+    /// sentinel item so the sketching layer never sees an empty set.
+    pub fn item_set(&self) -> ItemSet {
+        if self.tokens.is_empty() {
+            return ItemSet::from_items(vec![u64::MAX]);
+        }
+        self.tokens.iter().map(|&t| t as u64).collect()
+    }
+
+    /// Serialize as bytes: `[len, tokens…]` little-endian `u32`s.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 4 * self.tokens.len());
+        out.extend_from_slice(&(self.tokens.len() as u32).to_le_bytes());
+        for &t in &self.tokens {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_set_dedups() {
+        let d = Document::new(vec![3, 1, 3, 2, 1]);
+        assert_eq!(d.item_set().as_slice(), &[1, 2, 3]);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn empty_document_sentinel() {
+        let d = Document::new(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.item_set().as_slice(), &[u64::MAX]);
+    }
+
+    #[test]
+    fn bytes_layout() {
+        let d = Document::new(vec![7, 8]);
+        let b = d.to_bytes();
+        assert_eq!(b.len(), 12);
+        assert_eq!(&b[0..4], &2u32.to_le_bytes());
+        assert_eq!(&b[8..12], &8u32.to_le_bytes());
+    }
+
+    #[test]
+    fn shared_topic_docs_similar() {
+        let a = Document::new(vec![1, 2, 3, 4, 5]);
+        let b = Document::new(vec![1, 2, 3, 4, 9]);
+        let c = Document::new(vec![100, 101]);
+        assert!(a.item_set().jaccard(&b.item_set()) > 0.5);
+        assert_eq!(a.item_set().jaccard(&c.item_set()), 0.0);
+    }
+}

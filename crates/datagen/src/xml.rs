@@ -1,0 +1,366 @@
+//! A minimal XML reader producing [`LabeledTree`]s.
+//!
+//! The paper's tree corpora (SwissProt, Treebank — Table I) come from the
+//! UW XML repository as large XML dumps: one document whose top-level
+//! children are the records. This module parses exactly the subset such
+//! dumps need — nested elements with optional attributes, text content,
+//! comments, CDATA and processing instructions (all non-element content is
+//! skipped) — and converts each record element into a tree whose node
+//! labels are interned tag names.
+//!
+//! Not a general XML parser: no namespaces, DTDs, or entity expansion.
+//! Malformed structure (mismatched tags, truncation) is reported, not
+//! guessed at.
+
+use std::collections::HashMap;
+
+use crate::dataset::Dataset;
+use crate::tree::LabeledTree;
+
+/// Errors from XML parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended inside a construct.
+    Truncated,
+    /// A closing tag did not match the open element.
+    Mismatch {
+        /// Tag that was open.
+        expected: String,
+        /// Tag that tried to close it.
+        found: String,
+    },
+    /// Structurally invalid markup.
+    Malformed(String),
+    /// The document had no record elements.
+    NoRecords,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::Truncated => write!(f, "truncated XML"),
+            XmlError::Mismatch { expected, found } => {
+                write!(f, "closing </{found}> does not match <{expected}>")
+            }
+            XmlError::Malformed(m) => write!(f, "malformed XML: {m}"),
+            XmlError::NoRecords => write!(f, "document holds no record elements"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Interns tag names into `u32` labels, stable within one parse.
+#[derive(Debug, Default)]
+pub struct TagInterner {
+    map: HashMap<String, u32>,
+}
+
+impl TagInterner {
+    /// Label for `tag`, allocating on first sight.
+    pub fn intern(&mut self, tag: &str) -> u32 {
+        let next = self.map.len() as u32;
+        *self.map.entry(tag.to_owned()).or_insert(next)
+    }
+
+    /// Number of distinct tags seen.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True before any tag is interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Open(String),
+    Close(String),
+    SelfClose(String),
+}
+
+/// Tokenize the element structure of `input` (attributes/text skipped).
+fn events(input: &str) -> Result<Vec<Event>, XmlError> {
+    let bytes = input.as_bytes();
+    let mut events = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1; // text content
+            continue;
+        }
+        let rest = &input[i..];
+        if rest.starts_with("<!--") {
+            i += rest.find("-->").map(|p| p + 3).ok_or(XmlError::Truncated)?;
+        } else if rest.starts_with("<![CDATA[") {
+            i += rest.find("]]>").map(|p| p + 3).ok_or(XmlError::Truncated)?;
+        } else if rest.starts_with("<!") || rest.starts_with("<?") {
+            i += rest.find('>').map(|p| p + 1).ok_or(XmlError::Truncated)?;
+        } else {
+            let end = rest.find('>').ok_or(XmlError::Truncated)?;
+            let inner = &rest[1..end];
+            if let Some(name) = inner.strip_prefix('/') {
+                events.push(Event::Close(name.trim().to_owned()));
+            } else {
+                let self_closing = inner.ends_with('/');
+                let inner = inner.strip_suffix('/').unwrap_or(inner).trim();
+                let name = inner
+                    .split_whitespace()
+                    .next()
+                    .ok_or_else(|| XmlError::Malformed("empty tag".into()))?
+                    .to_owned();
+                if name.is_empty() {
+                    return Err(XmlError::Malformed("empty tag name".into()));
+                }
+                if self_closing {
+                    events.push(Event::SelfClose(name));
+                } else {
+                    events.push(Event::Open(name));
+                }
+            }
+            i += end + 1;
+        }
+    }
+    Ok(events)
+}
+
+/// Parse one XML document into a single [`LabeledTree`] (the document
+/// element becomes the root).
+pub fn parse_tree(input: &str, interner: &mut TagInterner) -> Result<LabeledTree, XmlError> {
+    let mut trees = parse_record_trees(input, None, interner)?;
+    if trees.len() != 1 {
+        return Err(XmlError::Malformed(format!(
+            "expected one document element, found {}",
+            trees.len()
+        )));
+    }
+    Ok(trees.pop().expect("length checked"))
+}
+
+/// Parse a dump into one tree per record.
+///
+/// With `record_tag = Some(tag)`, each element named `tag` (at any depth)
+/// becomes a record tree. With `None`, each *top-level* element does.
+pub fn parse_record_trees(
+    input: &str,
+    record_tag: Option<&str>,
+    interner: &mut TagInterner,
+) -> Result<Vec<LabeledTree>, XmlError> {
+    // Stack entry: (tag, node index in the current record, or None when
+    // outside any record).
+    let mut trees = Vec::new();
+    let mut stack: Vec<(String, Option<u32>)> = Vec::new();
+    // Current record under construction.
+    let mut parents: Vec<u32> = Vec::new();
+    let mut labels: Vec<u32> = Vec::new();
+    let mut in_record = false;
+
+    let mut handle_open = |tag: &str,
+                           stack: &mut Vec<(String, Option<u32>)>,
+                           parents: &mut Vec<u32>,
+                           labels: &mut Vec<u32>,
+                           in_record: &mut bool|
+     -> Option<u32> {
+        let starts_record = !*in_record
+            && match record_tag {
+                Some(t) => tag == t,
+                None => stack.is_empty(),
+            };
+        if starts_record {
+            *in_record = true;
+            parents.clear();
+            labels.clear();
+        }
+        if *in_record {
+            let node = parents.len() as u32;
+            let parent = stack
+                .iter()
+                .rev()
+                .find_map(|(_, n)| *n)
+                .unwrap_or(node);
+            parents.push(if node == 0 { 0 } else { parent });
+            labels.push(0); // patched by caller (needs interner)
+            Some(node)
+        } else {
+            None
+        }
+    };
+
+    for event in events(input)? {
+        match event {
+            Event::Open(tag) => {
+                let node = handle_open(&tag, &mut stack, &mut parents, &mut labels, &mut in_record);
+                if let Some(n) = node {
+                    labels[n as usize] = interner.intern(&tag);
+                }
+                stack.push((tag, node));
+            }
+            Event::SelfClose(tag) => {
+                let node = handle_open(&tag, &mut stack, &mut parents, &mut labels, &mut in_record);
+                if let Some(n) = node {
+                    labels[n as usize] = interner.intern(&tag);
+                    if n == 0 {
+                        // A self-closing record: a single-node tree.
+                        trees.push(
+                            LabeledTree::new(parents.clone(), labels.clone())
+                                .map_err(|e| XmlError::Malformed(e.to_string()))?,
+                        );
+                        in_record = false;
+                    }
+                }
+            }
+            Event::Close(tag) => {
+                let (open_tag, node) = stack.pop().ok_or_else(|| {
+                    XmlError::Malformed(format!("stray closing </{tag}>"))
+                })?;
+                if open_tag != tag {
+                    return Err(XmlError::Mismatch {
+                        expected: open_tag,
+                        found: tag,
+                    });
+                }
+                if node == Some(0) {
+                    trees.push(
+                        LabeledTree::new(parents.clone(), labels.clone())
+                            .map_err(|e| XmlError::Malformed(e.to_string()))?,
+                    );
+                    in_record = false;
+                }
+            }
+        }
+    }
+    if let Some((tag, _)) = stack.pop() {
+        return Err(XmlError::Malformed(format!("unclosed <{tag}>")));
+    }
+    if trees.is_empty() {
+        return Err(XmlError::NoRecords);
+    }
+    Ok(trees)
+}
+
+/// Parse an XML dump straight into a tree [`Dataset`].
+pub fn dataset_from_xml(
+    name: &str,
+    input: &str,
+    record_tag: Option<&str>,
+) -> Result<Dataset, XmlError> {
+    let mut interner = TagInterner::default();
+    let trees = parse_record_trees(input, record_tag, &mut interner)?;
+    Ok(Dataset::from_trees(name, trees))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SWISSPROT_LIKE: &str = r#"<?xml version="1.0"?>
+<!-- UW repository style dump -->
+<root>
+  <Entry id="A1">
+    <Protein><Name>x</Name></Protein>
+    <Ref db="PIR"/>
+    <Ref db="EMBL"/>
+  </Entry>
+  <Entry id="A2">
+    <Protein><Name>y</Name></Protein>
+    <Keyword/>
+  </Entry>
+</root>
+"#;
+
+    #[test]
+    fn parses_records_by_tag() {
+        let ds = dataset_from_xml("sp", SWISSPROT_LIKE, Some("Entry")).unwrap();
+        assert_eq!(ds.len(), 2);
+        // Entry -> Protein -> Name + 2x Ref = 5 nodes in record 1.
+        assert_eq!(ds.items[0].payload.element_count(), 5);
+        assert_eq!(ds.items[1].payload.element_count(), 4);
+        // Shared structure => similar pivot sets.
+        assert!(ds.items[0].items.jaccard(&ds.items[1].items) > 0.0);
+    }
+
+    #[test]
+    fn parses_top_level_records() {
+        let mut interner = TagInterner::default();
+        let trees =
+            parse_record_trees("<a><b/></a><c/>", None, &mut interner).unwrap();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].len(), 2);
+        assert_eq!(trees[1].len(), 1);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn single_document_tree() {
+        let mut interner = TagInterner::default();
+        let t = parse_tree("<a><b><c/></b><b/></a>", &mut interner).unwrap();
+        assert_eq!(t.len(), 4);
+        // Labels: both <b> nodes share a label; <a> is the root.
+        assert_eq!(t.labels()[1], t.labels()[3]);
+        assert_eq!(t.parents()[1], 0);
+        assert_eq!(t.parents()[2], 1);
+    }
+
+    #[test]
+    fn interner_is_stable_across_records() {
+        let ds = dataset_from_xml("sp", SWISSPROT_LIKE, Some("Entry")).unwrap();
+        // Both entries' roots carry the same label (same tag name) — their
+        // pivot sets could not overlap otherwise.
+        let (crate::dataset::Payload::Tree(t1), crate::dataset::Payload::Tree(t2)) =
+            (&ds.items[0].payload, &ds.items[1].payload)
+        else {
+            panic!("tree payloads expected")
+        };
+        assert_eq!(t1.labels()[0], t2.labels()[0]);
+    }
+
+    #[test]
+    fn skips_non_element_content() {
+        let mut interner = TagInterner::default();
+        let input = "<?pi data?><!-- note --><a>text<![CDATA[<fake/>]]><b/></a>";
+        let t = parse_tree(input, &mut interner).unwrap();
+        assert_eq!(t.len(), 2, "CDATA/PI/comment must not create nodes");
+    }
+
+    #[test]
+    fn reports_mismatched_tags() {
+        let mut interner = TagInterner::default();
+        assert_eq!(
+            parse_tree("<a><b></a></b>", &mut interner),
+            Err(XmlError::Mismatch {
+                expected: "b".into(),
+                found: "a".into()
+            })
+        );
+    }
+
+    #[test]
+    fn reports_truncation_and_strays() {
+        let mut interner = TagInterner::default();
+        assert_eq!(parse_tree("<a><b>", &mut interner), Err(XmlError::Malformed("unclosed <b>".into())));
+        assert!(matches!(
+            parse_tree("</a>", &mut interner),
+            Err(XmlError::Malformed(_))
+        ));
+        assert_eq!(parse_tree("<a", &mut interner), Err(XmlError::Truncated));
+    }
+
+    #[test]
+    fn missing_record_tag_yields_no_records() {
+        assert!(matches!(
+            dataset_from_xml("x", "<root><a/></root>", Some("Entry")),
+            Err(XmlError::NoRecords)
+        ));
+    }
+
+    #[test]
+    fn attributes_ignored() {
+        let mut interner = TagInterner::default();
+        let a = parse_tree(r#"<a x="1" y="2"><b z="3"/></a>"#, &mut interner).unwrap();
+        let b = parse_tree("<a><b/></a>", &mut interner).unwrap();
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.parents(), b.parents());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the data model: ItemSet algebra against a
+//! HashSet reference, Prüfer codec invariants, LCA correctness on random
+//! trees, and serialization roundtrips.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use pareto_datagen::{prufer_decode, prufer_encode, Document, ItemSet, LabeledTree};
+
+/// A random tree given as its parent array (parent[v] < v guarantees
+/// acyclicity) plus labels.
+fn random_tree() -> impl Strategy<Value = LabeledTree> {
+    (2usize..40).prop_flat_map(|n| {
+        let parents: Vec<BoxedStrategy<u32>> = (0..n)
+            .map(|v| {
+                if v == 0 {
+                    Just(0u32).boxed()
+                } else {
+                    (0..v as u32).boxed()
+                }
+            })
+            .collect();
+        let labels = proptest::collection::vec(0u32..50, n);
+        (parents, labels).prop_map(|(parent, labels)| {
+            LabeledTree::new(parent, labels).expect("parent[v] < v is a tree")
+        })
+    })
+}
+
+proptest! {
+    /// ItemSet set algebra matches std HashSet.
+    #[test]
+    fn itemset_matches_hashset(
+        a in proptest::collection::vec(0u64..200, 0..64),
+        b in proptest::collection::vec(0u64..200, 0..64),
+    ) {
+        let sa = ItemSet::from_items(a.clone());
+        let sb = ItemSet::from_items(b.clone());
+        let ha: HashSet<u64> = a.into_iter().collect();
+        let hb: HashSet<u64> = b.into_iter().collect();
+        prop_assert_eq!(sa.len(), ha.len());
+        prop_assert_eq!(sa.intersection_size(&sb), ha.intersection(&hb).count());
+        prop_assert_eq!(sa.union_size(&sb), ha.union(&hb).count());
+        let expected_j = if ha.union(&hb).count() == 0 {
+            1.0
+        } else {
+            ha.intersection(&hb).count() as f64 / ha.union(&hb).count() as f64
+        };
+        prop_assert!((sa.jaccard(&sb) - expected_j).abs() < 1e-12);
+        for item in &ha {
+            prop_assert!(sa.contains(*item));
+        }
+    }
+
+    /// ItemSet byte serialization roundtrips.
+    #[test]
+    fn itemset_bytes_roundtrip(items in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let s = ItemSet::from_items(items);
+        prop_assert_eq!(ItemSet::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    /// Prüfer encode/decode preserves the undirected edge set of any tree.
+    #[test]
+    fn prufer_roundtrip(tree in random_tree()) {
+        let seq = prufer_encode(&tree);
+        prop_assert_eq!(seq.len(), tree.len() - 2);
+        let decoded = prufer_decode(&seq, tree.labels().to_vec()).unwrap();
+        let edges = |t: &LabeledTree| -> Vec<(usize, usize)> {
+            let mut e: Vec<(usize, usize)> = (1..t.len())
+                .map(|v| {
+                    let p = t.parents()[v] as usize;
+                    (p.min(v), p.max(v))
+                })
+                .collect();
+            e.sort_unstable();
+            e
+        };
+        prop_assert_eq!(edges(&tree), edges(&decoded));
+    }
+
+    /// LCA agrees with a brute-force ancestor-set computation.
+    #[test]
+    fn lca_matches_bruteforce(tree in random_tree(), pair in any::<(u32, u32)>()) {
+        let n = tree.len();
+        let u = pair.0 as usize % n;
+        let v = pair.1 as usize % n;
+        let ancestors = |mut x: usize| -> Vec<usize> {
+            let mut path = vec![x];
+            while x != 0 {
+                x = tree.parents()[x] as usize;
+                path.push(x);
+            }
+            path
+        };
+        let au = ancestors(u);
+        let av: std::collections::HashSet<usize> = ancestors(v).into_iter().collect();
+        let expected = *au.iter().find(|a| av.contains(a)).expect("root is common");
+        prop_assert_eq!(tree.lca(u, v), expected);
+        prop_assert_eq!(tree.lca(v, u), expected);
+    }
+
+    /// Pivot item sets are non-empty and invariant across calls.
+    #[test]
+    fn pivots_stable(tree in random_tree()) {
+        let s1 = tree.item_set();
+        let s2 = tree.item_set();
+        prop_assert!(!s1.is_empty());
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// Identical label/structure ⇒ identical item sets; relabeling the
+    /// whole tree changes them (with overwhelming likelihood).
+    #[test]
+    fn pivots_label_sensitive(tree in random_tree()) {
+        let shifted = LabeledTree::new(
+            tree.parents().to_vec(),
+            tree.labels().iter().map(|&l| l + 1000).collect(),
+        ).unwrap();
+        prop_assert_eq!(tree.item_set().jaccard(&tree.item_set()), 1.0);
+        prop_assert!(tree.item_set().jaccard(&shifted.item_set()) < 0.5);
+    }
+
+    /// Document itemization: every token id appears, deduplicated.
+    #[test]
+    fn document_itemization(tokens in proptest::collection::vec(0u32..1000, 0..200)) {
+        let d = Document::new(tokens.clone());
+        let set = d.item_set();
+        if tokens.is_empty() {
+            prop_assert_eq!(set.len(), 1); // sentinel
+        } else {
+            let distinct: HashSet<u32> = tokens.iter().copied().collect();
+            prop_assert_eq!(set.len(), distinct.len());
+            for t in distinct {
+                prop_assert!(set.contains(t as u64));
+            }
+        }
+    }
+}

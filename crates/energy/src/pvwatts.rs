@@ -1,0 +1,189 @@
+//! Ingestion of real PVWATTS hourly exports.
+//!
+//! The paper drives its green-energy model with NREL's PVWATTS simulator
+//! (§III-B, §V-A). PVWATTS' web tool exports hourly CSVs; this module
+//! parses that format into a [`GreenEnergyTrace`], so anyone with real
+//! exports can swap them in for the synthetic traces.
+//!
+//! The parser is deliberately liberal about the preamble (PVWATTS prefixes
+//! exports with `"key","value"` metadata rows) and strict about the data:
+//! it locates the header row, takes the requested column (default: `"AC
+//! System Output (W)"`), and requires one finite, non-negative value per
+//! hour.
+
+use std::io::BufRead;
+
+use crate::solar::GreenEnergyTrace;
+
+/// Errors from PVWATTS parsing.
+#[derive(Debug)]
+pub enum PvWattsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// No header row containing the requested column.
+    MissingColumn(String),
+    /// A malformed data row (1-based line number).
+    BadRow { line: usize, message: String },
+    /// The file held no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for PvWattsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PvWattsError::Io(e) => write!(f, "pvwatts io: {e}"),
+            PvWattsError::MissingColumn(c) => write!(f, "no column named {c:?}"),
+            PvWattsError::BadRow { line, message } => write!(f, "line {line}: {message}"),
+            PvWattsError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for PvWattsError {}
+
+impl From<std::io::Error> for PvWattsError {
+    fn from(e: std::io::Error) -> Self {
+        PvWattsError::Io(e)
+    }
+}
+
+/// The column PVWATTS exports hourly AC production under.
+pub const AC_OUTPUT_COLUMN: &str = "AC System Output (W)";
+
+/// Split one CSV line, honoring double quotes (PVWATTS quotes its headers).
+fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
+            _ => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Parse a PVWATTS hourly CSV into a trace, reading `column`.
+pub fn parse_pvwatts_csv<R: BufRead>(
+    reader: R,
+    column: &str,
+) -> Result<GreenEnergyTrace, PvWattsError> {
+    let mut col_idx: Option<usize> = None;
+    let mut hourly: Vec<f64> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let fields = split_csv(line.trim_end());
+        if col_idx.is_none() {
+            // Still hunting for the header row.
+            if let Some(idx) = fields.iter().position(|f| f.trim() == column) {
+                col_idx = Some(idx);
+            }
+            continue;
+        }
+        let idx = col_idx.expect("set above");
+        if fields.len() <= idx || fields.iter().all(|f| f.trim().is_empty()) {
+            continue; // trailing metadata/blank lines
+        }
+        let raw = fields[idx].trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let value: f64 = raw.parse().map_err(|e| PvWattsError::BadRow {
+            line: lineno,
+            message: format!("bad value {raw:?}: {e}"),
+        })?;
+        if !value.is_finite() || value < 0.0 {
+            return Err(PvWattsError::BadRow {
+                line: lineno,
+                message: format!("power must be finite and non-negative, got {value}"),
+            });
+        }
+        hourly.push(value);
+    }
+    if col_idx.is_none() {
+        return Err(PvWattsError::MissingColumn(column.to_string()));
+    }
+    if hourly.is_empty() {
+        return Err(PvWattsError::Empty);
+    }
+    Ok(GreenEnergyTrace::from_hourly(hourly))
+}
+
+/// Parse a PVWATTS export file using the standard AC output column.
+pub fn load_pvwatts_file(path: &std::path::Path) -> Result<GreenEnergyTrace, PvWattsError> {
+    let file = std::fs::File::open(path)?;
+    parse_pvwatts_csv(std::io::BufReader::new(file), AC_OUTPUT_COLUMN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = r#""Requested Location","dalles or"
+"Lat (deg N)","45.61"
+"Long (deg W)","121.2"
+"Month","Day","Hour","Beam Irradiance (W/m^2)","AC System Output (W)"
+1,1,0,0,0
+1,1,1,0,0
+1,1,9,412,161.3
+1,1,10,535,255.0
+1,1,11,602,312.75
+"Totals","","","",""
+"#;
+
+    #[test]
+    fn parses_real_shaped_export() {
+        let tr = parse_pvwatts_csv(Cursor::new(SAMPLE), AC_OUTPUT_COLUMN).unwrap();
+        assert_eq!(tr.len_hours(), 5);
+        assert_eq!(tr.hourly()[0], 0.0);
+        assert!((tr.hourly()[3] - 255.0).abs() < 1e-12);
+        // Usable by the dirty-energy machinery directly.
+        assert!(tr.energy_joules(0.0, 5.0 * 3600.0) > 0.0);
+    }
+
+    #[test]
+    fn missing_column_reported() {
+        let err = parse_pvwatts_csv(Cursor::new(SAMPLE), "DC Array Output (W)").unwrap_err();
+        assert!(matches!(err, PvWattsError::MissingColumn(_)));
+    }
+
+    #[test]
+    fn bad_value_reported_with_line() {
+        let bad = "\"Hour\",\"AC System Output (W)\"\n0,12.5\n1,oops\n";
+        let err = parse_pvwatts_csv(Cursor::new(bad), AC_OUTPUT_COLUMN).unwrap_err();
+        match err {
+            PvWattsError::BadRow { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_power_rejected() {
+        let bad = "\"AC System Output (W)\"\n-5\n";
+        assert!(matches!(
+            parse_pvwatts_csv(Cursor::new(bad), AC_OUTPUT_COLUMN),
+            Err(PvWattsError::BadRow { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let empty = "\"AC System Output (W)\"\n";
+        assert!(matches!(
+            parse_pvwatts_csv(Cursor::new(empty), AC_OUTPUT_COLUMN),
+            Err(PvWattsError::Empty)
+        ));
+    }
+
+    #[test]
+    fn quoted_commas_handled() {
+        let csv = "\"a,b\",\"AC System Output (W)\"\n\"x,y\",42\n";
+        let tr = parse_pvwatts_csv(Cursor::new(csv), AC_OUTPUT_COLUMN).unwrap();
+        assert_eq!(tr.hourly(), &[42.0]);
+    }
+}

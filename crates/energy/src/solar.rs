@@ -1,0 +1,311 @@
+//! Synthetic solar production traces (the PVWATTS substitute).
+//!
+//! A trace is a sequence of hourly power samples (watts) produced by
+//! `GE(t) = p(w(t)) · B(t)`:
+//!
+//! * `B(t)` — clear-sky production: a diurnal half-sine between sunrise and
+//!   sunset, scaled by the panel rating and a latitude-dependent insolation
+//!   factor (higher latitude ⇒ weaker/shorter sun).
+//! * `w(t)` — cloud cover in `[0, 1]`: an AR(1) process around the
+//!   location's mean cloudiness, which produces realistic multi-hour cloudy
+//!   spells rather than white noise.
+//! * `p(w) = 1 − 0.75·w³` — the Kasten–Czeplak global-radiation attenuation
+//!   (also used by Goiri et al.'s GreenSlot, which the paper cites).
+//!
+//! Integration helpers evaluate the trace at *second* resolution by linear
+//! interpolation, as the paper suggests when hourly averages are too coarse.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+
+/// Hours in one synthetic day.
+const HOURS_PER_DAY: usize = 24;
+
+/// Cloud-cover process parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CloudModel {
+    /// Long-run mean cloud cover in `[0, 1]`.
+    pub mean: f64,
+    /// AR(1) persistence in `[0, 1)`; higher ⇒ longer cloudy spells.
+    pub persistence: f64,
+    /// Std-dev of the hourly innovation.
+    pub volatility: f64,
+}
+
+impl Default for CloudModel {
+    fn default() -> Self {
+        CloudModel {
+            mean: 0.35,
+            persistence: 0.8,
+            volatility: 0.15,
+        }
+    }
+}
+
+/// Configuration for trace synthesis.
+#[derive(Debug, Clone)]
+pub struct SolarConfig {
+    /// Panel nameplate rating in watts (DC).
+    pub panel_watts: f64,
+    /// Site latitude in degrees (only the absolute value matters).
+    pub latitude_deg: f64,
+    /// Cloud process.
+    pub clouds: CloudModel,
+    /// Number of days to synthesize.
+    pub days: usize,
+    /// Local hour at which the trace starts (0–23); jobs usually start
+    /// mid-morning in the experiments.
+    pub start_hour: usize,
+}
+
+impl Default for SolarConfig {
+    fn default() -> Self {
+        SolarConfig {
+            panel_watts: 400.0,
+            latitude_deg: 40.0,
+            clouds: CloudModel::default(),
+            days: 4,
+            start_hour: 9,
+        }
+    }
+}
+
+/// Clear-sky production at local hour-of-day `h ∈ [0, 24)`.
+///
+/// Daylight spans 6:00–18:00; production follows a half-sine peaking at
+/// noon, scaled by `cos(latitude)` (a first-order insolation correction).
+pub fn clear_sky_watts(panel_watts: f64, latitude_deg: f64, hour_of_day: f64) -> f64 {
+    const SUNRISE: f64 = 6.0;
+    const SUNSET: f64 = 18.0;
+    if !(SUNRISE..SUNSET).contains(&hour_of_day) {
+        return 0.0;
+    }
+    let phase = (hour_of_day - SUNRISE) / (SUNSET - SUNRISE);
+    let diurnal = (std::f64::consts::PI * phase).sin();
+    let insolation = latitude_deg.abs().to_radians().cos();
+    panel_watts * diurnal * insolation
+}
+
+/// Kasten–Czeplak attenuation for cloud cover `w ∈ [0, 1]`.
+pub fn attenuation(w: f64) -> f64 {
+    let w = w.clamp(0.0, 1.0);
+    1.0 - 0.75 * w.powi(3)
+}
+
+/// An hourly green-energy trace with second-resolution accessors.
+///
+/// ```
+/// use pareto_energy::{GreenEnergyTrace, SolarConfig};
+///
+/// let trace = GreenEnergyTrace::synthesize(&SolarConfig::default(), 42);
+/// let one_day = 24.0 * 3600.0;
+/// let daily_joules = trace.energy_joules(0.0, one_day);
+/// assert!(daily_joules > 0.0);
+/// assert!(trace.mean_watts(0.0, one_day) <= 400.0); // bounded by the panel
+/// ```
+#[derive(Debug, Clone)]
+pub struct GreenEnergyTrace {
+    hourly_watts: Vec<f64>,
+}
+
+impl GreenEnergyTrace {
+    /// Synthesize a trace from a configuration and a seed.
+    pub fn synthesize(cfg: &SolarConfig, seed: u64) -> Self {
+        assert!(cfg.days >= 1, "trace must cover at least one day");
+        assert!(cfg.start_hour < HOURS_PER_DAY, "start_hour must be 0..24");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let hours = cfg.days * HOURS_PER_DAY;
+        let mut w = cfg.clouds.mean;
+        let mut hourly = Vec::with_capacity(hours);
+        for i in 0..hours {
+            let hour_of_day = ((cfg.start_hour + i) % HOURS_PER_DAY) as f64;
+            // AR(1) cloud update with uniform innovation (bounded, simple).
+            let noise: f64 = rng.gen_range(-1.0..1.0) * cfg.clouds.volatility;
+            w = (cfg.clouds.persistence * w
+                + (1.0 - cfg.clouds.persistence) * cfg.clouds.mean
+                + noise)
+                .clamp(0.0, 1.0);
+            let b = clear_sky_watts(cfg.panel_watts, cfg.latitude_deg, hour_of_day);
+            hourly.push(attenuation(w) * b);
+        }
+        GreenEnergyTrace {
+            hourly_watts: hourly,
+        }
+    }
+
+    /// Build directly from hourly samples (for tests and real PVWATTS
+    /// exports).
+    pub fn from_hourly(hourly_watts: Vec<f64>) -> Self {
+        assert!(!hourly_watts.is_empty(), "trace cannot be empty");
+        assert!(
+            hourly_watts.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "power samples must be finite and non-negative"
+        );
+        GreenEnergyTrace { hourly_watts }
+    }
+
+    /// Number of hourly samples.
+    pub fn len_hours(&self) -> usize {
+        self.hourly_watts.len()
+    }
+
+    /// Raw hourly samples.
+    pub fn hourly(&self) -> &[f64] {
+        &self.hourly_watts
+    }
+
+    /// Instantaneous power at `t` seconds from trace start, by linear
+    /// interpolation between hourly samples. Beyond the end the trace
+    /// repeats (periodic extension), so long jobs remain defined.
+    pub fn watts_at(&self, t_seconds: f64) -> f64 {
+        assert!(t_seconds >= 0.0 && t_seconds.is_finite());
+        let n = self.hourly_watts.len();
+        let h = t_seconds / 3600.0;
+        let idx = h.floor() as usize % n;
+        let next = (idx + 1) % n;
+        let frac = h - h.floor();
+        self.hourly_watts[idx] * (1.0 - frac) + self.hourly_watts[next] * frac
+    }
+
+    /// Green energy available over `[t0, t1]` seconds, in joules
+    /// (trapezoidal integration at 60-second steps — the "per second
+    /// average" rescaling of §III-B).
+    pub fn energy_joules(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 >= t0 && t0 >= 0.0, "invalid interval");
+        if t1 == t0 {
+            return 0.0;
+        }
+        let step = 60.0_f64.min(t1 - t0);
+        let mut acc = 0.0;
+        let mut t = t0;
+        while t < t1 {
+            let t_next = (t + step).min(t1);
+            acc += 0.5 * (self.watts_at(t) + self.watts_at(t_next)) * (t_next - t);
+            t = t_next;
+        }
+        acc
+    }
+
+    /// Mean power over `[t0, t1]` seconds — the `ḠE_i` the LP reduction
+    /// uses (§III-D).
+    pub fn mean_watts(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return self.watts_at(t0);
+        }
+        self.energy_joules(t0, t1) / (t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_sky_zero_at_night_peak_at_noon() {
+        assert_eq!(clear_sky_watts(400.0, 40.0, 2.0), 0.0);
+        assert_eq!(clear_sky_watts(400.0, 40.0, 20.0), 0.0);
+        let noon = clear_sky_watts(400.0, 40.0, 12.0);
+        let morning = clear_sky_watts(400.0, 40.0, 8.0);
+        assert!(noon > morning && morning > 0.0);
+        assert!(noon <= 400.0);
+    }
+
+    #[test]
+    fn higher_latitude_produces_less() {
+        assert!(clear_sky_watts(400.0, 30.0, 12.0) > clear_sky_watts(400.0, 50.0, 12.0));
+    }
+
+    #[test]
+    fn attenuation_bounds() {
+        assert_eq!(attenuation(0.0), 1.0);
+        assert!((attenuation(1.0) - 0.25).abs() < 1e-12);
+        assert!(attenuation(0.5) > attenuation(0.9));
+        // Clamped outside [0,1].
+        assert_eq!(attenuation(-3.0), 1.0);
+        assert!((attenuation(7.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthesize_is_deterministic() {
+        let cfg = SolarConfig::default();
+        let a = GreenEnergyTrace::synthesize(&cfg, 42);
+        let b = GreenEnergyTrace::synthesize(&cfg, 42);
+        assert_eq!(a.hourly(), b.hourly());
+        let c = GreenEnergyTrace::synthesize(&cfg, 43);
+        assert_ne!(a.hourly(), c.hourly());
+    }
+
+    #[test]
+    fn trace_respects_day_night_cycle() {
+        let cfg = SolarConfig {
+            start_hour: 0,
+            days: 2,
+            ..SolarConfig::default()
+        };
+        let tr = GreenEnergyTrace::synthesize(&cfg, 7);
+        // Hours 0-5 are night.
+        assert!(tr.hourly()[0..6].iter().all(|&w| w == 0.0));
+        // Noon is positive.
+        assert!(tr.hourly()[12] > 0.0);
+        assert_eq!(tr.len_hours(), 48);
+    }
+
+    #[test]
+    fn watts_at_interpolates() {
+        let tr = GreenEnergyTrace::from_hourly(vec![0.0, 100.0, 200.0]);
+        assert_eq!(tr.watts_at(0.0), 0.0);
+        assert!((tr.watts_at(1800.0) - 50.0).abs() < 1e-9);
+        assert!((tr.watts_at(3600.0) - 100.0).abs() < 1e-9);
+        // Periodic extension: hour 3 wraps to hour 0.
+        assert!((tr.watts_at(3.0 * 3600.0) - 0.0).abs() < 1e-9);
+        // Interpolation from the last sample wraps toward the first.
+        assert!((tr.watts_at(2.5 * 3600.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_integration_constant_trace() {
+        let tr = GreenEnergyTrace::from_hourly(vec![100.0; 24]);
+        // 100 W for one hour = 360 kJ.
+        assert!((tr.energy_joules(0.0, 3600.0) - 360_000.0).abs() < 1.0);
+        assert!((tr.mean_watts(0.0, 3600.0) - 100.0).abs() < 1e-6);
+        assert_eq!(tr.energy_joules(50.0, 50.0), 0.0);
+    }
+
+    #[test]
+    fn energy_integration_ramp() {
+        // Linear ramp 0 -> 100 W over one hour: mean 50 W.
+        let tr = GreenEnergyTrace::from_hourly(vec![0.0, 100.0]);
+        let e = tr.energy_joules(0.0, 3600.0);
+        assert!((e - 50.0 * 3600.0).abs() < 200.0, "e = {e}");
+    }
+
+    #[test]
+    fn from_hourly_validates() {
+        let r = std::panic::catch_unwind(|| GreenEnergyTrace::from_hourly(vec![]));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(|| GreenEnergyTrace::from_hourly(vec![-1.0]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cloudier_sites_produce_less_energy() {
+        let clear = SolarConfig {
+            clouds: CloudModel {
+                mean: 0.1,
+                ..CloudModel::default()
+            },
+            ..SolarConfig::default()
+        };
+        let cloudy = SolarConfig {
+            clouds: CloudModel {
+                mean: 0.8,
+                ..CloudModel::default()
+            },
+            ..SolarConfig::default()
+        };
+        let day = 86_400.0;
+        let e_clear = GreenEnergyTrace::synthesize(&clear, 3).energy_joules(0.0, day);
+        let e_cloudy = GreenEnergyTrace::synthesize(&cloudy, 3).energy_joules(0.0, day);
+        assert!(e_clear > e_cloudy);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the energy substrate.
+
+use proptest::prelude::*;
+
+use pareto_energy::solar::{attenuation, clear_sky_watts};
+use pareto_energy::{
+    dirty_energy_joules, CloudModel, DirtyEnergyMode, GreenEnergyTrace, NodeEnergyProfile,
+    NodePowerModel, SolarConfig,
+};
+
+proptest! {
+    /// Clear-sky production is bounded by the panel rating, non-negative,
+    /// and zero at night, for any latitude/hour.
+    #[test]
+    fn clear_sky_bounds(panel in 0.0f64..2000.0, lat in -90.0f64..90.0, hour in 0.0f64..24.0) {
+        let w = clear_sky_watts(panel, lat, hour);
+        prop_assert!(w >= 0.0);
+        prop_assert!(w <= panel + 1e-9);
+        if !(6.0..18.0).contains(&hour) {
+            prop_assert_eq!(w, 0.0);
+        }
+    }
+
+    /// Attenuation is within [0.25, 1] and monotone non-increasing in
+    /// cloud cover.
+    #[test]
+    fn attenuation_properties(w1 in 0.0f64..1.0, w2 in 0.0f64..1.0) {
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let a_lo = attenuation(lo);
+        let a_hi = attenuation(hi);
+        prop_assert!((0.25..=1.0).contains(&a_lo));
+        prop_assert!(a_hi <= a_lo + 1e-12, "attenuation must fall with clouds");
+    }
+
+    /// Synthesized traces are non-negative, bounded by the panel, and
+    /// deterministic in the seed.
+    #[test]
+    fn trace_sanity(
+        panel in 50.0f64..1000.0,
+        lat in 0.0f64..60.0,
+        mean_cloud in 0.0f64..1.0,
+        days in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SolarConfig {
+            panel_watts: panel,
+            latitude_deg: lat,
+            clouds: CloudModel { mean: mean_cloud, ..CloudModel::default() },
+            days,
+            start_hour: 0,
+        };
+        let a = GreenEnergyTrace::synthesize(&cfg, seed);
+        let b = GreenEnergyTrace::synthesize(&cfg, seed);
+        prop_assert_eq!(a.hourly(), b.hourly());
+        prop_assert_eq!(a.len_hours(), days * 24);
+        prop_assert!(a.hourly().iter().all(|&w| (0.0..=panel + 1e-9).contains(&w)));
+    }
+
+    /// Energy integration is additive over adjacent intervals and
+    /// consistent with the mean power.
+    #[test]
+    fn energy_additive(
+        hours in proptest::collection::vec(0.0f64..500.0, 2..48),
+        t0 in 0.0f64..50_000.0,
+        d1 in 1.0f64..20_000.0,
+        d2 in 1.0f64..20_000.0,
+    ) {
+        let tr = GreenEnergyTrace::from_hourly(hours);
+        let e1 = tr.energy_joules(t0, t0 + d1);
+        let e2 = tr.energy_joules(t0 + d1, t0 + d1 + d2);
+        let both = tr.energy_joules(t0, t0 + d1 + d2);
+        // The 60-second trapezoid grids of the two sub-intervals are not
+        // aligned with the full interval's grid, so additivity holds only
+        // to the integration error (steps straddling hourly breakpoints).
+        let tol = 1e-3 * (1.0 + both.abs()) + 1.0;
+        prop_assert!((e1 + e2 - both).abs() < tol,
+            "additivity: {} + {} != {}", e1, e2, both);
+        let mean = tr.mean_watts(t0, t0 + d1);
+        prop_assert!((mean * d1 - e1).abs() < 1e-6 * (1.0 + e1.abs()));
+    }
+
+    /// Dirty energy identities: linear = total − green; clamped ≥ linear;
+    /// clamped ≥ 0; and all scale with duration.
+    #[test]
+    fn dirty_energy_identities(
+        cores in 1u32..5,
+        green_level in 0.0f64..600.0,
+        duration in 0.0f64..20_000.0,
+    ) {
+        let node = NodePowerModel::paper_node(cores);
+        let tr = GreenEnergyTrace::from_hourly(vec![green_level; 24]);
+        let lin = dirty_energy_joules(&node, &tr, 0.0, duration, DirtyEnergyMode::PaperLinear);
+        let cl = dirty_energy_joules(&node, &tr, 0.0, duration, DirtyEnergyMode::Clamped);
+        let total = node.energy_joules(duration);
+        let green = tr.energy_joules(0.0, duration);
+        let tol = 1e-9 * (1.0 + total);
+        prop_assert!((lin - (total - green)).abs() < 1e-6 * (1.0 + total));
+        prop_assert!(cl >= lin - tol - 1e-6);
+        prop_assert!(cl >= -1e-9);
+        prop_assert!(cl <= total + tol + 1e-6);
+    }
+
+    /// On a flat trace, the mean-rate linearization is exact for any
+    /// duration.
+    #[test]
+    fn mean_rate_exact_on_flat_trace(
+        cores in 1u32..5,
+        green_level in 0.0f64..600.0,
+        duration in 1.0f64..20_000.0,
+    ) {
+        let node = NodePowerModel::paper_node(cores);
+        let tr = GreenEnergyTrace::from_hourly(vec![green_level; 24]);
+        let profile = NodeEnergyProfile::from_trace(&node, &tr, 0.0, 6.0 * 3600.0);
+        let exact = dirty_energy_joules(&node, &tr, 0.0, duration, DirtyEnergyMode::PaperLinear);
+        let approx = profile.linear_dirty_joules(duration);
+        prop_assert!((exact - approx).abs() < 1e-6 * (1.0 + exact.abs()));
+    }
+}

@@ -1,0 +1,601 @@
+//! Dense two-phase primal simplex.
+//!
+//! Problems are stated as `minimize c·x` over `x ≥ 0` with linear
+//! constraints `a·x {≤,≥,=} b`. Internally each right-hand side is made
+//! non-negative, slack/surplus columns are appended for inequalities, and
+//! phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible point before phase 2 optimizes the true objective. Bland's rule
+//! guarantees termination; the problems solved in this workspace have at
+//! most a few dozen variables, so numerical drift is negligible at the
+//! `1e-9` tolerance used throughout.
+
+use std::fmt;
+
+/// Numerical tolerance for feasibility/optimality decisions.
+const EPS: f64 = 1e-9;
+/// Hard iteration cap (defense in depth; Bland's rule already terminates).
+const MAX_ITERS: usize = 100_000;
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// Outcome classification of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below over the feasible region.
+    Unbounded,
+}
+
+/// Errors from problem construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint row has the wrong number of coefficients.
+    DimensionMismatch { expected: usize, got: usize },
+    /// A non-finite coefficient was supplied.
+    NonFinite,
+    /// The iteration cap was hit (should not happen with Bland's rule).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::DimensionMismatch { expected, got } => {
+                write!(f, "constraint has {got} coefficients, expected {expected}")
+            }
+            LpError::NonFinite => write!(f, "non-finite coefficient"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// A solution returned by [`Problem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Final status; `x`/`objective` are meaningful only when `Optimal`.
+    pub status: SolveStatus,
+    /// Optimal values of the structural variables (same order as the costs).
+    pub x: Vec<f64>,
+    /// Optimal objective value `c·x` (+ any constant you add externally).
+    pub objective: f64,
+    /// Simplex pivots performed across both phases.
+    pub iterations: usize,
+}
+
+/// A linear program `minimize c·x` over `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+impl Problem {
+    /// Start a minimization problem with the given cost vector.
+    pub fn minimize(costs: Vec<f64>) -> Self {
+        Problem {
+            costs,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Start a maximization problem (costs are negated internally; the
+    /// reported objective is negated back).
+    pub fn maximize(costs: Vec<f64>) -> MaximizeProblem {
+        MaximizeProblem {
+            inner: Problem::minimize(costs.iter().map(|c| -c).collect()),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Add the constraint `coeffs·x  rel  rhs`.
+    pub fn constrain(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) -> &mut Self {
+        assert_eq!(
+            coeffs.len(),
+            self.costs.len(),
+            "constraint arity must match variable count"
+        );
+        self.rows.push((coeffs, rel, rhs));
+        self
+    }
+
+    /// Validate inputs, then run two-phase simplex.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        if self.costs.iter().any(|c| !c.is_finite()) {
+            return Err(LpError::NonFinite);
+        }
+        for (coeffs, _, rhs) in &self.rows {
+            if coeffs.len() != self.costs.len() {
+                return Err(LpError::DimensionMismatch {
+                    expected: self.costs.len(),
+                    got: coeffs.len(),
+                });
+            }
+            if coeffs.iter().any(|c| !c.is_finite()) || !rhs.is_finite() {
+                return Err(LpError::NonFinite);
+            }
+        }
+        Tableau::build(self).solve()
+    }
+}
+
+/// Builder wrapper so `maximize` reads naturally at call sites.
+#[derive(Debug, Clone)]
+pub struct MaximizeProblem {
+    inner: Problem,
+}
+
+impl MaximizeProblem {
+    /// Add the constraint `coeffs·x  rel  rhs`.
+    pub fn constrain(&mut self, coeffs: Vec<f64>, rel: Relation, rhs: f64) -> &mut Self {
+        self.inner.constrain(coeffs, rel, rhs);
+        self
+    }
+
+    /// Solve; the objective is reported in maximization sign.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        let mut sol = self.inner.solve()?;
+        sol.objective = -sol.objective;
+        sol
+            .x
+            .truncate(self.inner.num_vars());
+        Ok(sol)
+    }
+}
+
+/// The dense simplex tableau.
+///
+/// Layout: `m` rows × (`n_total` variable columns + 1 rhs column). The
+/// variable columns are `[structural | slack/surplus | artificial]`.
+struct Tableau {
+    m: usize,
+    n_struct: usize,
+    n_total: usize,
+    n_artificial_start: usize,
+    /// Row-major `m × (n_total + 1)`; last column is the rhs.
+    a: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Original (phase-2) costs, padded with zeros for slack/artificials.
+    costs: Vec<f64>,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn build(p: &Problem) -> Tableau {
+        let m = p.rows.len();
+        let n_struct = p.costs.len();
+
+        // Count extra columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for (_, rel, rhs) in &p.rows {
+            // After rhs normalization the effective relation may flip.
+            let rel = effective_relation(*rel, *rhs);
+            match rel {
+                Relation::Le => n_slack += 1,
+                Relation::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Relation::Eq => n_art += 1,
+            }
+        }
+        let n_total = n_struct + n_slack + n_art;
+        let width = n_total + 1;
+        let mut a = vec![0.0; m * width];
+        let mut basis = vec![usize::MAX; m];
+
+        let mut slack_col = n_struct;
+        let art_start = n_struct + n_slack;
+        let mut art_col = art_start;
+
+        for (r, (coeffs, rel, rhs)) in p.rows.iter().enumerate() {
+            let (sign, rel) = if *rhs < 0.0 {
+                (-1.0, flip(*rel))
+            } else {
+                (1.0, *rel)
+            };
+            for (j, &c) in coeffs.iter().enumerate() {
+                a[r * width + j] = sign * c;
+            }
+            a[r * width + n_total] = sign * rhs;
+            match rel {
+                Relation::Le => {
+                    a[r * width + slack_col] = 1.0;
+                    basis[r] = slack_col;
+                    slack_col += 1;
+                }
+                Relation::Ge => {
+                    a[r * width + slack_col] = -1.0; // surplus
+                    slack_col += 1;
+                    a[r * width + art_col] = 1.0;
+                    basis[r] = art_col;
+                    art_col += 1;
+                }
+                Relation::Eq => {
+                    a[r * width + art_col] = 1.0;
+                    basis[r] = art_col;
+                    art_col += 1;
+                }
+            }
+        }
+
+        let mut costs = vec![0.0; n_total];
+        costs[..n_struct].copy_from_slice(&p.costs);
+
+        Tableau {
+            m,
+            n_struct,
+            n_total,
+            n_artificial_start: art_start,
+            a,
+            basis,
+            costs,
+            iterations: 0,
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.n_total + 1) + c]
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.n_total)
+    }
+
+    fn solve(mut self) -> Result<Solution, LpError> {
+        // ---- Phase 1: minimize the sum of artificial variables. ----
+        if self.n_artificial_start < self.n_total {
+            let phase1: Vec<f64> = (0..self.n_total)
+                .map(|j| if j >= self.n_artificial_start { 1.0 } else { 0.0 })
+                .collect();
+            let status = self.optimize(&phase1, self.n_total)?;
+            debug_assert_ne!(status, SolveStatus::Unbounded, "phase 1 is bounded below by 0");
+            let p1_obj = self.objective_value(&phase1);
+            if p1_obj > 1e-7 {
+                return Ok(Solution {
+                    status: SolveStatus::Infeasible,
+                    x: vec![0.0; self.n_struct],
+                    objective: 0.0,
+                    iterations: self.iterations,
+                });
+            }
+            self.evict_artificials();
+        }
+
+        // ---- Phase 2: minimize the true objective over non-artificials. ----
+        let costs = self.costs.clone();
+        let status = self.optimize(&costs, self.n_artificial_start)?;
+        if status == SolveStatus::Unbounded {
+            return Ok(Solution {
+                status,
+                x: vec![0.0; self.n_struct],
+                objective: f64::NEG_INFINITY,
+                iterations: self.iterations,
+            });
+        }
+
+        let mut x = vec![0.0; self.n_struct];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.n_struct {
+                x[b] = self.rhs(r);
+            }
+        }
+        let objective = self
+            .costs
+            .iter()
+            .take(self.n_struct)
+            .zip(&x)
+            .map(|(c, v)| c * v)
+            .sum();
+        Ok(Solution {
+            status: SolveStatus::Optimal,
+            x,
+            objective,
+            iterations: self.iterations,
+        })
+    }
+
+    /// Run simplex pivots for the given cost vector, considering only
+    /// columns `< col_limit` as candidates to enter the basis.
+    fn optimize(&mut self, costs: &[f64], col_limit: usize) -> Result<SolveStatus, LpError> {
+        loop {
+            self.iterations += 1;
+            if self.iterations > MAX_ITERS {
+                return Err(LpError::IterationLimit);
+            }
+            let reduced = self.reduced_costs(costs);
+            // Bland's rule: smallest-index column with negative reduced cost.
+            let entering = (0..col_limit).find(|&j| reduced[j] < -EPS);
+            let Some(entering) = entering else {
+                return Ok(SolveStatus::Optimal);
+            };
+            // Ratio test; Bland tie-break on smallest basis variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.m {
+                let a_rj = self.at(r, entering);
+                if a_rj > EPS {
+                    let ratio = self.rhs(r) / a_rj;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - EPS
+                                || (ratio < lratio + EPS && self.basis[r] < self.basis[lr])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((leaving_row, _)) = leave else {
+                return Ok(SolveStatus::Unbounded);
+            };
+            self.pivot(leaving_row, entering);
+        }
+    }
+
+    /// Reduced costs `c_j − c_B · B⁻¹ A_j` read directly off the tableau:
+    /// because the tableau is kept in canonical form, that is
+    /// `c_j − Σ_r c_basis(r) · a[r][j]`.
+    fn reduced_costs(&self, costs: &[f64]) -> Vec<f64> {
+        let mut reduced = costs.to_vec();
+        for (r, &b) in self.basis.iter().enumerate() {
+            let cb = costs[b];
+            if cb == 0.0 {
+                continue;
+            }
+            for (j, red) in reduced.iter_mut().enumerate() {
+                *red -= cb * self.at(r, j);
+            }
+        }
+        reduced
+    }
+
+    fn objective_value(&self, costs: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(r, &b)| costs[b] * self.rhs(r))
+            .sum()
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.n_total + 1;
+        let d = self.at(row, col);
+        debug_assert!(d.abs() > EPS);
+        for j in 0..width {
+            self.a[row * width + j] /= d;
+        }
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..width {
+                self.a[r * width + j] -= factor * self.a[row * width + j];
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// After phase 1, pivot any artificial variable still in the basis out
+    /// (it must sit at value 0). If its row has no eligible non-artificial
+    /// column the row is redundant and is neutralized.
+    fn evict_artificials(&mut self) {
+        for r in 0..self.m {
+            if self.basis[r] < self.n_artificial_start {
+                continue;
+            }
+            let pivot_col =
+                (0..self.n_artificial_start).find(|&j| self.at(r, j).abs() > EPS);
+            if let Some(col) = pivot_col {
+                self.pivot(r, col);
+            } else {
+                // Redundant row: zero it so it can never constrain anything.
+                let width = self.n_total + 1;
+                for j in 0..width {
+                    self.a[r * width + j] = 0.0;
+                }
+                // Leave the artificial in the basis at value 0; as its
+                // column is now all-zero it never re-enters pivoting.
+            }
+        }
+    }
+}
+
+fn flip(rel: Relation) -> Relation {
+    match rel {
+        Relation::Le => Relation::Ge,
+        Relation::Ge => Relation::Le,
+        Relation::Eq => Relation::Eq,
+    }
+}
+
+fn effective_relation(rel: Relation, rhs: f64) -> Relation {
+    if rhs < 0.0 {
+        flip(rel)
+    } else {
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> (2, 6), 36.
+        let mut p = Problem::maximize(vec![3.0, 5.0]);
+        p.constrain(vec![1.0, 0.0], Relation::Le, 4.0);
+        p.constrain(vec![0.0, 2.0], Relation::Le, 12.0);
+        p.constrain(vec![3.0, 2.0], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(close(s.objective, 36.0));
+        assert!(close(s.x[0], 2.0) && close(s.x[1], 6.0));
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> x=7,y=3 obj 23.
+        let mut p = Problem::minimize(vec![2.0, 3.0]);
+        p.constrain(vec![1.0, 1.0], Relation::Ge, 10.0);
+        p.constrain(vec![1.0, 0.0], Relation::Ge, 2.0);
+        p.constrain(vec![0.0, 1.0], Relation::Ge, 3.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(close(s.objective, 23.0), "objective {}", s.objective);
+        assert!(close(s.x[0], 7.0) && close(s.x[1], 3.0));
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + 2y = 4 -> y=2, x=0, obj 2.
+        let mut p = Problem::minimize(vec![1.0, 1.0]);
+        p.constrain(vec![1.0, 2.0], Relation::Eq, 4.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(close(s.objective, 2.0));
+        assert!(close(s.x[1], 2.0));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize(vec![1.0]);
+        p.constrain(vec![1.0], Relation::Le, 1.0);
+        p.constrain(vec![1.0], Relation::Ge, 2.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x with only x >= 0 constraint-free in that direction.
+        let mut p = Problem::minimize(vec![-1.0, 0.0]);
+        p.constrain(vec![0.0, 1.0], Relation::Le, 5.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x - y <= -2 with min x + y  ->  y >= x + 2, best x=0,y=2.
+        let mut p = Problem::minimize(vec![1.0, 1.0]);
+        p.constrain(vec![1.0, -1.0], Relation::Le, -2.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(close(s.objective, 2.0));
+        assert!(close(s.x[0], 0.0) && close(s.x[1], 2.0));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple constraints meeting at a degenerate vertex.
+        let mut p = Problem::maximize(vec![1.0, 1.0]);
+        p.constrain(vec![1.0, 0.0], Relation::Le, 1.0);
+        p.constrain(vec![1.0, 0.0], Relation::Le, 1.0);
+        p.constrain(vec![1.0, 1.0], Relation::Le, 2.0);
+        p.constrain(vec![0.0, 1.0], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(close(s.objective, 2.0));
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // Duplicate equality rows exercise the redundant-row path in
+        // evict_artificials.
+        let mut p = Problem::minimize(vec![1.0, 2.0]);
+        p.constrain(vec![1.0, 1.0], Relation::Eq, 3.0);
+        p.constrain(vec![1.0, 1.0], Relation::Eq, 3.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(close(s.objective, 3.0));
+        assert!(close(s.x[0], 3.0));
+    }
+
+    #[test]
+    fn partitioning_shaped_lp() {
+        // The paper's LP with alpha=1 (pure makespan): 3 nodes with rates
+        // implied by slopes m = [1, 2, 4] (time per element), c = 0,
+        // N = 700. Optimal: x proportional to 1/m: x = [400, 200, 100],
+        // v = 400.
+        let n_nodes = 3;
+        let m = [1.0, 2.0, 4.0];
+        let total = 700.0;
+        // Variables: [x0, x1, x2, v].
+        let mut costs = vec![0.0; n_nodes + 1];
+        costs[n_nodes] = 1.0; // minimize v
+        let mut p = Problem::minimize(costs);
+        for i in 0..n_nodes {
+            // m_i x_i - v <= 0
+            let mut row = vec![0.0; n_nodes + 1];
+            row[i] = m[i];
+            row[n_nodes] = -1.0;
+            p.constrain(row, Relation::Le, 0.0);
+        }
+        let mut sum_row = vec![1.0; n_nodes + 1];
+        sum_row[n_nodes] = 0.0;
+        p.constrain(sum_row, Relation::Eq, total);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(close(s.objective, 400.0), "v = {}", s.objective);
+        assert!(close(s.x[0], 400.0) && close(s.x[1], 200.0) && close(s.x[2], 100.0));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut p = Problem::minimize(vec![f64::NAN]);
+        p.constrain(vec![1.0], Relation::Le, 1.0);
+        assert_eq!(p.solve(), Err(LpError::NonFinite));
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint arity")]
+    fn panics_on_bad_arity() {
+        let mut p = Problem::minimize(vec![1.0, 2.0]);
+        p.constrain(vec![1.0], Relation::Le, 1.0);
+    }
+
+    #[test]
+    fn zero_variable_problem() {
+        let p = Problem::minimize(vec![]);
+        let s = p.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert_eq!(s.objective, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! MinHash sketching (paper §III-C step 2).
+//!
+//! High-dimensional item sets are projected to short **sketches** whose
+//! coordinate-wise collision probability equals the sets' Jaccard
+//! similarity (Broder et al., STOC 1998). Because a true random permutation
+//! of a `u64` universe is unaffordable, the paper — citing Bohman, Cooper &
+//! Frieze (2000) — uses **min-wise independent linear permutations**
+//! `π(x) = (a·x + b) mod p` over a prime field, which approximate min-wise
+//! independence well in practice. That is exactly what this crate
+//! implements.
+//!
+//! A [`Signature`] is also the input record format of the compositeKModes
+//! stratifier: each of the `k` hash coordinates is one categorical
+//! attribute.
+//!
+//! ```
+//! use pareto_datagen::ItemSet;
+//! use pareto_sketch::MinHasher;
+//!
+//! let hasher = MinHasher::new(128, 42);
+//! let a = ItemSet::from_items((0..100).collect());
+//! let b = ItemSet::from_items((50..150).collect());
+//! let (sa, sb) = (hasher.sketch(&a), hasher.sketch(&b));
+//! let est = sa.estimate_jaccard(&sb);
+//! let exact = a.jaccard(&b); // 50 / 150
+//! assert!((est - exact).abs() < 0.15);
+//! ```
+
+mod permutation;
+
+pub use permutation::LinearPermutation;
+
+use pareto_datagen::ItemSet;
+
+/// A MinHash signature: the per-permutation minima of one item set.
+///
+/// Signatures produced by the same [`MinHasher`] are comparable; mixing
+/// hashers yields garbage (no type-level guard — the stratifier owns one
+/// hasher for a whole dataset).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    values: Vec<u64>,
+}
+
+impl Signature {
+    /// Number of hash functions (sketch dimensionality `k`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the signature has zero coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Coordinate values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Estimate Jaccard similarity as the fraction of matching coordinates.
+    ///
+    /// # Panics
+    /// Panics if the signatures have different lengths.
+    pub fn estimate_jaccard(&self, other: &Signature) -> f64 {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "signatures from different hashers"
+        );
+        if self.values.is_empty() {
+            return 1.0;
+        }
+        let matches = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a == b)
+            .count();
+        matches as f64 / self.values.len() as f64
+    }
+}
+
+/// A family of `k` independent linear permutations.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    perms: Vec<LinearPermutation>,
+}
+
+impl MinHasher {
+    /// Create `k` permutations seeded deterministically from `seed`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        let mut seq = SeedSeq::new(seed);
+        let perms = (0..k)
+            .map(|_| LinearPermutation::from_seed(seq.next()))
+            .collect();
+        MinHasher { perms }
+    }
+
+    /// Sketch dimensionality `k`.
+    pub fn num_hashes(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Sketch an item set: coordinate `j` is `min_{x∈S} π_j(x)`.
+    ///
+    /// The empty set sketches to all-`u64::MAX` (a reserved value no
+    /// permutation output attains, since outputs are `< p < u64::MAX`).
+    pub fn sketch(&self, set: &ItemSet) -> Signature {
+        let mut values = vec![u64::MAX; self.perms.len()];
+        for x in set.iter() {
+            for (v, perm) in values.iter_mut().zip(&self.perms) {
+                let h = perm.apply(x);
+                if h < *v {
+                    *v = h;
+                }
+            }
+        }
+        Signature { values }
+    }
+
+    /// Sketch many sets (convenience for dataset-level sketching).
+    pub fn sketch_all<'a, I>(&self, sets: I) -> Vec<Signature>
+    where
+        I: IntoIterator<Item = &'a ItemSet>,
+    {
+        sets.into_iter().map(|s| self.sketch(s)).collect()
+    }
+}
+
+/// Minimal internal seed splitter (kept local to avoid a dependency cycle
+/// with `pareto-stats`; same SplitMix64 construction).
+struct SeedSeq {
+    base: u64,
+    ctr: u64,
+}
+
+impl SeedSeq {
+    fn new(base: u64) -> Self {
+        SeedSeq { base, ctr: 0 }
+    }
+    fn next(&mut self) -> u64 {
+        let mut z = self
+            .base
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.ctr)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.ctr += 1;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_identical_signatures() {
+        let h = MinHasher::new(64, 1);
+        let s = ItemSet::from_items(vec![3, 9, 27, 81]);
+        assert_eq!(h.sketch(&s), h.sketch(&s));
+        assert_eq!(h.sketch(&s).estimate_jaccard(&h.sketch(&s)), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_low_estimate() {
+        let h = MinHasher::new(128, 2);
+        let a = ItemSet::from_items((0..200).collect());
+        let b = ItemSet::from_items((10_000..10_200).collect());
+        assert!(h.sketch(&a).estimate_jaccard(&h.sketch(&b)) < 0.1);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        let h = MinHasher::new(256, 3);
+        for (lo, hi) in [(0u64, 100u64), (25, 125), (50, 150), (90, 190)] {
+            let a = ItemSet::from_items((0..100).collect());
+            let b = ItemSet::from_items((lo..hi).collect());
+            let exact = a.jaccard(&b);
+            let est = h.sketch(&a).estimate_jaccard(&h.sketch(&b));
+            assert!(
+                (est - exact).abs() < 0.12,
+                "exact {exact}, est {est} for range {lo}..{hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_sketch_is_sentinel() {
+        let h = MinHasher::new(8, 4);
+        let sig = h.sketch(&ItemSet::empty());
+        assert!(sig.values().iter().all(|&v| v == u64::MAX));
+        // Two empty sets are identical.
+        assert_eq!(sig.estimate_jaccard(&h.sketch(&ItemSet::empty())), 1.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s = ItemSet::from_items(vec![1, 2, 3]);
+        let a = MinHasher::new(16, 1).sketch(&s);
+        let b = MinHasher::new(16, 2).sketch(&s);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different hashers")]
+    fn mismatched_lengths_panic() {
+        let s = ItemSet::from_items(vec![1]);
+        let a = MinHasher::new(4, 1).sketch(&s);
+        let b = MinHasher::new(8, 1).sketch(&s);
+        let _ = a.estimate_jaccard(&b);
+    }
+
+    #[test]
+    fn sketch_all_matches_individual() {
+        let h = MinHasher::new(8, 9);
+        let sets = [ItemSet::from_items(vec![1, 2]),
+            ItemSet::from_items(vec![2, 3])];
+        let all = h.sketch_all(sets.iter());
+        assert_eq!(all[0], h.sketch(&sets[0]));
+        assert_eq!(all[1], h.sketch(&sets[1]));
+    }
+
+    #[test]
+    fn subset_similarity_ordering_preserved() {
+        // est(a, a-with-1-change) > est(a, a-with-many-changes).
+        let h = MinHasher::new(256, 5);
+        let base: Vec<u64> = (0..64).collect();
+        let a = ItemSet::from_items(base.clone());
+        let mut one = base.clone();
+        one[0] = 1000;
+        let mut many = base.clone();
+        for (i, v) in many.iter_mut().enumerate().take(32) {
+            *v = 2000 + i as u64;
+        }
+        let sa = h.sketch(&a);
+        let e1 = sa.estimate_jaccard(&h.sketch(&ItemSet::from_items(one)));
+        let e2 = sa.estimate_jaccard(&h.sketch(&ItemSet::from_items(many)));
+        assert!(e1 > e2);
+    }
+}

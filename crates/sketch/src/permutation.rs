@@ -1,0 +1,171 @@
+//! Min-wise independent *linear* permutations (Bohman–Cooper–Frieze 2000).
+//!
+//! `π(x) = (a·x + b) mod p` with `p` prime and `a ∈ [1, p)`, `b ∈ [0, p)`
+//! is a bijection of `Z_p`. A family of such maps is approximately min-wise
+//! independent — the cheap stand-in for truly random permutations the paper
+//! adopts because "the cardinality of the universal set can be extremely
+//! large" (§III-C).
+//!
+//! We use the Mersenne prime `p = 2^61 − 1`, which admits a fast reduction
+//! and leaves `u64::MAX` free as the empty-set sentinel.
+
+/// The Mersenne prime `2^61 − 1`.
+pub const PRIME: u64 = (1u64 << 61) - 1;
+
+/// One linear permutation `x ↦ (a·x + b) mod p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearPermutation {
+    a: u64,
+    b: u64,
+}
+
+impl LinearPermutation {
+    /// Construct with explicit coefficients.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ a < p` and `b < p` (otherwise the map would not
+    /// be a bijection of `Z_p`).
+    pub fn new(a: u64, b: u64) -> Self {
+        assert!((1..PRIME).contains(&a), "a must be in [1, p)");
+        assert!(b < PRIME, "b must be in [0, p)");
+        LinearPermutation { a, b }
+    }
+
+    /// Derive coefficients from a seed (SplitMix64 expansion).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let a = next() % (PRIME - 1) + 1;
+        let b = next() % PRIME;
+        LinearPermutation { a, b }
+    }
+
+    /// Apply the permutation. Inputs ≥ `p` are first reduced mod `p`
+    /// (a 64-bit universe folds onto `Z_p`; the fold is 2-to-1 for a
+    /// negligible fraction of inputs and does not affect sketch quality).
+    #[inline]
+    pub fn apply(&self, x: u64) -> u64 {
+        mulmod(self.a, x % PRIME).wrapping_add(self.b) % PRIME
+    }
+
+    /// The multiplier coefficient.
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// The offset coefficient.
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+}
+
+/// `(a · b) mod p` for `p = 2^61 − 1`, via 128-bit multiply and Mersenne
+/// folding.
+#[inline]
+fn mulmod(a: u64, b: u64) -> u64 {
+    let prod = a as u128 * b as u128;
+    // Fold the 122-bit product: p = 2^61 - 1 means 2^61 ≡ 1 (mod p).
+    let lo = (prod & ((1u128 << 61) - 1)) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut r = lo.wrapping_add(hi % PRIME);
+    if r >= PRIME {
+        r -= PRIME;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulmod_matches_u128_reference() {
+        let cases = [
+            (0u64, 0u64),
+            (1, PRIME - 1),
+            (PRIME - 1, PRIME - 1),
+            (123_456_789, 987_654_321),
+            (1u64 << 60, (1u64 << 60) + 12345),
+        ];
+        for (a, b) in cases {
+            let expected = ((a as u128 * b as u128) % PRIME as u128) as u64;
+            assert_eq!(mulmod(a % PRIME, b % PRIME), expected, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn apply_is_injective_on_sample() {
+        let p = LinearPermutation::from_seed(7);
+        let mut outs: Vec<u64> = (0..10_000u64).map(|x| p.apply(x)).collect();
+        outs.sort_unstable();
+        let len = outs.len();
+        outs.dedup();
+        assert_eq!(outs.len(), len, "collision found — not a permutation");
+    }
+
+    #[test]
+    fn outputs_in_field_range() {
+        let p = LinearPermutation::from_seed(99);
+        for x in [0u64, 1, PRIME - 1, PRIME, u64::MAX] {
+            assert!(p.apply(x) < PRIME);
+        }
+    }
+
+    #[test]
+    fn from_seed_deterministic() {
+        assert_eq!(LinearPermutation::from_seed(5), LinearPermutation::from_seed(5));
+        assert_ne!(LinearPermutation::from_seed(5), LinearPermutation::from_seed(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be")]
+    fn new_rejects_zero_multiplier() {
+        let _ = LinearPermutation::new(0, 0);
+    }
+
+    #[test]
+    fn identity_like_permutation() {
+        // a=1, b=0 is the identity on Z_p.
+        let p = LinearPermutation::new(1, 0);
+        for x in [0u64, 5, 1000, PRIME - 1] {
+            assert_eq!(p.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn min_distribution_is_roughly_uniform() {
+        // The argmin of a min-wise independent family over a fixed set
+        // should be near-uniform across the set's elements.
+        let set: Vec<u64> = (0..16).map(|i| i * 7919 + 3).collect();
+        let mut argmin_counts = vec![0usize; set.len()];
+        for seed in 0..4000u64 {
+            let p = LinearPermutation::from_seed(seed);
+            let (mut best_i, mut best_v) = (0usize, u64::MAX);
+            for (i, &x) in set.iter().enumerate() {
+                let v = p.apply(x);
+                if v < best_v {
+                    best_v = v;
+                    best_i = i;
+                }
+            }
+            argmin_counts[best_i] += 1;
+        }
+        // Linear permutations are only *approximately* min-wise independent
+        // (Bohman–Cooper–Frieze bound the bias, they don't eliminate it), so
+        // the tolerance here is deliberately loose: every element must get a
+        // non-trivial share of argmins, within 2.5x of uniform.
+        let expected = 4000.0 / set.len() as f64;
+        for &c in &argmin_counts {
+            assert!(
+                (c as f64) > expected * 0.4 && (c as f64) < expected * 2.5,
+                "argmin counts far from uniform: {argmin_counts:?}"
+            );
+        }
+    }
+}

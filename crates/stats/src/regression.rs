@@ -1,0 +1,379 @@
+//! Least-squares regression for execution-time utility functions.
+//!
+//! The heterogeneity estimator (paper §III-A) runs the real analytics
+//! algorithm on progressively larger samples and fits a **linear** model
+//! `f(x) = m·x + c` from the observed `(sample size, execution time)` pairs.
+//! The paper also discusses (§III-D) and rejects higher-order polynomial
+//! fits because they overfit the handful of progressive samples; we provide
+//! both so the ablation can be reproduced.
+
+use std::fmt;
+
+/// Errors from fitting a regression model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer observations than model coefficients.
+    TooFewPoints { needed: usize, got: usize },
+    /// The normal-equation system is singular (e.g. all x identical).
+    Singular,
+    /// A non-finite input value was supplied.
+    NonFinite,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::TooFewPoints { needed, got } => {
+                write!(f, "regression needs at least {needed} points, got {got}")
+            }
+            RegressionError::Singular => write!(f, "normal equations are singular"),
+            RegressionError::NonFinite => write!(f, "non-finite observation supplied"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// An ordinary-least-squares line `y = slope·x + intercept`.
+///
+/// This is the paper's per-node utility function `f_i(x) = m_i x + c_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// `m_i`: marginal cost per data element (e.g. seconds/element).
+    pub slope: f64,
+    /// `c_i`: fixed per-job overhead.
+    pub intercept: f64,
+    /// Coefficient of determination on the training points.
+    pub r_squared: f64,
+    /// Number of observations used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fit a line to `(x, y)` observations by ordinary least squares.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, RegressionError> {
+        if points.len() < 2 {
+            return Err(RegressionError::TooFewPoints {
+                needed: 2,
+                got: points.len(),
+            });
+        }
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(RegressionError::NonFinite);
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let mean_x = sx / n;
+        let mean_y = sy / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &(x, y) in points {
+            let dx = x - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (y - mean_y);
+        }
+        if sxx <= f64::EPSILON * mean_x.abs().max(1.0) {
+            return Err(RegressionError::Singular);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+
+        // R^2 = 1 - SS_res / SS_tot (define R^2 = 1 when y is constant and
+        // perfectly predicted).
+        let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|&(x, y)| (y - (slope * x + intercept)).powi(2))
+            .sum();
+        let r_squared = if ss_tot <= f64::EPSILON {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+            n: points.len(),
+        })
+    }
+
+    /// Predict `y` at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// A polynomial fit `y = c0 + c1 x + … + c_d x^d` of degree `d`.
+///
+/// Used only by the §III-D ablation: with the few points progressive
+/// sampling affords, degrees ≥ 2 extrapolate poorly to full-partition sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Coefficients in ascending-degree order, `coeffs[k]` multiplies `x^k`.
+    pub coeffs: Vec<f64>,
+    /// Coefficient of determination on the training points.
+    pub r_squared: f64,
+}
+
+impl PolyFit {
+    /// Fit a polynomial of the given degree by solving the normal equations
+    /// `(XᵀX) c = Xᵀy` with partial-pivot Gaussian elimination.
+    ///
+    /// The abscissae are scaled to `[0, 1]` internally for conditioning; the
+    /// returned coefficients are mapped back to the original units.
+    pub fn fit(points: &[(f64, f64)], degree: usize) -> Result<Self, RegressionError> {
+        let k = degree + 1;
+        if points.len() < k {
+            return Err(RegressionError::TooFewPoints {
+                needed: k,
+                got: points.len(),
+            });
+        }
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(RegressionError::NonFinite);
+        }
+        let scale = points
+            .iter()
+            .map(|p| p.0.abs())
+            .fold(0.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+
+        // Build the normal equations in the scaled variable u = x/scale.
+        let mut ata = vec![0.0; k * k];
+        let mut aty = vec![0.0; k];
+        for &(x, y) in points {
+            let u = x / scale;
+            let mut pow = vec![0.0; k];
+            let mut p = 1.0;
+            for slot in pow.iter_mut() {
+                *slot = p;
+                p *= u;
+            }
+            for i in 0..k {
+                aty[i] += pow[i] * y;
+                for j in 0..k {
+                    ata[i * k + j] += pow[i] * pow[j];
+                }
+            }
+        }
+        let scaled = solve_dense(&mut ata, &mut aty, k).ok_or(RegressionError::Singular)?;
+        // Map c'_k (coefficients of u^k) back to x units: c_k = c'_k / scale^k.
+        let mut coeffs = Vec::with_capacity(k);
+        let mut s = 1.0;
+        for c in scaled {
+            coeffs.push(c / s);
+            s *= scale;
+        }
+
+        let mean_y: f64 = points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64;
+        let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|&(x, y)| {
+                let pred = eval_poly(&coeffs, x);
+                (y - pred).powi(2)
+            })
+            .sum();
+        let r_squared = if ss_tot <= f64::EPSILON {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(PolyFit { coeffs, r_squared })
+    }
+
+    /// Evaluate the polynomial at `x` (Horner's rule).
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        eval_poly(&self.coeffs, x)
+    }
+
+    /// Degree of the fitted polynomial.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+fn eval_poly(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Solve a dense `n×n` system in place; returns `None` if singular.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        // Partial pivoting.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                piv = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for j in 0..n {
+                a.swap(col * n + j, piv * n + j);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..n {
+            acc -= a[row * n + j] * x[j];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert_close(fit.slope, 3.0, 1e-9);
+        assert_close(fit.intercept, 7.0, 1e-9);
+        assert_close(fit.r_squared, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_with_noise_is_near_truth() {
+        // Deterministic pseudo-noise.
+        let pts: Vec<(f64, f64)> = (1..=50)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                let noise = ((i * 2654435761u64 % 1000) as f64 / 1000.0 - 0.5) * 2.0;
+                (x, 0.5 * x + 20.0 + noise)
+            })
+            .collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert_close(fit.slope, 0.5, 0.01);
+        assert_close(fit.intercept, 20.0, 3.0);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn linear_fit_rejects_degenerate_input() {
+        assert!(matches!(
+            LinearFit::fit(&[(1.0, 2.0)]),
+            Err(RegressionError::TooFewPoints { .. })
+        ));
+        assert_eq!(
+            LinearFit::fit(&[(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)]),
+            Err(RegressionError::Singular)
+        );
+        assert_eq!(
+            LinearFit::fit(&[(1.0, f64::NAN), (2.0, 3.0)]),
+            Err(RegressionError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn linear_fit_constant_y_has_unit_r_squared() {
+        let pts = [(1.0, 4.0), (2.0, 4.0), (3.0, 4.0)];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert_close(fit.slope, 0.0, 1e-12);
+        assert_close(fit.intercept, 4.0, 1e-12);
+        assert_close(fit.r_squared, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn poly_fit_degree1_matches_linear() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 - 1.0)).collect();
+        let p = PolyFit::fit(&pts, 1).unwrap();
+        let l = LinearFit::fit(&pts).unwrap();
+        assert_close(p.coeffs[0], l.intercept, 1e-6);
+        assert_close(p.coeffs[1], l.slope, 1e-6);
+    }
+
+    #[test]
+    fn poly_fit_recovers_quadratic() {
+        let pts: Vec<(f64, f64)> = (0..12)
+            .map(|i| {
+                let x = i as f64;
+                (x, 1.5 * x * x - 2.0 * x + 4.0)
+            })
+            .collect();
+        let p = PolyFit::fit(&pts, 2).unwrap();
+        assert_close(p.coeffs[2], 1.5, 1e-6);
+        assert_close(p.coeffs[1], -2.0, 1e-5);
+        assert_close(p.coeffs[0], 4.0, 1e-5);
+        assert_close(p.predict(20.0), 1.5 * 400.0 - 40.0 + 4.0, 1e-3);
+    }
+
+    #[test]
+    fn poly_fit_handles_large_x_scales() {
+        // Progressive-sampling x values are item counts (1e4..1e7); the
+        // internal rescaling must keep the normal equations well-conditioned.
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = i as f64 * 1.0e6;
+                (x, 3.0e-6 * x + 12.0)
+            })
+            .collect();
+        let p = PolyFit::fit(&pts, 2).unwrap();
+        assert_close(p.predict(5.0e6), 27.0, 1e-3);
+    }
+
+    #[test]
+    fn poly_fit_needs_enough_points() {
+        let pts = [(0.0, 1.0), (1.0, 2.0)];
+        assert!(matches!(
+            PolyFit::fit(&pts, 2),
+            Err(RegressionError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn overfit_cubic_extrapolates_worse_than_linear() {
+        // The paper's §III-D claim: with few noisy samples, higher-order
+        // polynomials extrapolate worse than the linear model.
+        let truth = |x: f64| 2.0e-4 * x + 5.0;
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = i as f64 * 1000.0;
+                let noise = ((i * 40503) % 17) as f64 / 17.0 - 0.5;
+                (x, truth(x) + noise)
+            })
+            .collect();
+        let lin = LinearFit::fit(&pts).unwrap();
+        let cub = PolyFit::fit(&pts, 3).unwrap();
+        let x_far = 200_000.0;
+        let err_lin = (lin.predict(x_far) - truth(x_far)).abs();
+        let err_cub = (cub.predict(x_far) - truth(x_far)).abs();
+        assert!(
+            err_cub > err_lin,
+            "expected cubic extrapolation error ({err_cub}) > linear ({err_lin})"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! External cluster-quality metrics.
+//!
+//! The framework never sees ground truth; these metrics exist so tests and
+//! the ablation benches can score the stratifier against the planted
+//! clusters of the synthetic generators.
+
+use std::collections::HashMap;
+
+/// Cluster purity: for each predicted cluster take its majority true label;
+/// purity is the fraction of points covered by their cluster's majority.
+/// 1.0 means every cluster is label-pure.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn cluster_purity(predicted: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let mut per_cluster: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    for (&p, &t) in predicted.iter().zip(truth) {
+        *per_cluster.entry(p).or_default().entry(t).or_insert(0) += 1;
+    }
+    let majority_sum: usize = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / predicted.len() as f64
+}
+
+/// Normalized mutual information between two labelings, in `[0, 1]`
+/// (1 = identical partitions up to renaming). Uses the arithmetic-mean
+/// normalization `NMI = 2·I(P;T) / (H(P) + H(T))`; if either labeling has
+/// zero entropy, returns 1 if the other does too, else 0.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn normalized_mutual_information(predicted: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let n = predicted.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut joint: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut pm: HashMap<u32, usize> = HashMap::new();
+    let mut tm: HashMap<u32, usize> = HashMap::new();
+    for (&p, &t) in predicted.iter().zip(truth) {
+        *joint.entry((p, t)).or_insert(0) += 1;
+        *pm.entry(p).or_insert(0) += 1;
+        *tm.entry(t).or_insert(0) += 1;
+    }
+    let nf = n as f64;
+    let entropy = |m: &HashMap<u32, usize>| -> f64 {
+        -m.values()
+            .map(|&c| {
+                let p = c as f64 / nf;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    };
+    let hp = entropy(&pm);
+    let ht = entropy(&tm);
+    if hp <= 0.0 || ht <= 0.0 {
+        return if hp <= 0.0 && ht <= 0.0 { 1.0 } else { 0.0 };
+    }
+    let mut mi = 0.0;
+    for (&(p, t), &c) in &joint {
+        let pxy = c as f64 / nf;
+        let px = pm[&p] as f64 / nf;
+        let py = tm[&t] as f64 / nf;
+        mi += pxy * (pxy / (px * py)).log2();
+    }
+    (2.0 * mi / (hp + ht)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity_perfect_clustering() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [5, 5, 9, 9, 1, 1]; // same partition, renamed
+        assert_eq!(cluster_purity(&pred, &truth), 1.0);
+        assert!((normalized_mutual_information(&pred, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_of_merged_clusters() {
+        // One predicted cluster holding two truth labels: purity = 4/6.
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [0, 0, 0, 0, 1, 1];
+        assert!((cluster_purity(&pred, &truth) - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purity_all_singletons_is_one() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 2, 3];
+        assert_eq!(cluster_purity(&pred, &truth), 1.0);
+        // …but NMI penalizes over-segmentation.
+        assert!(normalized_mutual_information(&pred, &truth) < 1.0);
+    }
+
+    #[test]
+    fn nmi_independent_labelings_low() {
+        let truth = [0, 1, 0, 1, 0, 1, 0, 1];
+        let pred = [0, 0, 1, 1, 0, 0, 1, 1];
+        assert!(normalized_mutual_information(&pred, &truth) < 0.1);
+    }
+
+    #[test]
+    fn nmi_degenerate_single_cluster() {
+        let truth = [0, 1, 2];
+        let pred = [7, 7, 7];
+        assert_eq!(normalized_mutual_information(&pred, &truth), 0.0);
+        assert_eq!(normalized_mutual_information(&[3, 3], &[9, 9]), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(cluster_purity(&[], &[]), 1.0);
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        cluster_purity(&[1], &[1, 2]);
+    }
+}

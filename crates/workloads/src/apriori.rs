@@ -1,0 +1,475 @@
+//! Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+//!
+//! The classic level-wise algorithm: count 1-itemsets, then repeatedly
+//! join the frequent `(k−1)`-itemsets into `k`-candidates, prune candidates
+//! with an infrequent subset, and count the survivors against the
+//! transactions. The returned `ops` tally counts every transaction-item
+//! touch and every candidate containment probe — the quantity that actually
+//! drives runtime ("the total number of candidate patterns represents the
+//! search space", paper §I).
+
+use std::collections::HashMap;
+
+use pareto_datagen::ItemSet;
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AprioriConfig {
+    /// Minimum support as a fraction of the transaction count (0, 1].
+    pub min_support: f64,
+    /// Upper bound on itemset length (defense against candidate
+    /// explosions on pathological inputs; the paper's experiments vary
+    /// support rather than length).
+    pub max_len: usize,
+    /// Hard cap on live candidates per level (0 = unlimited). A bound
+    /// explosion guard only: when it binds, mining (and SON exactness) is
+    /// truncated — size workloads so it never binds in experiments.
+    pub max_candidates: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig {
+            min_support: 0.1,
+            max_len: 4,
+            max_candidates: 200_000,
+        }
+    }
+}
+
+/// One frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, sorted ascending.
+    pub items: Vec<u64>,
+    /// Number of transactions containing all the items.
+    pub count: u32,
+}
+
+/// Result of one mining run.
+#[derive(Debug, Clone, Default)]
+pub struct MiningOutput {
+    /// All frequent itemsets, every length, sorted by (len, items).
+    pub itemsets: Vec<FrequentItemset>,
+    /// Total candidates generated across levels (the search-space size).
+    pub candidates_generated: u64,
+    /// Number of transactions mined.
+    pub num_transactions: usize,
+}
+
+impl MiningOutput {
+    /// Frequent itemsets of exactly length `k`.
+    pub fn of_len(&self, k: usize) -> impl Iterator<Item = &FrequentItemset> {
+        self.itemsets.iter().filter(move |s| s.items.len() == k)
+    }
+
+    /// The **closed** frequent itemsets: those with no frequent superset
+    /// of identical support (the lossless condensed representation the
+    /// CloseGraph line of work — the paper's reference [23] — mines
+    /// directly; here derived by post-processing).
+    pub fn closed_itemsets(&self) -> Vec<&FrequentItemset> {
+        self.itemsets
+            .iter()
+            .filter(|f| {
+                !self.itemsets.iter().any(|g| {
+                    g.count == f.count
+                        && g.items.len() > f.items.len()
+                        && is_subset(&f.items, &g.items)
+                })
+            })
+            .collect()
+    }
+}
+
+/// `a ⊆ b` for sorted item slices.
+fn is_subset(a: &[u64], b: &[u64]) -> bool {
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// The miner.
+///
+/// ```
+/// use pareto_datagen::ItemSet;
+/// use pareto_workloads::{Apriori, AprioriConfig};
+///
+/// let db: Vec<ItemSet> = [vec![1u64, 2, 3], vec![1, 2], vec![2, 3]]
+///     .into_iter()
+///     .map(ItemSet::from_items)
+///     .collect();
+/// let refs: Vec<&ItemSet> = db.iter().collect();
+/// let (out, ops) = Apriori::new(AprioriConfig {
+///     min_support: 0.6, // at least 2 of 3 transactions
+///     ..AprioriConfig::default()
+/// })
+/// .mine(&refs);
+/// assert!(out.itemsets.iter().any(|f| f.items == vec![1, 2] && f.count == 2));
+/// assert!(ops > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Apriori {
+    cfg: AprioriConfig,
+}
+
+impl Apriori {
+    /// Create a miner.
+    pub fn new(cfg: AprioriConfig) -> Self {
+        assert!(
+            cfg.min_support > 0.0 && cfg.min_support <= 1.0,
+            "support must be in (0, 1]"
+        );
+        assert!(cfg.max_len >= 1);
+        Apriori { cfg }
+    }
+
+    /// Absolute support threshold for `n` transactions.
+    pub fn abs_support(&self, n: usize) -> u32 {
+        ((self.cfg.min_support * n as f64).ceil() as u32).max(1)
+    }
+
+    /// Mine the transactions. Returns the output and the exact op count.
+    pub fn mine(&self, transactions: &[&ItemSet]) -> (MiningOutput, u64) {
+        let n = transactions.len();
+        let mut ops: u64 = 0;
+        let mut out = MiningOutput {
+            num_transactions: n,
+            ..MiningOutput::default()
+        };
+        if n == 0 {
+            return (out, ops);
+        }
+        let minsup = self.abs_support(n);
+
+        // --- L1: singleton counts ---
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for t in transactions {
+            ops += t.len() as u64;
+            for item in t.iter() {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        let mut frequent: Vec<FrequentItemset> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= minsup)
+            .map(|(item, count)| FrequentItemset {
+                items: vec![item],
+                count,
+            })
+            .collect();
+        frequent.sort_by(|a, b| a.items.cmp(&b.items));
+        out.candidates_generated += frequent.len() as u64;
+
+        let mut level: Vec<Vec<u64>> = frequent.iter().map(|f| f.items.clone()).collect();
+        out.itemsets.append(&mut frequent);
+
+        // --- Level-wise loop ---
+        let mut k = 2;
+        while !level.is_empty() && k <= self.cfg.max_len {
+            let (candidates, gen_ops) = self.generate_candidates(&level);
+            ops += gen_ops;
+            out.candidates_generated += candidates.len() as u64;
+            if candidates.is_empty() {
+                break;
+            }
+            let (counted, count_ops) = count_candidates(&candidates, transactions);
+            ops += count_ops;
+            let mut next_level = Vec::new();
+            let mut next_frequent = Vec::new();
+            for (cand, count) in candidates.into_iter().zip(counted) {
+                if count >= minsup {
+                    next_level.push(cand.clone());
+                    next_frequent.push(FrequentItemset { items: cand, count });
+                }
+            }
+            out.itemsets.extend(next_frequent);
+            level = next_level;
+            k += 1;
+        }
+        out.itemsets
+            .sort_by(|a, b| (a.items.len(), &a.items).cmp(&(b.items.len(), &b.items)));
+        (out, ops)
+    }
+
+    /// Join step + prune step over the sorted `(k−1)`-level.
+    fn generate_candidates(&self, level: &[Vec<u64>]) -> (Vec<Vec<u64>>, u64) {
+        let mut ops = 0u64;
+        let mut candidates = Vec::new();
+        let k_minus_1 = match level.first() {
+            Some(first) => first.len(),
+            None => return (candidates, ops),
+        };
+        // Join: pairs sharing the first k-2 items (level is sorted, so
+        // joinable sets are adjacent runs).
+        let mut start = 0;
+        while start < level.len() {
+            let mut end = start + 1;
+            while end < level.len()
+                && level[end][..k_minus_1 - 1] == level[start][..k_minus_1 - 1]
+            {
+                end += 1;
+            }
+            for i in start..end {
+                for j in (i + 1)..end {
+                    ops += k_minus_1 as u64;
+                    let mut cand = level[i].clone();
+                    cand.push(level[j][k_minus_1 - 1]);
+                    // Prune: all (k−1)-subsets must be frequent.
+                    if self.all_subsets_frequent(&cand, level, &mut ops) {
+                        candidates.push(cand);
+                        if self.cfg.max_candidates > 0
+                            && candidates.len() >= self.cfg.max_candidates
+                        {
+                            return (candidates, ops);
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        (candidates, ops)
+    }
+
+    fn all_subsets_frequent(&self, cand: &[u64], level: &[Vec<u64>], ops: &mut u64) -> bool {
+        // The two subsets from the join are frequent by construction; check
+        // the rest (drop positions 0..k-2).
+        let k = cand.len();
+        let mut subset = Vec::with_capacity(k - 1);
+        for drop in 0..k - 2 {
+            subset.clear();
+            subset.extend(cand.iter().enumerate().filter_map(|(i, &v)| {
+                if i == drop {
+                    None
+                } else {
+                    Some(v)
+                }
+            }));
+            *ops += (k as u64) * (level.len() as f64).log2().ceil() as u64;
+            if level.binary_search_by(|probe| probe.as_slice().cmp(&subset)).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Count how many transactions contain each candidate. Returns per-
+/// candidate counts and the op tally (one op per item comparison).
+pub fn count_candidates(candidates: &[Vec<u64>], transactions: &[&ItemSet]) -> (Vec<u32>, u64) {
+    let mut counts = vec![0u32; candidates.len()];
+    let mut ops = 0u64;
+    for t in transactions {
+        for (ci, cand) in candidates.iter().enumerate() {
+            ops += cand.len() as u64;
+            if cand.iter().all(|&item| t.contains(item)) {
+                counts[ci] += 1;
+            }
+        }
+    }
+    (counts, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn itemsets(raw: &[&[u64]]) -> Vec<ItemSet> {
+        raw.iter().map(|r| ItemSet::from_items(r.to_vec())).collect()
+    }
+
+    fn refs(sets: &[ItemSet]) -> Vec<&ItemSet> {
+        sets.iter().collect()
+    }
+
+    /// The canonical Agrawal–Srikant toy database.
+    fn classic_db() -> Vec<ItemSet> {
+        itemsets(&[
+            &[1, 3, 4],
+            &[2, 3, 5],
+            &[1, 2, 3, 5],
+            &[2, 5],
+        ])
+    }
+
+    #[test]
+    fn classic_example_frequent_sets() {
+        let db = classic_db();
+        let (out, ops) = Apriori::new(AprioriConfig {
+            min_support: 0.5, // absolute 2 of 4
+            ..AprioriConfig::default()
+        })
+        .mine(&refs(&db));
+        assert!(ops > 0);
+        let find = |items: &[u64]| out.itemsets.iter().find(|f| f.items == items);
+        // Known answer: {1}:2 {2}:3 {3}:3 {5}:3 {1,3}:2 {2,3}:2 {2,5}:3
+        // {3,5}:2 {2,3,5}:2.
+        assert_eq!(find(&[1]).unwrap().count, 2);
+        assert_eq!(find(&[2]).unwrap().count, 3);
+        assert_eq!(find(&[2, 5]).unwrap().count, 3);
+        assert_eq!(find(&[2, 3, 5]).unwrap().count, 2);
+        assert!(find(&[4]).is_none(), "{{4}} has support 1 < 2");
+        assert!(find(&[1, 2]).is_none(), "{{1,2}} has support 1 < 2");
+        assert_eq!(out.itemsets.len(), 9);
+    }
+
+    #[test]
+    fn support_one_returns_universal_sets_only() {
+        let db = itemsets(&[&[1, 2], &[1, 2], &[1, 2, 3]]);
+        let (out, _) = Apriori::new(AprioriConfig {
+            min_support: 1.0,
+            ..AprioriConfig::default()
+        })
+        .mine(&refs(&db));
+        let sets: Vec<&[u64]> = out.itemsets.iter().map(|f| f.items.as_slice()).collect();
+        assert_eq!(sets, vec![&[1][..], &[2][..], &[1, 2][..]]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let miner = Apriori::new(AprioriConfig::default());
+        let (out, ops) = miner.mine(&[]);
+        assert!(out.itemsets.is_empty());
+        assert_eq!(ops, 0);
+        let db = itemsets(&[&[]]);
+        let (out, _) = miner.mine(&refs(&db));
+        assert!(out.itemsets.is_empty());
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        let row: &[u64] = &[1, 2, 3, 4, 5];
+        let db = itemsets(&[row, row, row, row]);
+        let (out, _) = Apriori::new(AprioriConfig {
+            min_support: 0.5,
+            max_len: 2,
+            ..AprioriConfig::default()
+        })
+        .mine(&refs(&db));
+        assert!(out.itemsets.iter().all(|f| f.items.len() <= 2));
+        // All 5 singles + all 10 pairs.
+        assert_eq!(out.itemsets.len(), 15);
+    }
+
+    #[test]
+    fn lower_support_means_more_work() {
+        // The paper's Fig. 6 premise: support is the workload's key knob.
+        let db: Vec<ItemSet> = (0..60)
+            .map(|i| {
+                ItemSet::from_items(vec![1, 2, 3, 4 + (i % 6), 20 + (i % 9), 40 + (i % 4)])
+            })
+            .collect();
+        let run = |s: f64| {
+            Apriori::new(AprioriConfig {
+                min_support: s,
+                ..AprioriConfig::default()
+            })
+            .mine(&refs(&db))
+        };
+        let (out_hi, ops_hi) = run(0.6);
+        let (out_lo, ops_lo) = run(0.05);
+        assert!(ops_lo > ops_hi, "lower support must cost more");
+        assert!(out_lo.candidates_generated > out_hi.candidates_generated);
+        assert!(out_lo.itemsets.len() > out_hi.itemsets.len());
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let db = itemsets(&[&[1, 2], &[1, 2], &[2, 3], &[1, 3]]);
+        let cands = vec![vec![1], vec![1, 2], vec![3]];
+        let (counts, ops) = count_candidates(&cands, &refs(&db));
+        assert_eq!(counts, vec![3, 2, 2]);
+        // 4 transactions x (1 + 2 + 1) candidate items.
+        assert_eq!(ops, 16);
+    }
+
+    #[test]
+    fn ops_deterministic() {
+        let db = classic_db();
+        let miner = Apriori::new(AprioriConfig {
+            min_support: 0.5,
+            ..AprioriConfig::default()
+        });
+        let (_, ops1) = miner.mine(&refs(&db));
+        let (_, ops2) = miner.mine(&refs(&db));
+        assert_eq!(ops1, ops2);
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be")]
+    fn rejects_zero_support() {
+        Apriori::new(AprioriConfig {
+            min_support: 0.0,
+            ..AprioriConfig::default()
+        });
+    }
+
+    #[test]
+    fn closed_itemsets_are_lossless_and_minimal() {
+        // {1,2} in 3 transactions, {1} alone in a 4th: {1} is closed
+        // (support 4 != any superset's), {2} is NOT closed ({1,2} has the
+        // same support 3), {1,2} is closed.
+        let db = itemsets(&[&[1, 2], &[1, 2], &[1, 2], &[1]]);
+        let (out, _) = Apriori::new(AprioriConfig {
+            min_support: 0.25,
+            ..AprioriConfig::default()
+        })
+        .mine(&refs(&db));
+        let closed = out.closed_itemsets();
+        let closed_sets: Vec<&[u64]> = closed.iter().map(|f| f.items.as_slice()).collect();
+        assert!(closed_sets.contains(&&[1u64][..]));
+        assert!(closed_sets.contains(&&[1u64, 2][..]));
+        assert!(!closed_sets.contains(&&[2u64][..]), "{{2}} is absorbed by {{1,2}}");
+        // Losslessness: every frequent itemset has a closed superset with
+        // equal support.
+        for f in &out.itemsets {
+            assert!(
+                closed.iter().any(|c| c.count == f.count
+                    && super::is_subset(&f.items, &c.items)),
+                "itemset {:?} lost by closure",
+                f.items
+            );
+        }
+    }
+
+    #[test]
+    fn is_subset_cases() {
+        assert!(super::is_subset(&[], &[1, 2]));
+        assert!(super::is_subset(&[2], &[1, 2, 3]));
+        assert!(super::is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!super::is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!super::is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn skewed_partition_generates_more_candidates() {
+        // Core paper premise (§V-C1): a partition whose transactions are
+        // *similar* (co-occurring items) generates more candidates than a
+        // mixed partition of the same size and support.
+        let similar: Vec<ItemSet> = (0..40)
+            .map(|_| ItemSet::from_items(vec![1, 2, 3, 4, 5, 6]))
+            .collect();
+        let mixed: Vec<ItemSet> = (0..40)
+            .map(|i| {
+                let base = ((i % 8) * 10) as u64;
+                ItemSet::from_items(vec![base, base + 1, base + 2, base + 3, base + 4, base + 5])
+            })
+            .collect();
+        let miner = Apriori::new(AprioriConfig {
+            min_support: 0.3,
+            max_len: 5,
+            ..AprioriConfig::default()
+        });
+        let (out_sim, ops_sim) = miner.mine(&refs(&similar));
+        let (out_mix, ops_mix) = miner.mine(&refs(&mixed));
+        assert!(out_sim.candidates_generated > out_mix.candidates_generated);
+        assert!(ops_sim > ops_mix);
+    }
+}

@@ -1,0 +1,111 @@
+//! Distributed frequent pattern mining on trees (the paper's §V-C1
+//! workload): stratification-aware partitioning vs the candidate explosion
+//! of skew.
+//!
+//! Walks through the pipeline step by step — itemization, sketching,
+//! stratification, progressive sampling, the LP, SON execution — printing
+//! what each stage produced.
+//!
+//! ```text
+//! cargo run --release -p pareto-examples --bin frequent_patterns
+//! ```
+
+use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_core::estimator::{HeterogeneityEstimator, SamplingPlan};
+use pareto_core::framework::{Framework, FrameworkConfig, Quality, Strategy};
+use pareto_core::{Stratifier, StratifierConfig};
+use pareto_examples::parse_args;
+use pareto_workloads::WorkloadKind;
+
+fn main() {
+    let args = parse_args("frequent_patterns");
+    // Trees are scaled up 4x so even the slowest node's partition keeps a
+    // meaningful absolute support (see pareto-bench's MINING_SCALE_BOOST).
+    let dataset = pareto_datagen::treebank_syn(args.seed, args.scale * 4.0);
+    let support = 0.05;
+    println!(
+        "dataset: {} — {} trees, {} nodes total",
+        dataset.name,
+        dataset.len(),
+        dataset.total_elements()
+    );
+
+    // --- Stage 1-3: itemize + sketch + stratify (component III) ---
+    let stratifier = Stratifier::new(StratifierConfig {
+        num_strata: 16,
+        ..StratifierConfig::default()
+    });
+    let strat = stratifier.stratify(&dataset);
+    println!(
+        "stratifier: {} strata, sizes {:?}, zero-match rate {:.3}, {} iterations",
+        strat.num_strata(),
+        strat.sizes(),
+        strat.zero_match_rate,
+        strat.iterations
+    );
+
+    // --- Stage 4: progressive sampling (component I) ---
+    let cluster = SimCluster::new(NodeSpec::paper_cluster(8, 400.0, 2, 9, args.seed));
+    let estimator = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), args.seed);
+    let workload = WorkloadKind::FrequentPatterns { support };
+    let (models, est_cost) = estimator.estimate(&dataset, &strat, workload);
+    println!("\nper-node time models f_i(x) = m_i*x + c_i (progressive sampling):");
+    for m in &models {
+        println!(
+            "  node {}: m = {:.6} s/tree, c = {:.3} s, R^2 = {:.4}",
+            m.node_id, m.fit.slope, m.fit.intercept, m.fit.r_squared
+        );
+    }
+    println!(
+        "estimation cost: {} compute ops (one-time, amortized)",
+        est_cost.compute_ops
+    );
+
+    // --- Stage 5-6: optimize + partition + execute, per strategy ---
+    for strategy in [
+        Strategy::Stratified,
+        Strategy::HetAware,
+        Strategy::HetEnergyAware { alpha: 0.995 },
+        Strategy::Random,
+    ] {
+        let fw = Framework::new(
+            &cluster,
+            FrameworkConfig {
+                strategy,
+                seed: args.seed,
+                stratifier: StratifierConfig {
+                    num_strata: 16,
+                    ..StratifierConfig::default()
+                },
+                ..FrameworkConfig::default()
+            },
+        );
+        let outcome = fw.run(&dataset, workload);
+        let Quality::Mining {
+            global_frequent,
+            candidates,
+            false_positives,
+        } = outcome.quality
+        else {
+            unreachable!("mining workload yields mining quality");
+        };
+        println!(
+            "\n{:<18} sizes {:?}",
+            strategy.label(),
+            outcome.plan.sizes
+        );
+        println!(
+            "  time {:>8.1}s  dirty {:>7.1} kJ  candidates {:>6}  false+ {:>6}  frequent {}",
+            outcome.report.makespan_seconds,
+            outcome.report.total_dirty_clamped / 1000.0,
+            candidates,
+            false_positives,
+            global_frequent,
+        );
+    }
+    println!(
+        "\nNote how every strategy finds the same frequent patterns (SON is \
+         exact) but skew-blind placement pays for it with more candidates \
+         and a slower global scan."
+    );
+}

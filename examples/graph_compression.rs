@@ -1,0 +1,71 @@
+//! Distributed graph compression (§V-C2): the similar-together layout vs
+//! representative and random layouts, under both the WebGraph-style codec
+//! and LZ77.
+//!
+//! ```text
+//! cargo run --release -p pareto-examples --bin graph_compression
+//! ```
+
+use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_core::framework::{Framework, FrameworkConfig, Quality, Strategy};
+use pareto_core::partitioner::PartitionLayout;
+use pareto_examples::parse_args;
+use pareto_workloads::WorkloadKind;
+
+fn main() {
+    let args = parse_args("graph_compression");
+    let dataset = pareto_datagen::uk_syn(args.seed, args.scale * 4.0);
+    println!(
+        "dataset: {} — {} vertices, {} edges ({} KiB raw)",
+        dataset.name,
+        dataset.len(),
+        dataset.total_elements(),
+        dataset.total_bytes() / 1024
+    );
+    let cluster = SimCluster::new(NodeSpec::paper_cluster(8, 400.0, 2, 9, args.seed));
+
+    println!(
+        "\n{:<18} {:<18} {:>9} {:>10} {:>9}",
+        "strategy", "layout", "time_s", "dirty_kJ", "ratio"
+    );
+    for workload in [WorkloadKind::WebGraph, WorkloadKind::Lz77] {
+        println!("--- {workload:?} ---");
+        for (strategy, layout) in [
+            (Strategy::Stratified, PartitionLayout::SimilarTogether),
+            (Strategy::HetAware, PartitionLayout::SimilarTogether),
+            (
+                Strategy::HetEnergyAware { alpha: 0.995 },
+                PartitionLayout::SimilarTogether,
+            ),
+            (Strategy::Stratified, PartitionLayout::Representative),
+            (Strategy::Random, PartitionLayout::Representative),
+        ] {
+            let fw = Framework::new(
+                &cluster,
+                FrameworkConfig {
+                    strategy,
+                    layout,
+                    seed: args.seed,
+                    ..FrameworkConfig::default()
+                },
+            );
+            let outcome = fw.run(&dataset, workload);
+            let Quality::Compression { ratio, .. } = outcome.quality else {
+                unreachable!("compression workload yields compression quality");
+            };
+            println!(
+                "{:<18} {:<18} {:>9.2} {:>10.2} {:>9.2}",
+                strategy.label(),
+                format!("{layout:?}"),
+                outcome.report.makespan_seconds,
+                outcome.report.total_dirty_clamped / 1000.0,
+                ratio
+            );
+        }
+    }
+    println!(
+        "\nGrouping similar vertices (SimilarTogether) gives the codecs \
+         low-entropy partitions — higher ratios than random placement — \
+         while Het-Aware sizing keeps the heterogeneous nodes in lock-step."
+    );
+}

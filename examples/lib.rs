@@ -1,0 +1,76 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example binary (`quickstart`, `frequent_patterns`,
+//! `graph_compression`, `pareto_frontier`) accepts an optional
+//! `--scale F` / `--seed N` pair; this crate holds the tiny argument
+//! parser and report pretty-printer they share.
+
+use pareto_cluster::JobReport;
+
+/// Common example options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExampleArgs {
+    /// Dataset scale factor (1.0 ≈ thousands of records).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExampleArgs {
+    fn default() -> Self {
+        ExampleArgs {
+            // Large enough that every partition keeps a meaningful absolute
+            // support under SON's local thresholds (tiny partitions make
+            // "locally frequent" vacuous and explode the candidate set).
+            scale: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+/// Parse `--scale`/`--seed` from `std::env::args`, exiting with a usage
+/// message on errors.
+pub fn parse_args(binary: &str) -> ExampleArgs {
+    let mut args = ExampleArgs::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let fail = |msg: String| -> ! {
+            eprintln!("error: {msg}");
+            eprintln!("usage: {binary} [--scale F] [--seed N]");
+            std::process::exit(2);
+        };
+        match arg.as_str() {
+            "--scale" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) if v > 0.0 => args.scale = v,
+                _ => fail("--scale needs a positive number".into()),
+            },
+            "--seed" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => args.seed = v,
+                _ => fail("--seed needs an integer".into()),
+            },
+            other => fail(format!("unknown argument {other:?}")),
+        }
+    }
+    args
+}
+
+/// Print a per-node breakdown of a job report.
+pub fn print_report(label: &str, report: &JobReport) {
+    println!("--- {label} ---");
+    println!(
+        "makespan {:>8.2}s   dirty {:>8.1} kJ (linear) / {:>8.1} kJ (clamped)   total {:>8.1} kJ",
+        report.makespan_seconds,
+        report.total_dirty_linear / 1000.0,
+        report.total_dirty_clamped / 1000.0,
+        report.total_energy_joules / 1000.0,
+    );
+    for run in &report.runs {
+        println!(
+            "  node {:>2}: {:>8.2}s   dirty {:>8.1} kJ",
+            run.node_id,
+            run.seconds,
+            run.dirty_joules_clamped / 1000.0
+        );
+    }
+    println!("  imbalance (max/mean): {:.2}", report.imbalance());
+}

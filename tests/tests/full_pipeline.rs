@@ -1,0 +1,176 @@
+//! End-to-end pipeline integration: every data domain through every
+//! strategy, checking structural invariants of the outcome.
+
+use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_core::framework::{Framework, FrameworkConfig, Quality, Strategy};
+use pareto_core::partitioner::PartitionLayout;
+use pareto_core::StratifierConfig;
+use pareto_datagen::{DataKind, Dataset};
+use pareto_workloads::WorkloadKind;
+
+fn cluster(p: usize) -> SimCluster {
+    SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, 77))
+}
+
+fn cfg(strategy: Strategy, layout: PartitionLayout) -> FrameworkConfig {
+    FrameworkConfig {
+        strategy,
+        layout,
+        stratifier: StratifierConfig {
+            num_strata: 10,
+            ..StratifierConfig::default()
+        },
+        seed: 77,
+        ..FrameworkConfig::default()
+    }
+}
+
+fn all_domains() -> Vec<(Dataset, WorkloadKind, PartitionLayout)> {
+    vec![
+        (
+            // Support sits just below the motif-pivot frequency of the
+            // generator's largest families, so patterns exist.
+            pareto_datagen::treebank_syn(7, 0.08),
+            WorkloadKind::FrequentPatterns { support: 0.05 },
+            PartitionLayout::Representative,
+        ),
+        (
+            pareto_datagen::rcv1_syn(7, 0.08),
+            WorkloadKind::FrequentPatterns { support: 0.15 },
+            PartitionLayout::Representative,
+        ),
+        (
+            pareto_datagen::uk_syn(7, 0.1),
+            WorkloadKind::WebGraph,
+            PartitionLayout::SimilarTogether,
+        ),
+        (
+            pareto_datagen::arabic_syn(7, 0.05),
+            WorkloadKind::Lz77,
+            PartitionLayout::SimilarTogether,
+        ),
+    ]
+}
+
+#[test]
+fn every_domain_runs_under_every_strategy() {
+    let cl = cluster(4);
+    for (ds, workload, layout) in all_domains() {
+        for strategy in [
+            Strategy::Stratified,
+            Strategy::HetAware,
+            Strategy::HetEnergyAware { alpha: 0.995 },
+            Strategy::Random,
+            Strategy::RoundRobin,
+        ] {
+            let outcome = Framework::new(&cl, cfg(strategy, layout)).run(&ds, workload);
+            // Partition cover.
+            let mut all: Vec<usize> = outcome.plan.partitions.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..ds.len()).collect::<Vec<_>>(),
+                "{} under {strategy:?} lost records",
+                ds.name
+            );
+            // Report sanity.
+            assert!(outcome.report.makespan_seconds > 0.0);
+            assert!(outcome.report.total_energy_joules > 0.0);
+            assert!(outcome.report.total_dirty_clamped >= 0.0);
+            assert!(
+                outcome.report.total_dirty_clamped <= outcome.report.total_energy_joules + 1e-6
+            );
+            match (&outcome.quality, ds.kind) {
+                (Quality::Mining { candidates, .. }, _) => assert!(*candidates > 0),
+                (Quality::Compression { ratio, .. }, DataKind::Graph) => {
+                    assert!(*ratio > 1.0, "graph data must compress, got {ratio}")
+                }
+                (Quality::Compression { ratio, .. }, _) => assert!(*ratio > 0.0),
+            }
+        }
+    }
+}
+
+#[test]
+fn mining_results_are_strategy_invariant() {
+    // SON is exact, so every placement strategy must find the same global
+    // pattern set — the paper's quality-preservation claim for mining.
+    let cl = cluster(4);
+    let ds = pareto_datagen::rcv1_syn(9, 0.08);
+    let workload = WorkloadKind::FrequentPatterns { support: 0.15 };
+    let mut counts = Vec::new();
+    for strategy in [
+        Strategy::Stratified,
+        Strategy::HetAware,
+        Strategy::Random,
+        Strategy::RoundRobin,
+    ] {
+        let outcome =
+            Framework::new(&cl, cfg(strategy, PartitionLayout::Representative)).run(&ds, workload);
+        let Quality::Mining { global_frequent, .. } = outcome.quality else {
+            panic!("expected mining quality");
+        };
+        counts.push(global_frequent);
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "global frequent sets must be identical across strategies: {counts:?}"
+    );
+}
+
+#[test]
+fn estimation_cost_is_small_relative_to_job() {
+    // §III: the progressive-sampling estimate is "a one-time cost (small)".
+    let cl = cluster(4);
+    let ds = pareto_datagen::rcv1_syn(11, 0.12);
+    let outcome = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+        .run(&ds, WorkloadKind::FrequentPatterns { support: 0.15 });
+    let est_ops = outcome.plan.estimation_cost.compute_ops;
+    let job_ops: u64 = outcome.report.runs.iter().map(|r| r.cost.compute_ops).sum();
+    assert!(est_ops > 0);
+    assert!(
+        (est_ops as f64) < 0.5 * job_ops as f64,
+        "estimation ({est_ops}) should be well below job cost ({job_ops})"
+    );
+}
+
+#[test]
+fn plan_sizes_respect_node_speeds() {
+    let cl = cluster(8);
+    for (ds, workload, layout) in all_domains() {
+        let plan = Framework::new(&cl, cfg(Strategy::HetAware, layout)).plan(&ds, workload);
+        // Node 0 (type 1) vs node 3 (type 4): the fast node must receive
+        // more data under Het-Aware for every domain.
+        assert!(
+            plan.sizes[0] > plan.sizes[3],
+            "{}: sizes {:?} ignore speed",
+            ds.name,
+            plan.sizes
+        );
+    }
+}
+
+#[test]
+fn single_node_cluster_degenerates_gracefully() {
+    let cl = cluster(1);
+    let ds = pareto_datagen::rcv1_syn(5, 0.05);
+    let outcome = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+        .run(&ds, WorkloadKind::FrequentPatterns { support: 0.2 });
+    assert_eq!(outcome.plan.sizes, vec![ds.len()]);
+    assert!(outcome.report.makespan_seconds > 0.0);
+}
+
+#[test]
+fn many_partitions_small_data() {
+    // More partitions than strata, sizes forced tiny.
+    let cl = cluster(12);
+    let ds = pareto_datagen::uk_syn(5, 0.02);
+    let outcome = Framework::new(
+        &cl,
+        cfg(Strategy::Stratified, PartitionLayout::SimilarTogether),
+    )
+    .run(&ds, WorkloadKind::WebGraph);
+    assert_eq!(outcome.plan.partitions.len(), 12);
+    let total: usize = outcome.plan.sizes.iter().sum();
+    assert_eq!(total, ds.len());
+}

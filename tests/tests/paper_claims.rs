@@ -1,0 +1,251 @@
+//! The paper's headline claims, checked as executable assertions at test
+//! scale. Absolute numbers differ from the paper (simulated substrate,
+//! scaled-down data); the *shape* — who wins, in which direction — is what
+//! these tests pin down.
+
+use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_core::framework::{Framework, FrameworkConfig, Quality, Strategy};
+use pareto_core::partitioner::PartitionLayout;
+use pareto_core::StratifierConfig;
+use pareto_workloads::WorkloadKind;
+
+const SEED: u64 = 2017;
+
+fn cluster(p: usize) -> SimCluster {
+    SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, SEED))
+}
+
+fn cfg(strategy: Strategy, layout: PartitionLayout) -> FrameworkConfig {
+    FrameworkConfig {
+        strategy,
+        layout,
+        stratifier: StratifierConfig {
+            num_strata: 12,
+            ..StratifierConfig::default()
+        },
+        seed: SEED,
+        ..FrameworkConfig::default()
+    }
+}
+
+/// §V headline: Het-Aware speeds up runtime substantially over the
+/// stratified baseline (paper: up to 51%; the ideal bound for the 4-type
+/// mix is 52%).
+#[test]
+fn het_aware_speedup_on_compression() {
+    let cl = cluster(8);
+    let ds = pareto_datagen::arabic_syn(SEED, 0.3);
+    let base = Framework::new(&cl, cfg(Strategy::Stratified, PartitionLayout::SimilarTogether))
+        .run(&ds, WorkloadKind::WebGraph);
+    let het = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::SimilarTogether))
+        .run(&ds, WorkloadKind::WebGraph);
+    let speedup = 1.0 - het.report.makespan_seconds / base.report.makespan_seconds;
+    assert!(
+        speedup > 0.30,
+        "expected ≥30% makespan reduction, got {:.1}% ({} vs {})",
+        speedup * 100.0,
+        het.report.makespan_seconds,
+        base.report.makespan_seconds
+    );
+}
+
+/// §V-C1: Het-Aware also wins on mining workloads.
+#[test]
+fn het_aware_speedup_on_mining() {
+    let cl = cluster(4);
+    let ds = pareto_datagen::rcv1_syn(SEED, 0.15);
+    let workload = WorkloadKind::FrequentPatterns { support: 0.12 };
+    let base = Framework::new(&cl, cfg(Strategy::Stratified, PartitionLayout::Representative))
+        .run(&ds, workload);
+    let het = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+        .run(&ds, workload);
+    assert!(
+        het.report.makespan_seconds < base.report.makespan_seconds,
+        "het {} vs base {}",
+        het.report.makespan_seconds,
+        base.report.makespan_seconds
+    );
+}
+
+/// §V-C: Het-Energy-Aware consumes less dirty energy than Het-Aware, at
+/// equal or worse runtime (the Pareto trade).
+#[test]
+fn energy_aware_trades_time_for_dirty_energy() {
+    let cl = cluster(8);
+    let ds = pareto_datagen::rcv1_syn(SEED, 0.15);
+    let workload = WorkloadKind::FrequentPatterns { support: 0.12 };
+    let het = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+        .run(&ds, workload);
+    let green = Framework::new(
+        &cl,
+        cfg(
+            Strategy::HetEnergyAware { alpha: 0.99 },
+            PartitionLayout::Representative,
+        ),
+    )
+    .run(&ds, workload);
+    assert!(
+        green.report.total_dirty_linear < het.report.total_dirty_linear,
+        "green {} vs het {}",
+        green.report.total_dirty_linear,
+        het.report.total_dirty_linear
+    );
+    assert!(green.report.makespan_seconds >= het.report.makespan_seconds * 0.99);
+}
+
+/// §V-D first observation: lowering α monotonically moves measured runs
+/// from fast/dirty to slow/clean, saturating near the greenest node.
+#[test]
+fn measured_frontier_is_monotone() {
+    let cl = cluster(8);
+    // Large enough that every planned partition keeps a meaningful local
+    // support (SON's thresholds degenerate near support x partition ~ 1).
+    let ds = pareto_datagen::rcv1_syn(SEED, 1.0);
+    let workload = WorkloadKind::FrequentPatterns { support: 0.1 };
+    let alphas = [1.0, 0.995, 0.99, 0.9];
+    let mut points = Vec::new();
+    for &alpha in &alphas {
+        let strategy = if alpha >= 1.0 {
+            Strategy::HetAware
+        } else {
+            Strategy::HetEnergyAware { alpha }
+        };
+        let out = Framework::new(&cl, cfg(strategy, PartitionLayout::Representative))
+            .run(&ds, workload);
+        points.push((out.report.makespan_seconds, out.report.total_dirty_linear));
+    }
+    for w in points.windows(2) {
+        assert!(
+            w[1].0 >= w[0].0 * 0.98,
+            "time should not improve as alpha falls: {points:?}"
+        );
+        // Measured (not predicted) energy: plans at different alpha mine
+        // slightly different SON candidate sets, so allow small noise on
+        // the flat tail of the frontier.
+        assert!(
+            w[1].1 <= w[0].1 * 1.10 + 1.0,
+            "dirty energy should not worsen as alpha falls: {points:?}"
+        );
+    }
+    // The sweep must produce a real spread.
+    assert!(points.last().unwrap().1 < points[0].1 * 0.7);
+}
+
+/// §V-D second observation: the stratified baseline is not
+/// Pareto-efficient — some swept α dominates it (or matches one objective
+/// while improving the other).
+#[test]
+fn baseline_is_dominated_by_some_alpha() {
+    let cl = cluster(8);
+    let ds = pareto_datagen::rcv1_syn(SEED, 1.0);
+    let workload = WorkloadKind::FrequentPatterns { support: 0.1 };
+    let base = Framework::new(&cl, cfg(Strategy::Stratified, PartitionLayout::Representative))
+        .run(&ds, workload);
+    let bt = base.report.makespan_seconds;
+    let be = base.report.total_dirty_linear;
+    let mut dominated = false;
+    for alpha in [1.0, 0.999, 0.997, 0.995, 0.99] {
+        let strategy = if alpha >= 1.0 {
+            Strategy::HetAware
+        } else {
+            Strategy::HetEnergyAware { alpha }
+        };
+        let out = Framework::new(&cl, cfg(strategy, PartitionLayout::Representative))
+            .run(&ds, workload);
+        if out.report.makespan_seconds <= bt * 1.001
+            && out.report.total_dirty_linear <= be * 1.001
+            && (out.report.makespan_seconds < bt * 0.98
+                || out.report.total_dirty_linear < be * 0.98)
+        {
+            dominated = true;
+            break;
+        }
+    }
+    assert!(dominated, "no swept α dominated the baseline ({bt}s, {be}J)");
+}
+
+/// §V-C2 quality claim: heterogeneity-aware partitions match the
+/// baseline's compression ratio (within a few percent) while being faster.
+#[test]
+fn compression_ratio_is_preserved() {
+    let cl = cluster(8);
+    let ds = pareto_datagen::uk_syn(SEED, 0.4);
+    let runs: Vec<f64> = [
+        Strategy::Stratified,
+        Strategy::HetAware,
+        Strategy::HetEnergyAware { alpha: 0.995 },
+    ]
+    .into_iter()
+    .map(|s| {
+        let out = Framework::new(&cl, cfg(s, PartitionLayout::SimilarTogether))
+            .run(&ds, WorkloadKind::WebGraph);
+        match out.quality {
+            Quality::Compression { ratio, .. } => ratio,
+            other => panic!("unexpected {other:?}"),
+        }
+    })
+    .collect();
+    let base = runs[0];
+    for r in &runs[1..] {
+        assert!(
+            (r - base).abs() / base < 0.05,
+            "ratio drifted: {runs:?}"
+        );
+    }
+}
+
+/// §V-C2: the similar-together layout beats random placement on
+/// compression ratio (the low-entropy-partition effect).
+#[test]
+fn similar_together_beats_random_on_ratio() {
+    let cl = cluster(8);
+    let ds = pareto_datagen::uk_syn(SEED, 0.4);
+    let ratio = |strategy, layout| {
+        let out = Framework::new(&cl, cfg(strategy, layout)).run(&ds, WorkloadKind::WebGraph);
+        match out.quality {
+            Quality::Compression { ratio, .. } => ratio,
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    let grouped = ratio(Strategy::Stratified, PartitionLayout::SimilarTogether);
+    let random = ratio(Strategy::Random, PartitionLayout::Representative);
+    // The margin shrinks as partitions grow (the codec's reference window
+    // finds local similarity even in shuffled order), but grouping must
+    // never lose.
+    assert!(
+        grouped > random * 1.02,
+        "grouped {grouped} should beat random {random}"
+    );
+}
+
+/// §V-C1 skew claim: stratified (representative) partitions produce fewer
+/// SON candidates than random placement produces *at most marginally
+/// more*; and both find identical global patterns.
+#[test]
+fn stratified_controls_candidate_inflation() {
+    let cl = cluster(8);
+    let ds = pareto_datagen::treebank_syn(SEED, 0.2);
+    let workload = WorkloadKind::FrequentPatterns { support: 0.2 };
+    let get = |strategy, layout| {
+        let out = Framework::new(&cl, cfg(strategy, layout)).run(&ds, workload);
+        match out.quality {
+            Quality::Mining {
+                candidates,
+                global_frequent,
+                ..
+            } => (candidates, global_frequent),
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    let (cands_rep, freq_rep) = get(Strategy::Stratified, PartitionLayout::Representative);
+    // Similar-together is the *adversarial* layout for mining: each
+    // partition is one topic, so local support thresholds admit many
+    // false positives.
+    let (cands_grouped, freq_grouped) =
+        get(Strategy::Stratified, PartitionLayout::SimilarTogether);
+    assert_eq!(freq_rep, freq_grouped, "SON exactness");
+    assert!(
+        cands_rep <= cands_grouped,
+        "representative ({cands_rep}) must not exceed grouped ({cands_grouped})"
+    );
+}
