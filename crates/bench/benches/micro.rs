@@ -47,6 +47,40 @@ fn bench_stratification(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_planning(c: &mut Criterion) {
+    use pareto_cluster::{NodeSpec, SimCluster};
+    use pareto_core::framework::{Framework, FrameworkConfig, Strategy};
+    use pareto_workloads::WorkloadKind;
+
+    let ds = rcv1_syn(7, 0.2);
+    let cluster = SimCluster::new(NodeSpec::paper_cluster(8, 400.0, 2, 9, 7));
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("het_energy_aware_plan", threads),
+            &threads,
+            |b, &threads| {
+                let fw = Framework::new(
+                    &cluster,
+                    FrameworkConfig {
+                        strategy: Strategy::HetEnergyAware { alpha: 0.995 },
+                        threads,
+                        ..FrameworkConfig::default()
+                    },
+                );
+                b.iter(|| {
+                    let plan =
+                        fw.plan(&ds, WorkloadKind::FrequentPatterns { support: 0.1 });
+                    black_box(plan.sizes.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp");
     for p in [4usize, 16, 64] {
@@ -191,6 +225,7 @@ criterion_group!(
     benches,
     bench_sketching,
     bench_stratification,
+    bench_parallel_planning,
     bench_lp,
     bench_codecs,
     bench_apriori,

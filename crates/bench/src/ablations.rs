@@ -455,6 +455,7 @@ mod tests {
         ExpSettings {
             scale: 0.02,
             seed: 3,
+            threads: 1,
         }
     }
 
@@ -484,6 +485,7 @@ mod tests {
         let t = sampling_ablation(ExpSettings {
             scale: 0.05,
             seed: 4,
+            threads: 1,
         });
         let csv = t.to_csv();
         for line in csv.lines().skip(1) {
@@ -511,7 +513,7 @@ mod tests {
 
     #[test]
     fn work_stealing_ablation_orders_executors() {
-        let t = work_stealing_ablation(ExpSettings { scale: 0.05, seed: 5 });
+        let t = work_stealing_ablation(ExpSettings { scale: 0.05, seed: 5, threads: 1 });
         let csv = t.to_csv();
         let times: Vec<f64> = csv
             .lines()

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--scale F] [--seed N] [--out DIR] <command>
+//! experiments [--scale F] [--seed N] [--threads N] [--out DIR] <command>
 //!
 //! commands:
 //!   table1 | fig2 | fig3 | fig4 | table2 | table3 | fig5 | fig6
@@ -9,7 +9,10 @@
 //!                  kmodes-L, mean-GE, work stealing, normalized alpha,
 //!                  forecast error, supply topology)
 //!   check          the reproduction gate: PASS/FAIL per headline claim
-//!   all            everything above
+//!   speedup        planning-throughput curve across worker thread counts
+//!                  (wall-clock only — not part of `all`, whose outputs
+//!                  must be machine-independent)
+//!   all            everything above except `speedup`
 //! ```
 //!
 //! Tables print to stdout; with `--out DIR` each also lands as
@@ -43,6 +46,13 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 settings.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                settings.threads = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                if settings.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
             }
             "--out" => {
                 out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
@@ -79,6 +89,11 @@ fn run(cmd: &str, st: ExpSettings, out: &Option<PathBuf>) -> Result<(), String> 
         "table3" => emit(experiments::table3(st).0, "table3", out),
         "fig5" => emit(experiments::fig5(st).0, "fig5", out),
         "fig6" => emit(experiments::fig6(st).0, "fig6", out),
+        "speedup" => emit(
+            experiments::planning_speedup(st, &experiments::THREAD_SWEEP),
+            "speedup",
+            out,
+        ),
         "check" => {
             let results = claims::check_claims(st);
             let (table, all) = claims::render_claims(&results);
@@ -134,15 +149,15 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments [--scale F] [--seed N] [--out DIR] \
-                 <table1|fig2|fig3|fig4|table2|table3|fig5|fig6|ablations|check|all>"
+                "usage: experiments [--scale F] [--seed N] [--threads N] [--out DIR] \
+                 <table1|fig2|fig3|fig4|table2|table3|fig5|fig6|ablations|check|speedup|all>"
             );
             return ExitCode::FAILURE;
         }
     };
     eprintln!(
-        "settings: scale={} seed={}",
-        args.settings.scale, args.settings.seed
+        "settings: scale={} seed={} threads={}",
+        args.settings.scale, args.settings.seed, args.settings.threads
     );
     match run(&args.command, args.settings, &args.out) {
         Ok(()) => ExitCode::SUCCESS,

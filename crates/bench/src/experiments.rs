@@ -52,6 +52,9 @@ pub struct ExpSettings {
     pub scale: f64,
     /// Master seed.
     pub seed: u64,
+    /// Planning worker threads (1 = serial). Measured numbers are
+    /// thread-count invariant; only wall-clock planning time changes.
+    pub threads: usize,
 }
 
 impl Default for ExpSettings {
@@ -59,6 +62,7 @@ impl Default for ExpSettings {
         ExpSettings {
             scale: 0.25,
             seed: 2017,
+            threads: 1,
         }
     }
 }
@@ -95,7 +99,12 @@ pub fn make_cluster(p: usize, seed: u64) -> SimCluster {
     SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, seed))
 }
 
-fn framework_config(strategy: Strategy, layout: PartitionLayout, seed: u64) -> FrameworkConfig {
+fn framework_config(
+    strategy: Strategy,
+    layout: PartitionLayout,
+    seed: u64,
+    threads: usize,
+) -> FrameworkConfig {
     FrameworkConfig {
         strategy,
         layout,
@@ -105,8 +114,10 @@ fn framework_config(strategy: Strategy, layout: PartitionLayout, seed: u64) -> F
             l: 4,
             max_iters: 12,
             seed: seed ^ 0x57A7,
+            ..StratifierConfig::default()
         },
         seed,
+        threads,
         ..FrameworkConfig::default()
     }
 }
@@ -118,10 +129,13 @@ pub fn run_strategy(
     strategy: Strategy,
     layout: PartitionLayout,
     workload: WorkloadKind,
-    seed: u64,
+    st: ExpSettings,
 ) -> StrategyRow {
-    let cluster = make_cluster(p, seed);
-    let fw = Framework::new(&cluster, framework_config(strategy, layout, seed));
+    let cluster = make_cluster(p, st.seed);
+    let fw = Framework::new(
+        &cluster,
+        framework_config(strategy, layout, st.seed, st.threads),
+    );
     let outcome = fw.run(dataset, workload);
     let (ratio, candidates, frequent) = match &outcome.quality {
         Quality::Compression { ratio, .. } => (Some(*ratio), None, None),
@@ -251,7 +265,7 @@ fn mining_sweep(datasets: &[Dataset], support: f64, st: ExpSettings, title: &str
                     strategy,
                     PartitionLayout::Representative,
                     WorkloadKind::FrequentPatterns { support },
-                    st.seed,
+                    st,
                 );
                 push_row(&mut table, &row);
                 rows.push(row);
@@ -312,7 +326,7 @@ pub fn fig4(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
                     strategy,
                     PartitionLayout::SimilarTogether,
                     WorkloadKind::WebGraph,
-                    st.seed,
+                    st,
                 );
                 push_row(&mut table, &row);
                 rows.push(row);
@@ -332,7 +346,7 @@ fn lz77_table(ds: &Dataset, st: ExpSettings, title: &str) -> (Table, Vec<Strateg
             strategy,
             PartitionLayout::SimilarTogether,
             WorkloadKind::Lz77,
-            st.seed,
+            st,
         );
         table.row(vec![
             row.strategy.clone(),
@@ -355,6 +369,76 @@ pub fn table2(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
 pub fn table3(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
     let ds = pareto_datagen::arabic_syn(st.seed, st.scale * GRAPH_SCALE_BOOST);
     lz77_table(&ds, st, "Table III — LZ77 on Arabic-syn (8 partitions)")
+}
+
+// ---------------------------------------------------------------------------
+// Planning throughput — parallel pipeline speedup
+// ---------------------------------------------------------------------------
+
+/// Thread counts swept by the planning-throughput experiment.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Planning-throughput curve: per-stage wall-clock of `Framework::plan`
+/// (sketch / stratify / profile / optimize) at each thread count, plus the
+/// total-time speedup relative to the first entry (conventionally serial).
+///
+/// Asserts the determinism contract along the way: every plan must choose
+/// exactly the same partition sizes as the first one, whatever the thread
+/// count.
+pub fn planning_speedup(st: ExpSettings, thread_counts: &[usize]) -> Table {
+    let ds = pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST);
+    let cluster = make_cluster(8, st.seed);
+    let mut table = Table::new(
+        "Planning throughput — per-stage wall-clock vs worker threads",
+        &[
+            "threads",
+            "sketch_s",
+            "stratify_s",
+            "profile_s",
+            "optimize_s",
+            "total_s",
+            "speedup",
+        ],
+    );
+    let mut baseline: Option<(f64, Vec<usize>)> = None;
+    for &threads in thread_counts {
+        let cfg = framework_config(
+            Strategy::HetEnergyAware {
+                alpha: ALPHA_MINING,
+            },
+            PartitionLayout::Representative,
+            st.seed,
+            threads,
+        );
+        let plan = Framework::new(&cluster, cfg).plan(
+            &ds,
+            WorkloadKind::FrequentPatterns {
+                support: TEXT_SUPPORT,
+            },
+        );
+        let t = plan.timings;
+        let (base_total, base_sizes) =
+            baseline.get_or_insert_with(|| (t.total_s, plan.sizes.clone()));
+        assert_eq!(
+            *base_sizes, plan.sizes,
+            "plan must be thread-count invariant (threads = {threads})"
+        );
+        let speedup = if t.total_s > 0.0 {
+            *base_total / t.total_s
+        } else {
+            0.0
+        };
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.4}", t.sketch_s),
+            format!("{:.4}", t.stratify_s),
+            format!("{:.4}", t.profile_s),
+            format!("{:.4}", t.optimize_s),
+            format!("{:.4}", t.total_s),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    table
 }
 
 // ---------------------------------------------------------------------------
@@ -399,12 +483,12 @@ pub fn frontier_sweep(
             Strategy::HetEnergyAware { alpha }
         };
         emit(
-            run_strategy(ds, 8, strategy, layout, workload, st.seed),
+            run_strategy(ds, 8, strategy, layout, workload, st),
             &mut table,
         );
     }
     emit(
-        run_strategy(ds, 8, Strategy::Stratified, layout, workload, st.seed),
+        run_strategy(ds, 8, Strategy::Stratified, layout, workload, st),
         &mut table,
     );
     (table, rows)
@@ -497,6 +581,7 @@ mod tests {
         ExpSettings {
             scale: 0.02,
             seed: 7,
+            threads: 1,
         }
     }
 
@@ -531,6 +616,14 @@ mod tests {
     }
 
     #[test]
+    fn planning_speedup_table_is_consistent() {
+        let t = planning_speedup(tiny(), &[1, 4]);
+        // One row per thread count; the invariance assert inside the
+        // function is the real check.
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
     fn run_strategy_reports_quality() {
         let ds = pareto_datagen::rcv1_syn(7, 0.02);
         let row = run_strategy(
@@ -539,7 +632,7 @@ mod tests {
             Strategy::Stratified,
             PartitionLayout::Representative,
             WorkloadKind::FrequentPatterns { support: 0.15 },
-            7,
+            tiny(),
         );
         assert!(row.candidates.is_some());
         assert!(row.makespan_s > 0.0);

@@ -1,0 +1,21 @@
+//! Scratch: scan claim verdicts across seeds (temporary diagnostic).
+
+use pareto_bench::claims::{check_claims, render_claims};
+use pareto_bench::experiments::ExpSettings;
+
+#[test]
+#[ignore]
+fn scan_seeds() {
+    for seed in [7u64, 41, 97, 2017, 2024, 31337] {
+        let results = check_claims(ExpSettings { scale: 0.02, seed, threads: 1 });
+        let verdicts: Vec<String> = results
+            .iter()
+            .map(|r| format!("{}:{}", r.id, if r.passed { "P" } else { "F" }))
+            .collect();
+        println!("seed {seed}: {}", verdicts.join(" "));
+        if !results.iter().all(|r| r.passed) {
+            let (t, _) = render_claims(&results);
+            println!("{}", t.render());
+        }
+    }
+}

@@ -28,7 +28,9 @@ common options:
   --layout <representative|similar>              (default representative)
   --workload <patterns|patterns-eclat|lz77|webgraph>  (default patterns)
   --support S             mining support fraction (default 0.1)
-  --scale F --seed N      synthetic generation controls";
+  --scale F --seed N      synthetic generation controls
+  --threads N             planning worker threads (default 1; the plan is
+                          bit-identical at any thread count)";
 
 /// A parsed invocation.
 #[derive(Debug, Clone)]
@@ -84,6 +86,9 @@ pub struct Common {
     pub scale: f64,
     /// Seed for everything.
     pub seed: u64,
+    /// Planning worker threads (1 = serial; results are thread-count
+    /// invariant).
+    pub threads: usize,
 }
 
 impl Default for Common {
@@ -98,6 +103,7 @@ impl Default for Common {
             workload: WorkloadKind::FrequentPatterns { support: 0.1 },
             scale: 0.25,
             seed: 2017,
+            threads: 1,
         }
     }
 }
@@ -176,6 +182,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 common.seed = value("--seed")?
                     .parse()
                     .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--threads" => {
+                common.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if common.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
             }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown argument {other:?}")),
@@ -335,6 +349,23 @@ mod tests {
     fn parses_frontier() {
         let cmd = parse(&argv("frontier --preset rcv1 --nodes 4")).unwrap();
         assert!(matches!(cmd, Command::Frontier { .. }));
+    }
+
+    #[test]
+    fn parses_threads() {
+        let cmd = parse(&argv("run --preset rcv1 --threads 8")).unwrap();
+        match cmd {
+            Command::Run { common } => assert_eq!(common.threads, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default is serial.
+        let cmd = parse(&argv("run --preset rcv1")).unwrap();
+        match cmd {
+            Command::Run { common } => assert_eq!(common.threads, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --preset rcv1 --threads 0")).is_err());
+        assert!(parse(&argv("run --preset rcv1 --threads nope")).is_err());
     }
 
     #[test]

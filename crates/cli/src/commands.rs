@@ -79,6 +79,7 @@ fn build_framework_parts(common: &Common) -> (Dataset, SimCluster, FrameworkConf
         strategy: common.strategy,
         layout: common.layout,
         seed: common.seed,
+        threads: common.threads,
         ..FrameworkConfig::default()
     };
     (Dataset::new("placeholder", DataKind::Text, vec![]), cluster, cfg)
@@ -110,6 +111,16 @@ fn partition(common: &Common, out: &Path) -> Result<(), String> {
     emit(format!("dataset: {} ({} records)", dataset.name, dataset.len()));
     emit(format!("strategy: {}", common.strategy.label()));
     emit(format!("sizes: {:?}", plan.sizes));
+    emit(format!(
+        "planning: {:.3}s total (sketch {:.3}s, stratify {:.3}s, profile {:.3}s, \
+         optimize {:.3}s) on {} thread(s)",
+        plan.timings.total_s,
+        plan.timings.sketch_s,
+        plan.timings.stratify_s,
+        plan.timings.profile_s,
+        plan.timings.optimize_s,
+        common.threads
+    ));
     if let Some(point) = &plan.pareto {
         emit(format!("alpha: {}", point.alpha));
         emit(format!("predicted makespan: {:.2}s", point.predicted_makespan));
@@ -137,8 +148,13 @@ fn partition(common: &Common, out: &Path) -> Result<(), String> {
 fn frontier(common: &Common) -> Result<(), String> {
     let dataset = load_dataset(common)?;
     let (_, cluster, _) = build_framework_parts(common);
-    let strat = Stratifier::new(StratifierConfig::default()).stratify(&dataset);
+    let strat = Stratifier::new(StratifierConfig {
+        threads: common.threads,
+        ..StratifierConfig::default()
+    })
+    .stratify(&dataset);
     let (models, _) = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), common.seed)
+        .with_threads(common.threads)
         .estimate(&dataset, &strat, common.workload);
     let profiles = EnergyEstimator::profiles(&cluster, 0.0, 6.0 * 3600.0);
     let modeler = ParetoModeler::new(models.iter().map(|m| m.fit).collect(), profiles)
@@ -176,6 +192,16 @@ fn execute(common: &Common) -> Result<(), String> {
     );
     println!("strategy           {}", common.strategy.label());
     println!("partition sizes    {:?}", outcome.plan.sizes);
+    println!(
+        "planning time      {:.3} s (sketch {:.3} / stratify {:.3} / profile {:.3} / \
+         optimize {:.3}) on {} thread(s)",
+        outcome.plan.timings.total_s,
+        outcome.plan.timings.sketch_s,
+        outcome.plan.timings.stratify_s,
+        outcome.plan.timings.profile_s,
+        outcome.plan.timings.optimize_s,
+        common.threads
+    );
     println!(
         "makespan           {:.2} s",
         outcome.report.makespan_seconds

@@ -91,16 +91,30 @@ pub struct HeterogeneityEstimator<'a> {
     cluster: &'a SimCluster,
     plan: SamplingPlan,
     seed: u64,
+    threads: usize,
 }
 
 impl<'a> HeterogeneityEstimator<'a> {
-    /// Create an estimator over `cluster`.
+    /// Create an estimator over `cluster` (serial; see
+    /// [`HeterogeneityEstimator::with_threads`]).
     pub fn new(cluster: &'a SimCluster, plan: SamplingPlan, seed: u64) -> Self {
         HeterogeneityEstimator {
             cluster,
             plan,
             seed,
+            threads: 1,
         }
+    }
+
+    /// Run the progressive-sampling schedule and the per-node fits on up
+    /// to `threads` workers. Each schedule step draws its sample from an
+    /// RNG seeded by `split_seed(seed, step)`, so the sample at step `j`
+    /// is a function of `(seed, j)` alone — never of which worker ran it
+    /// or of how many steps preceded it — and the estimate is
+    /// bit-identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Run progressive sampling: the samples are stratified (so they are
@@ -120,38 +134,95 @@ impl<'a> HeterogeneityEstimator<'a> {
         let n = dataset.len();
         assert!(n > 0, "cannot estimate on an empty dataset");
         let sizes = self.plan.sizes(n);
-        let mut rng = pareto_stats::seeded_rng(self.seed);
-        let mut total_cost = Cost::ZERO;
-        // (sample size, ops) per schedule point — the actual algorithm run.
-        let mut measurements: Vec<(usize, u64)> = Vec::with_capacity(sizes.len());
-        for &size in &sizes {
+        // One measurement per schedule step, each on its own RNG stream.
+        let run_step = |step: usize, size: usize| -> (usize, u64) {
+            let mut rng =
+                pareto_stats::seeded_rng(pareto_stats::split_seed(self.seed, step as u64));
             let idx = stratified_sample(&stratification.strata, size, &mut rng)
                 .expect("schedule sizes never exceed the population");
             let records: Vec<&DataItem> = idx.iter().map(|&i| &dataset.items[i]).collect();
             let (_, ops) = run_workload(workload, &records);
-            total_cost.add(Cost::compute(ops));
-            measurements.push((size, ops));
-        }
-
-        let models = (0..self.cluster.num_nodes())
-            .map(|node_id| {
-                let observations: Vec<(f64, f64)> = measurements
-                    .iter()
-                    .map(|&(size, ops)| {
-                        let secs =
-                            self.cluster.cost_to_seconds(node_id, &Cost::compute(ops));
-                        (size as f64, secs)
+            (size, ops)
+        };
+        let measurements: Vec<(usize, u64)> = if self.threads > 1 && sizes.len() > 1 {
+            let chunk = sizes.len().div_ceil(self.threads.min(sizes.len()));
+            let mut out = Vec::with_capacity(sizes.len());
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = sizes
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(shard, shard_sizes)| {
+                        let base = shard * chunk;
+                        scope.spawn(move |_| {
+                            shard_sizes
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &size)| run_step(base + i, size))
+                                .collect::<Vec<_>>()
+                        })
                     })
                     .collect();
-                let fit = fit_with_fallback(&observations);
-                NodeTimeModel {
-                    node_id,
-                    fit,
-                    observations,
+                for handle in handles {
+                    out.extend(handle.join().expect("sampling worker panicked"));
                 }
             })
-            .collect();
-        (models, total_cost)
+            .expect("sampling scope panicked");
+            out
+        } else {
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(step, &size)| run_step(step, size))
+                .collect()
+        };
+        let mut total_cost = Cost::ZERO;
+        for &(_, ops) in &measurements {
+            total_cost.add(Cost::compute(ops));
+        }
+        (self.fit_nodes(&measurements), total_cost)
+    }
+
+    /// Fit one [`NodeTimeModel`] per node from the shared measurements,
+    /// sharding nodes across workers (fits are pure per-node functions;
+    /// outputs concatenate in node order).
+    fn fit_nodes(&self, measurements: &[(usize, u64)]) -> Vec<NodeTimeModel> {
+        let fit_node = |node_id: usize| {
+            let observations: Vec<(f64, f64)> = measurements
+                .iter()
+                .map(|&(size, ops)| {
+                    let secs = self.cluster.cost_to_seconds(node_id, &Cost::compute(ops));
+                    (size as f64, secs)
+                })
+                .collect();
+            let fit = fit_with_fallback(&observations);
+            NodeTimeModel {
+                node_id,
+                fit,
+                observations,
+            }
+        };
+        let p = self.cluster.num_nodes();
+        if self.threads <= 1 || p < 2 {
+            return (0..p).map(fit_node).collect();
+        }
+        let ids: Vec<usize> = (0..p).collect();
+        let chunk = p.div_ceil(self.threads.min(p));
+        let mut models = Vec::with_capacity(p);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ids
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        shard.iter().map(|&id| fit_node(id)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                models.extend(handle.join().expect("fit worker panicked"));
+            }
+        })
+        .expect("fit scope panicked");
+        models
     }
 
     /// §III-D ablation: fit a polynomial of the given degree to one node's
@@ -180,7 +251,6 @@ impl<'a> HeterogeneityEstimator<'a> {
     ) -> (Vec<NodeTimeModel>, Cost, AdaptiveReport) {
         let n = dataset.len();
         assert!(n > 0, "cannot estimate on an empty dataset");
-        let mut rng = pareto_stats::seeded_rng(self.seed);
         let mut total_cost = Cost::ZERO;
         let mut measurements: Vec<(usize, u64)> = Vec::new();
         let mut size = ((cfg.start_frac * n as f64) as usize)
@@ -195,6 +265,12 @@ impl<'a> HeterogeneityEstimator<'a> {
         let mut stable = 0usize;
         let mut converged = false;
         loop {
+            // Same per-step stream scheme as `estimate`: the sample at
+            // step `j` depends only on `(seed, j)`.
+            let mut rng = pareto_stats::seeded_rng(pareto_stats::split_seed(
+                self.seed,
+                measurements.len() as u64,
+            ));
             let idx = stratified_sample(&stratification.strata, size, &mut rng)
                 .expect("size clamped to population");
             let records: Vec<&DataItem> = idx.iter().map(|&i| &dataset.items[i]).collect();
@@ -228,25 +304,7 @@ impl<'a> HeterogeneityEstimator<'a> {
             }
             size = ((size as f64 * cfg.growth) as usize).clamp(size + 1, max_size);
         }
-        let models = (0..self.cluster.num_nodes())
-            .map(|node_id| {
-                let observations: Vec<(f64, f64)> = measurements
-                    .iter()
-                    .map(|&(s, ops)| {
-                        (
-                            s as f64,
-                            self.cluster.cost_to_seconds(node_id, &Cost::compute(ops)),
-                        )
-                    })
-                    .collect();
-                let fit = fit_with_fallback(&observations);
-                NodeTimeModel {
-                    node_id,
-                    fit,
-                    observations,
-                }
-            })
-            .collect();
+        let models = self.fit_nodes(&measurements);
         let report = AdaptiveReport {
             samples_used: measurements.len(),
             largest_sample: measurements.last().map(|m| m.0).unwrap_or(0),
@@ -467,6 +525,33 @@ mod tests {
         );
         assert_eq!(c1.compute_ops, c2.compute_ops);
         assert_eq!(m1[2].fit.slope, m2[2].fit.slope);
+    }
+
+    #[test]
+    fn estimation_is_thread_count_invariant() {
+        let (ds, cluster, strat) = setup();
+        let (base_models, base_cost) =
+            HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), 11).estimate(
+                &ds,
+                &strat,
+                WorkloadKind::FrequentPatterns { support: 0.1 },
+            );
+        for threads in [2, 4, 8] {
+            let (models, cost) = HeterogeneityEstimator::new(
+                &cluster,
+                SamplingPlan::default(),
+                11,
+            )
+            .with_threads(threads)
+            .estimate(&ds, &strat, WorkloadKind::FrequentPatterns { support: 0.1 });
+            assert_eq!(base_cost.compute_ops, cost.compute_ops, "threads={threads}");
+            for (a, b) in base_models.iter().zip(&models) {
+                assert_eq!(a.node_id, b.node_id);
+                assert_eq!(a.fit.slope.to_bits(), b.fit.slope.to_bits());
+                assert_eq!(a.fit.intercept.to_bits(), b.fit.intercept.to_bits());
+                assert_eq!(a.observations, b.observations);
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,14 @@ pub struct FrameworkConfig {
     pub planning_horizon_s: f64,
     /// Master seed for all randomized steps.
     pub seed: u64,
+    /// Worker threads for the planning pipeline (1 = serial). Copied into
+    /// the stratifier's config and the heterogeneity estimator, which
+    /// shard sketching, cluster assignment/updates, schedule steps, and
+    /// per-node fits. Every parallel stage is deterministic by
+    /// construction (contiguous index shards merged in order; per-step
+    /// RNG streams split from the seed), so the resulting [`Plan`] is
+    /// bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for FrameworkConfig {
@@ -100,8 +108,26 @@ impl Default for FrameworkConfig {
             pipeline_width: 64,
             planning_horizon_s: 6.0 * 3600.0,
             seed: 0x9A9A,
+            threads: 1,
         }
     }
+}
+
+/// Wall-clock seconds spent in each planning stage. Purely observational:
+/// timings never feed back into any decision, so they do not perturb the
+/// plan's determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanTimings {
+    /// MinHash sketching of every record.
+    pub sketch_s: f64,
+    /// CompositeKModes clustering of the sketches.
+    pub stratify_s: f64,
+    /// Energy profiling + progressive-sampling time-model estimation.
+    pub profile_s: f64,
+    /// Pareto LP solve + partition materialization.
+    pub optimize_s: f64,
+    /// End-to-end planning time (≥ the sum of the stages).
+    pub total_s: f64,
 }
 
 /// Everything decided before execution.
@@ -122,6 +148,8 @@ pub struct Plan {
     /// One-time cost of the progressive-sampling estimation (§III: "a
     /// one-time cost (small)… amortized over multiple runs").
     pub estimation_cost: Cost,
+    /// Wall-clock time spent in each planning stage.
+    pub timings: PlanTimings,
 }
 
 /// Workload quality measures (paper: compression ratio; pattern counts).
@@ -177,28 +205,63 @@ impl<'a> Framework<'a> {
     }
 
     /// Produce the partitioning plan for `dataset` under `workload`.
+    ///
+    /// The pipeline runs in four timed stages — **sketch** (MinHash over
+    /// every record), **stratify** (compositeKModes over the sketches),
+    /// **profile** (energy `k_i` profiles + progressive-sampling time
+    /// models), and **optimize** (Pareto LP + partition materialization).
+    /// The first three shard their inner loops across
+    /// [`FrameworkConfig::threads`] workers; the plan is bit-identical at
+    /// any thread count.
     pub fn plan(&self, dataset: &Dataset, workload: WorkloadKind) -> Plan {
         assert!(!dataset.is_empty(), "cannot plan an empty dataset");
         let p = self.cluster.num_nodes();
         let n = dataset.len();
-        let stratification = Stratifier::new(self.cfg.stratifier.clone()).stratify(dataset);
+        let started = std::time::Instant::now();
+        let mut timings = PlanTimings::default();
+
+        // --- Stage 1: sketch ---
+        let stage = std::time::Instant::now();
+        let stratifier = Stratifier::new(StratifierConfig {
+            threads: self.cfg.threads,
+            ..self.cfg.stratifier.clone()
+        });
+        let signatures = stratifier.sketch(dataset);
+        timings.sketch_s = stage.elapsed().as_secs_f64();
+
+        // --- Stage 2: stratify ---
+        let stage = std::time::Instant::now();
+        let stratification = stratifier.stratify_signatures(&signatures);
+        timings.stratify_s = stage.elapsed().as_secs_f64();
+
+        // --- Stage 3: profile (energy + per-node time models) ---
+        let stage = std::time::Instant::now();
         let energy_profiles =
             EnergyEstimator::profiles(self.cluster, 0.0, self.cfg.planning_horizon_s);
-
-        let (time_models, estimation_cost, pareto) = match self.cfg.strategy {
-            Strategy::Stratified
-            | Strategy::Random
-            | Strategy::RoundRobin
-            | Strategy::ClusterMode => (None, Cost::ZERO, None),
+        let needs_models = matches!(
+            self.cfg.strategy,
             Strategy::HetAware
-            | Strategy::HetEnergyAware { .. }
-            | Strategy::HetEnergyAwareNormalized { .. } => {
-                let estimator = HeterogeneityEstimator::new(
-                    self.cluster,
-                    self.cfg.sampling,
-                    self.cfg.seed ^ 0x5A17,
-                );
-                let (models, cost) = estimator.estimate(dataset, &stratification, workload);
+                | Strategy::HetEnergyAware { .. }
+                | Strategy::HetEnergyAwareNormalized { .. }
+        );
+        let estimated = if needs_models {
+            let estimator = HeterogeneityEstimator::new(
+                self.cluster,
+                self.cfg.sampling,
+                self.cfg.seed ^ 0x5A17,
+            )
+            .with_threads(self.cfg.threads);
+            Some(estimator.estimate(dataset, &stratification, workload))
+        } else {
+            None
+        };
+        timings.profile_s = stage.elapsed().as_secs_f64();
+
+        // --- Stage 4: optimize (Pareto solve + partitioning) ---
+        let stage = std::time::Instant::now();
+        let (time_models, estimation_cost, pareto) = match estimated {
+            None => (None, Cost::ZERO, None),
+            Some((models, cost)) => {
                 let fits: Vec<LinearFit> = models.iter().map(|m| m.fit).collect();
                 let modeler = ParetoModeler::new(fits, energy_profiles.clone())
                     .expect("aligned models and profiles");
@@ -210,7 +273,7 @@ impl<'a> Framework<'a> {
                     Strategy::HetEnergyAwareNormalized { alpha } => modeler
                         .solve_normalized(n, alpha)
                         .expect("partitioning LP is always feasible"),
-                    _ => unreachable!(),
+                    _ => unreachable!("needs_models gates the strategies"),
                 };
                 (Some(models), cost, Some(point))
             }
@@ -236,6 +299,8 @@ impl<'a> Framework<'a> {
         } else {
             sizes
         };
+        timings.optimize_s = stage.elapsed().as_secs_f64();
+        timings.total_s = started.elapsed().as_secs_f64();
         Plan {
             stratification,
             time_models,
@@ -244,6 +309,7 @@ impl<'a> Framework<'a> {
             sizes,
             partitions,
             estimation_cost,
+            timings,
         }
     }
 
@@ -662,6 +728,53 @@ mod tests {
             apriori.report.makespan_seconds,
             eclat.report.makespan_seconds
         );
+    }
+
+    #[test]
+    fn plan_records_stage_timings() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let plan = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+            .plan(&ds, WorkloadKind::Lz77);
+        let t = plan.timings;
+        for (label, v) in [
+            ("sketch", t.sketch_s),
+            ("stratify", t.stratify_s),
+            ("profile", t.profile_s),
+            ("optimize", t.optimize_s),
+        ] {
+            assert!(v >= 0.0 && v.is_finite(), "{label} timing {v}");
+        }
+        assert!(
+            t.total_s >= t.sketch_s + t.stratify_s + t.profile_s + t.optimize_s,
+            "total must cover the stages: {t:?}"
+        );
+    }
+
+    #[test]
+    fn plan_is_bit_identical_across_thread_counts() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let plan_at = |threads: usize| {
+            let mut config = cfg(Strategy::HetEnergyAware { alpha: 0.995 }, PartitionLayout::SimilarTogether);
+            config.threads = threads;
+            Framework::new(&cl, config).plan(&ds, WorkloadKind::FrequentPatterns { support: 0.15 })
+        };
+        let serial = plan_at(1);
+        for threads in [2, 4, 8] {
+            let par = plan_at(threads);
+            assert_eq!(serial.stratification.assignments, par.stratification.assignments);
+            assert_eq!(serial.sizes, par.sizes);
+            assert_eq!(serial.partitions, par.partitions);
+            let (a, b) = (
+                serial.time_models.as_ref().unwrap(),
+                par.time_models.as_ref().unwrap(),
+            );
+            for (ma, mb) in a.iter().zip(b) {
+                assert_eq!(ma.fit.slope.to_bits(), mb.fit.slope.to_bits());
+                assert_eq!(ma.fit.intercept.to_bits(), mb.fit.intercept.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use estimator::{
     AdaptiveReport, AdaptiveSamplingConfig, DriftReport, EnergyEstimator,
     HeterogeneityEstimator, NodeTimeModel, SamplingPlan,
 };
-pub use framework::{Framework, FrameworkConfig, Plan, RunOutcome, Strategy};
+pub use framework::{Framework, FrameworkConfig, Plan, PlanTimings, RunOutcome, Strategy};
 pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
 pub use scheduling::{best_start, sweep_start_times, StartTimeOption};
 pub use partitioner::{DataPartitioner, PartitionLayout};

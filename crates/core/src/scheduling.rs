@@ -169,7 +169,7 @@ mod tests {
         // starts at 0 and 3600 qualify... step 3600 → starts 0, 3600.
         let options =
             sweep_start_times(&cluster, &fits, 10_000, 1.0, 3600.0, 3600.0).unwrap();
-        assert!(options.len() >= 1 && options.len() <= 2);
+        assert!(!options.is_empty() && options.len() <= 2);
         for o in &options {
             assert!(o.start_s + o.point.predicted_makespan <= 3600.0 + 1e-6);
         }

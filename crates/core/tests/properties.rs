@@ -5,12 +5,15 @@
 
 use proptest::prelude::*;
 
+use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_core::framework::{Framework, FrameworkConfig, Strategy as PartitionStrategy};
 use pareto_core::pareto::ParetoModeler;
 use pareto_core::partitioner::{DataPartitioner, PartitionLayout};
 use pareto_core::{Stratifier, StratifierConfig};
 use pareto_datagen::generators::{gen_text, TextGenConfig};
 use pareto_energy::NodeEnergyProfile;
 use pareto_stats::LinearFit;
+use pareto_workloads::WorkloadKind;
 
 fn modeler_inputs() -> impl Strategy<Value = (Vec<LinearFit>, Vec<NodeEnergyProfile>)> {
     (2usize..10).prop_flat_map(|p| {
@@ -159,6 +162,82 @@ proptest! {
             prop_assert!(
                 w[1].predicted_dirty_joules <= w[0].predicted_dirty_joules + 1e-6
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The full planning pipeline is thread-count invariant: for arbitrary
+    /// corpora, seeds, and strategies, `Framework::plan` at `threads > 1`
+    /// reproduces the serial plan bit-for-bit (stratum assignments,
+    /// fitted model coefficients, partition sizes, record placement).
+    #[test]
+    fn plan_thread_count_invariant(
+        seed in any::<u64>(),
+        num_docs in 60usize..160,
+        threads in 2usize..9,
+        strategy_pick in 0u32..3,
+    ) {
+        let ds = gen_text(
+            &TextGenConfig {
+                num_docs,
+                num_topics: 5,
+                vocab_size: 2000,
+                min_len: 10,
+                max_len: 30,
+                topic_purity: 0.9,
+                topic_skew: 0.7,
+                word_skew: 0.9,
+            },
+            seed,
+        );
+        let cluster = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, seed));
+        let strategy = match strategy_pick {
+            0 => PartitionStrategy::Stratified,
+            1 => PartitionStrategy::HetAware,
+            _ => PartitionStrategy::HetEnergyAware { alpha: 0.995 },
+        };
+        let plan_at = |t: usize| {
+            Framework::new(
+                &cluster,
+                FrameworkConfig {
+                    strategy,
+                    seed,
+                    threads: t,
+                    stratifier: StratifierConfig {
+                        num_strata: 6,
+                        sketch_size: 32,
+                        ..StratifierConfig::default()
+                    },
+                    ..FrameworkConfig::default()
+                },
+            )
+            .plan(&ds, WorkloadKind::FrequentPatterns { support: 0.1 })
+        };
+        let serial = plan_at(1);
+        let par = plan_at(threads);
+        prop_assert_eq!(
+            &serial.stratification.assignments,
+            &par.stratification.assignments
+        );
+        prop_assert_eq!(&serial.sizes, &par.sizes);
+        prop_assert_eq!(&serial.partitions, &par.partitions);
+        match (&serial.time_models, &par.time_models) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for (ma, mb) in a.iter().zip(b.iter()) {
+                    prop_assert_eq!(ma.fit.slope.to_bits(), mb.fit.slope.to_bits());
+                    prop_assert_eq!(
+                        ma.fit.intercept.to_bits(),
+                        mb.fit.intercept.to_bits()
+                    );
+                    prop_assert_eq!(ma.observations, mb.observations);
+                }
+            }
+            _ => prop_assert!(false, "model presence differs across thread counts"),
         }
     }
 }

@@ -157,7 +157,7 @@ pub fn parse_record_trees(
     let mut labels: Vec<u32> = Vec::new();
     let mut in_record = false;
 
-    let mut handle_open = |tag: &str,
+    let handle_open = |tag: &str,
                            stack: &mut Vec<(String, Option<u32>)>,
                            parents: &mut Vec<u32>,
                            labels: &mut Vec<u32>,

@@ -126,6 +126,38 @@ impl MinHasher {
     {
         sets.into_iter().map(|s| self.sketch(s)).collect()
     }
+
+    /// Sketch a batch of sets, sharding the work across up to `threads`
+    /// scoped worker threads.
+    ///
+    /// Sketching consumes no RNG state at sketch time (the permutations
+    /// are fixed at construction), so the only determinism requirement is
+    /// ordering: shards are contiguous index ranges and their outputs are
+    /// concatenated in index order, making the result bit-identical to
+    /// [`MinHasher::sketch_all`] at any thread count.
+    pub fn sketch_batch_par(&self, sets: &[&ItemSet], threads: usize) -> Vec<Signature> {
+        let threads = threads.max(1).min(sets.len().max(1));
+        if threads <= 1 {
+            return sets.iter().map(|s| self.sketch(s)).collect();
+        }
+        let chunk = sets.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(sets.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = sets
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        shard.iter().map(|s| self.sketch(s)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("sketch worker panicked"));
+            }
+        })
+        .expect("sketch scope panicked");
+        out
+    }
 }
 
 /// Minimal internal seed splitter (kept local to avoid a dependency cycle
@@ -211,6 +243,22 @@ mod tests {
         let a = MinHasher::new(4, 1).sketch(&s);
         let b = MinHasher::new(8, 1).sketch(&s);
         let _ = a.estimate_jaccard(&b);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial() {
+        let h = MinHasher::new(32, 13);
+        let sets: Vec<ItemSet> = (0..37)
+            .map(|i| ItemSet::from_items((i..i + 20).collect()))
+            .collect();
+        let refs: Vec<&ItemSet> = sets.iter().collect();
+        let serial = h.sketch_batch_par(&refs, 1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(serial, h.sketch_batch_par(&refs, threads));
+        }
+        // Degenerate inputs.
+        assert!(h.sketch_batch_par(&[], 4).is_empty());
+        assert_eq!(h.sketch_batch_par(&refs[..1], 4), serial[..1].to_vec());
     }
 
     #[test]

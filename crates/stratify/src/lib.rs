@@ -36,6 +36,9 @@ pub struct StratifierConfig {
     pub max_iters: usize,
     /// Seed for sketching and center initialization.
     pub seed: u64,
+    /// Worker threads for sketching and clustering (1 = serial). The
+    /// output is bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for StratifierConfig {
@@ -46,6 +49,7 @@ impl Default for StratifierConfig {
             l: 4,
             max_iters: 20,
             seed: 0xDA7A,
+            threads: 1,
         }
     }
 }
@@ -106,10 +110,18 @@ impl Stratifier {
 
     /// Run sketching + compositeKModes over a dataset.
     pub fn stratify(&self, dataset: &Dataset) -> Stratification {
-        let hasher = MinHasher::new(self.cfg.sketch_size, self.cfg.seed);
-        let signatures: Vec<Signature> =
-            dataset.items.iter().map(|it| hasher.sketch(&it.items)).collect();
+        let signatures = self.sketch(dataset);
         self.stratify_signatures(&signatures)
+    }
+
+    /// Sketch a dataset's item sets (the first pipeline stage), sharded
+    /// across `cfg.threads` workers. Exposed separately so callers can
+    /// time sketching and clustering independently.
+    pub fn sketch(&self, dataset: &Dataset) -> Vec<Signature> {
+        let hasher = MinHasher::new(self.cfg.sketch_size, self.cfg.seed);
+        let sets: Vec<&pareto_datagen::ItemSet> =
+            dataset.items.iter().map(|it| &it.items).collect();
+        hasher.sketch_batch_par(&sets, self.cfg.threads)
     }
 
     /// Cluster pre-computed signatures (useful when the caller also needs
@@ -120,6 +132,7 @@ impl Stratifier {
             l: self.cfg.l,
             max_iters: self.cfg.max_iters,
             seed: self.cfg.seed ^ 0x005E_EDC1u64,
+            threads: self.cfg.threads,
         };
         let result = CompositeKModes::new(kcfg).run(signatures);
         let mut strata = vec![Vec::new(); result.num_clusters];

@@ -39,6 +39,7 @@ proptest! {
             sketch_size: 32,
             max_iters: 8,
             seed,
+            threads: 1,
         })
         .stratify(&ds);
         prop_assert_eq!(st.assignments.len(), num_docs);
@@ -58,12 +59,14 @@ proptest! {
     }
 
     /// kModes iterations never exceed the cap, and the objective is
-    /// deterministic per seed.
+    /// deterministic per seed — including across thread counts (the
+    /// parallel assignment/update shards must not change the result).
     #[test]
     fn kmodes_bounded_and_deterministic(
         seed in any::<u64>(),
         num_docs in 20usize..80,
         k in 1usize..6,
+        threads in 1usize..6,
     ) {
         let ds = gen_text(
             &TextGenConfig {
@@ -85,9 +88,10 @@ proptest! {
             l: 2,
             max_iters: 7,
             seed,
+            threads: 1,
         };
         let a = CompositeKModes::new(cfg.clone()).run(&sigs);
-        let b = CompositeKModes::new(cfg).run(&sigs);
+        let b = CompositeKModes::new(KModesConfig { threads, ..cfg }).run(&sigs);
         prop_assert!(a.iterations <= 7);
         prop_assert_eq!(a.assignments, b.assignments);
         prop_assert_eq!(a.total_score, b.total_score);

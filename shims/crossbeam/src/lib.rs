@@ -1,0 +1,94 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is implemented — since Rust 1.63 the standard
+//! library's `std::thread::scope` provides the same borrowing guarantees
+//! crossbeam pioneered, so the shim is a thin adapter reproducing the
+//! crossbeam calling convention (`scope` returns a `Result`, spawned
+//! closures receive the scope handle for nested spawns).
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 API shape.
+
+    use std::any::Any;
+
+    /// Handle for spawning threads tied to a scope. A copyable wrapper
+    /// around the std scope so closures can spawn nested children.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives
+        /// the scope handle (for nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope whose spawned threads may borrow from the calling
+    /// stack frame. All threads are joined before `scope` returns. Returns
+    /// `Err` with the panic payload if the scope body or any spawned
+    /// thread panicked (crossbeam's contract), rather than propagating.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        }
+
+        #[test]
+        fn nested_spawn_through_handle() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 1);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let result = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(result.is_err());
+        }
+    }
+}

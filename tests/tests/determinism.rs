@@ -60,6 +60,126 @@ fn dataset_generation_stable_across_calls() {
     }
 }
 
+/// Thread counts exercised by the cross-thread determinism suite. CI runs
+/// this at several counts via `PARETO_TEST_THREADS`; locally the default
+/// {1, 4, 8} already covers serial, partial-shard, and over-subscribed
+/// (threads > strata/nodes) regimes.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 4, 8];
+    if let Ok(extra) = std::env::var("PARETO_TEST_THREADS") {
+        for part in extra.split(',') {
+            if let Ok(t) = part.trim().parse::<usize>() {
+                if t >= 1 && !counts.contains(&t) {
+                    counts.push(t);
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// The acceptance gate for the parallel planning pipeline: `plan()` is
+/// bit-identical across thread counts for every strategy class that
+/// exercises a parallel stage, at three different seeds.
+#[test]
+fn plan_bit_identical_across_thread_counts() {
+    let counts = thread_counts();
+    for seed in [11u64, 31, 2017] {
+        let ds = pareto_datagen::rcv1_syn(seed, 0.06);
+        let cl = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, seed));
+        for strategy in [
+            Strategy::Stratified,
+            Strategy::HetAware,
+            Strategy::HetEnergyAware { alpha: 0.995 },
+        ] {
+            let plan_at = |threads: usize| {
+                Framework::new(
+                    &cl,
+                    FrameworkConfig {
+                        strategy,
+                        seed,
+                        threads,
+                        ..FrameworkConfig::default()
+                    },
+                )
+                .plan(&ds, WorkloadKind::FrequentPatterns { support: 0.15 })
+            };
+            let serial = plan_at(counts[0]);
+            for &threads in &counts[1..] {
+                let par = plan_at(threads);
+                let ctx = format!("seed {seed}, {strategy:?}, threads {threads}");
+                assert_eq!(
+                    serial.stratification.assignments, par.stratification.assignments,
+                    "{ctx}: stratum assignments diverged"
+                );
+                assert_eq!(serial.sizes, par.sizes, "{ctx}: sizes diverged");
+                assert_eq!(
+                    serial.partitions, par.partitions,
+                    "{ctx}: placement diverged"
+                );
+                match (&serial.time_models, &par.time_models) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        for (ma, mb) in a.iter().zip(b.iter()) {
+                            assert_eq!(
+                                ma.fit.slope.to_bits(),
+                                mb.fit.slope.to_bits(),
+                                "{ctx}: node {} slope bits diverged",
+                                ma.node_id
+                            );
+                            assert_eq!(
+                                ma.fit.intercept.to_bits(),
+                                mb.fit.intercept.to_bits(),
+                                "{ctx}: node {} intercept bits diverged",
+                                ma.node_id
+                            );
+                            assert_eq!(
+                                ma.observations, mb.observations,
+                                "{ctx}: node {} observation count diverged",
+                                ma.node_id
+                            );
+                        }
+                    }
+                    _ => panic!("{ctx}: model presence diverged"),
+                }
+                assert_eq!(
+                    serial.estimation_cost.compute_ops, par.estimation_cost.compute_ops,
+                    "{ctx}: estimation cost diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Full runs (plan + placement + execution) agree across thread counts —
+/// the parallelism knob must not leak into any measured number.
+#[test]
+fn run_outcomes_identical_across_thread_counts() {
+    let seed = 31u64;
+    let ds = pareto_datagen::uk_syn(seed, 0.08);
+    let cl = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, seed));
+    let run_at = |threads: usize| {
+        Framework::new(
+            &cl,
+            FrameworkConfig {
+                strategy: Strategy::HetEnergyAware { alpha: 0.995 },
+                layout: PartitionLayout::SimilarTogether,
+                seed,
+                threads,
+                ..FrameworkConfig::default()
+            },
+        )
+        .run(&ds, WorkloadKind::WebGraph)
+    };
+    let base = run_at(1);
+    for threads in [4usize, 8] {
+        let par = run_at(threads);
+        assert_eq!(base.plan.sizes, par.plan.sizes);
+        assert_eq!(base.report.makespan_seconds, par.report.makespan_seconds);
+        assert_eq!(base.report.total_dirty_linear, par.report.total_dirty_linear);
+    }
+}
+
 #[test]
 fn parallel_execution_does_not_affect_results() {
     // execute_job runs tasks on real threads; reported simulated numbers

@@ -60,8 +60,10 @@ fn every_domain_runs_under_every_strategy() {
             Strategy::Stratified,
             Strategy::HetAware,
             Strategy::HetEnergyAware { alpha: 0.995 },
+            Strategy::HetEnergyAwareNormalized { alpha: 0.5 },
             Strategy::Random,
             Strategy::RoundRobin,
+            Strategy::ClusterMode,
         ] {
             let outcome = Framework::new(&cl, cfg(strategy, layout)).run(&ds, workload);
             // Partition cover.
@@ -116,6 +118,69 @@ fn mining_results_are_strategy_invariant() {
         counts.windows(2).all(|w| w[0] == w[1]),
         "global frequent sets must be identical across strategies: {counts:?}"
     );
+}
+
+#[test]
+fn cluster_mode_reports_hash_dictated_sizes() {
+    // Redis-cluster-mode placement: CRC16 hash slots dictate both contents
+    // and sizes — no estimation, no optimizer, sizes are whatever the hash
+    // produced (and must still be an exact cover).
+    let cl = cluster(4);
+    let ds = pareto_datagen::rcv1_syn(13, 0.08);
+    let plan = Framework::new(&cl, cfg(Strategy::ClusterMode, PartitionLayout::Representative))
+        .plan(&ds, WorkloadKind::FrequentPatterns { support: 0.15 });
+    assert!(plan.time_models.is_none(), "cluster-mode never estimates");
+    assert!(plan.pareto.is_none(), "cluster-mode never optimizes");
+    assert_eq!(plan.estimation_cost.compute_ops, 0);
+    let reported: Vec<usize> = plan.partitions.iter().map(Vec::len).collect();
+    assert_eq!(
+        plan.sizes, reported,
+        "sizes must mirror the hash placement, not an equal-size target"
+    );
+    assert_eq!(plan.sizes.iter().sum::<usize>(), ds.len());
+    // Contents are hash-dictated: record order inside a partition follows
+    // corpus order (CRC16 gives no control over grouping), unlike the
+    // stratified layouts which reorder by stratum.
+    for part in &plan.partitions {
+        assert!(part.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+#[test]
+fn normalized_alpha_trades_predicted_time_for_dirty_energy() {
+    // The normalized strategy makes alpha scale-free: as it falls from 1
+    // toward 0 the optimizer's *predicted* makespan must not improve and
+    // predicted dirty energy must not worsen (deterministic counterpart of
+    // the Fig. 5 frontier, via plan() only — no simulated execution).
+    let cl = cluster(4);
+    let ds = pareto_datagen::rcv1_syn(17, 0.08);
+    let mut last: Option<(f64, f64)> = None;
+    for alpha in [0.9, 0.5, 0.1] {
+        let plan = Framework::new(
+            &cl,
+            cfg(
+                Strategy::HetEnergyAwareNormalized { alpha },
+                PartitionLayout::Representative,
+            ),
+        )
+        .plan(&ds, WorkloadKind::FrequentPatterns { support: 0.15 });
+        let point = plan.pareto.expect("normalized strategy always optimizes");
+        assert!(plan.time_models.is_some());
+        assert_eq!(plan.sizes.iter().sum::<usize>(), ds.len());
+        if let Some((prev_time, prev_dirty)) = last {
+            assert!(
+                point.predicted_makespan >= prev_time - 1e-6,
+                "alpha {alpha}: makespan improved ({} < {prev_time})",
+                point.predicted_makespan
+            );
+            assert!(
+                point.predicted_dirty_joules <= prev_dirty + 1e-6,
+                "alpha {alpha}: dirty energy worsened ({} > {prev_dirty})",
+                point.predicted_dirty_joules
+            );
+        }
+        last = Some((point.predicted_makespan, point.predicted_dirty_joules));
+    }
 }
 
 #[test]
