@@ -8,6 +8,8 @@
 //!   ablations      the metric ablations (regression, pipeline, sampling,
 //!                  kmodes-L, mean-GE, work stealing, normalized alpha,
 //!                  forecast error, supply topology)
+//!   faults         fault-injection scenarios (crash, straggler, kv errors,
+//!                  network degradation) and their recovery overhead
 //!   check          the reproduction gate: PASS/FAIL per headline claim
 //!   speedup        planning-throughput curve across worker thread counts
 //!                  (wall-clock only — not part of `all`, whose outputs
@@ -89,6 +91,7 @@ fn run(cmd: &str, st: ExpSettings, out: &Option<PathBuf>) -> Result<(), String> 
         "table3" => emit(experiments::table3(st).0, "table3", out),
         "fig5" => emit(experiments::fig5(st).0, "fig5", out),
         "fig6" => emit(experiments::fig6(st).0, "fig6", out),
+        "faults" => emit(experiments::faults_experiment(st), "faults", out),
         "speedup" => emit(
             experiments::planning_speedup(st, &experiments::THREAD_SWEEP),
             "speedup",
@@ -132,7 +135,7 @@ fn run(cmd: &str, st: ExpSettings, out: &Option<PathBuf>) -> Result<(), String> 
         "all" => {
             for c in [
                 "table1", "fig2", "fig3", "fig4", "table2", "table3", "fig5", "fig6",
-                "ablations", "check",
+                "ablations", "faults", "check",
             ] {
                 eprintln!("--- running {c} ---");
                 run(c, st, out)?;
@@ -150,7 +153,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments [--scale F] [--seed N] [--threads N] [--out DIR] \
-                 <table1|fig2|fig3|fig4|table2|table3|fig5|fig6|ablations|check|speedup|all>"
+                 <table1|fig2|fig3|fig4|table2|table3|fig5|fig6|ablations|faults|check|speedup|all>"
             );
             return ExitCode::FAILURE;
         }

@@ -7,9 +7,11 @@
 //! the paper?" — EXPERIMENTS.md records the numbers, this records the
 //! verdicts.
 
-use pareto_core::framework::Strategy;
+use pareto_cluster::FaultPlan;
+use pareto_core::framework::{Framework, FrameworkConfig, Strategy};
 use pareto_core::pareto::ParetoModeler;
 use pareto_core::partitioner::PartitionLayout;
+use pareto_core::RecoveryConfig;
 use pareto_workloads::WorkloadKind;
 
 use crate::experiments::{run_strategy, ExpSettings, ALPHA_MINING, MINING_SCALE_BOOST};
@@ -177,6 +179,61 @@ pub fn check_claims(st: ExpSettings) -> Vec<ClaimResult> {
         detail: format!("{} of {} on the frontier", keep.len(), points.len()),
     });
 
+    // --- C8: LP replanning recovers a mid-job crash exactly-once with
+    // bounded makespan inflation. ---
+    let cluster = crate::experiments::make_cluster(8, st.seed);
+    let fw = Framework::new(
+        &cluster,
+        FrameworkConfig {
+            strategy: Strategy::HetAware,
+            layout: PartitionLayout::Representative,
+            seed: st.seed,
+            threads: st.threads,
+            ..FrameworkConfig::default()
+        },
+    );
+    let rcfg = RecoveryConfig::default();
+    let clean = fw.run_with_faults(&text, mine, &FaultPlan::none(), &rcfg);
+    // Crash the longest-working node 40% into its own busy time so the
+    // crash is guaranteed to land mid-work (a wall-clock fraction can miss
+    // a fast node that drained its partition early).
+    let (victim, victim_busy) = clean
+        .outcome
+        .report
+        .runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.seconds))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty cluster");
+    let tc = victim_busy * 0.4;
+    let crashed = fw.run_with_faults(&text, mine, &FaultPlan::new().with_crash(victim, tc), &rcfg);
+    let rec = &crashed.outcome.recovery;
+    let on_dead = crashed
+        .outcome
+        .reassigned_items
+        .iter()
+        .filter(|&&i| crashed.outcome.completed_by[i] == Some(victim))
+        .count();
+    results.push(ClaimResult {
+        id: "C8",
+        claim: "single-node crash: exactly-once recovery, bounded inflation",
+        passed: rec.exactly_once
+            && rec.crashed_nodes == vec![victim]
+            && rec.replans >= 1
+            && on_dead == 0
+            && rec.makespan_overhead >= 0.0
+            && rec.makespan_overhead < 1.0,
+        detail: format!(
+            "{}/{} items, {} reassigned ({} on dead node), overhead {:.0}%",
+            rec.items_completed,
+            rec.items_total,
+            rec.items_reassigned,
+            on_dead,
+            rec.makespan_overhead * 100.0
+        ),
+    });
+
     results
 }
 
@@ -217,7 +274,7 @@ mod tests {
             seed: 31337,
             threads: 1,
         });
-        assert_eq!(results.len(), 7);
+        assert_eq!(results.len(), 8);
         let (table, all) = render_claims(&results);
         assert!(
             all,

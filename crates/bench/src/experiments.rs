@@ -7,8 +7,9 @@
 //! dirty kilojoules; EXPERIMENTS.md records how their *shape* compares to
 //! the paper's measurements.
 
-use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_cluster::{FaultPlan, NodeSpec, SimCluster};
 use pareto_core::framework::{Framework, FrameworkConfig, Quality, Strategy};
+use pareto_core::RecoveryConfig;
 use pareto_core::partitioner::PartitionLayout;
 use pareto_core::StratifierConfig;
 use pareto_datagen::Dataset;
@@ -573,6 +574,111 @@ pub fn fig6(st: ExpSettings) -> (Table, Vec<StrategyRow>) {
     (combined, all_rows)
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection — recovery overhead table
+// ---------------------------------------------------------------------------
+
+/// Fault-injection scenarios over the mining pipeline at `p = 8`: how much
+/// wall time and dirty energy each class of failure costs once the
+/// framework re-solves the LP over the survivors. The crash is placed at
+/// 40% of the scenario-free makespan so replanning genuinely happens
+/// mid-job.
+pub fn faults_experiment(st: ExpSettings) -> Table {
+    let ds = pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST);
+    let cluster = make_cluster(8, st.seed);
+    let workload = WorkloadKind::FrequentPatterns {
+        support: TEXT_SUPPORT,
+    };
+    let cfg = framework_config(
+        Strategy::HetEnergyAware {
+            alpha: ALPHA_MINING,
+        },
+        PartitionLayout::Representative,
+        st.seed,
+        st.threads,
+    );
+    let fw = Framework::new(&cluster, cfg);
+    let rcfg = RecoveryConfig::default();
+    let clean = fw.run_with_faults(&ds, workload, &FaultPlan::none(), &rcfg);
+    // Crash the node that works longest, 40% into its own busy time —
+    // crashing by wall clock can miss entirely (a fast node may already
+    // have drained its partition while a slow one still dominates the
+    // wall makespan).
+    let (victim, victim_busy) = clean
+        .outcome
+        .report
+        .runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.seconds))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty cluster");
+    let tc = victim_busy * 0.4;
+    let wall = clean.outcome.recovery.makespan_s;
+
+    let scenarios: Vec<(&str, FaultPlan)> = vec![
+        ("none", FaultPlan::none()),
+        ("crash", FaultPlan::new().with_crash(victim, tc)),
+        ("straggler", FaultPlan::new().with_straggler(2, 6.0)),
+        ("kv-errors", FaultPlan::new().with_store_errors(1, 2)),
+        (
+            "net-degraded",
+            FaultPlan::new().with_network_degradation(3, 0.0, wall, 10.0),
+        ),
+        (
+            "combined",
+            FaultPlan::new()
+                .with_crash(victim, tc)
+                .with_straggler(2, 6.0)
+                .with_store_errors(1, 2)
+                .with_network_degradation(3, 0.0, wall, 10.0),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "Fault injection — recovery overhead on rcv1 mining (8 partitions)",
+        &[
+            "scenario",
+            "crashed",
+            "replans",
+            "retries",
+            "steals",
+            "reassigned",
+            "exactly_once",
+            "makespan_s",
+            "overhead_pct",
+            "dirty_kJ",
+        ],
+    );
+    for (name, plan) in scenarios {
+        let out = fw.run_with_faults(&ds, workload, &plan, &rcfg);
+        let rec = &out.outcome.recovery;
+        assert!(
+            rec.exactly_once,
+            "scenario {name:?} lost items: {rec:?}"
+        );
+        if name == "crash" || name == "combined" {
+            assert!(
+                rec.crashed_nodes.contains(&victim),
+                "scenario {name:?}: node {victim} must die at {tc}s: {rec:?}"
+            );
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{:?}", rec.crashed_nodes),
+            rec.replans.to_string(),
+            rec.retries_spent.to_string(),
+            rec.speculative_steals.to_string(),
+            rec.items_reassigned.to_string(),
+            rec.exactly_once.to_string(),
+            fmt_secs(rec.makespan_s),
+            format!("{:.1}", rec.makespan_overhead * 100.0),
+            fmt_kj(rec.dirty_linear_j),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,6 +695,13 @@ mod tests {
     fn table1_lists_five_datasets() {
         let t = table1(tiny());
         assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn faults_table_covers_all_scenarios() {
+        let t = faults_experiment(tiny());
+        assert_eq!(t.len(), 6, "none/crash/straggler/kv/net/combined");
+        // faults_experiment asserts exactly-once internally for each row.
     }
 
     #[test]

@@ -30,7 +30,14 @@ common options:
   --support S             mining support fraction (default 0.1)
   --scale F --seed N      synthetic generation controls
   --threads N             planning worker threads (default 1; the plan is
-                          bit-identical at any thread count)";
+                          bit-identical at any thread count)
+  --faults SPEC           inject faults into `run` and report the recovery.
+                          SPEC is comma-separated events:
+                            crash:NODE@T       kill NODE at simulated second T
+                            slow:NODE@FACTOR   NODE runs FACTOR x slower
+                            kv:NODE@COUNT      COUNT transient store errors
+                            net:NODE@FROM-TO@F degrade NODE's network by F
+                            seeded:SEED        deterministic generated plan";
 
 /// A parsed invocation.
 #[derive(Debug, Clone)]
@@ -89,6 +96,9 @@ pub struct Common {
     /// Planning worker threads (1 = serial; results are thread-count
     /// invariant).
     pub threads: usize,
+    /// Fault-injection spec (`run` only; see `--faults` in [`USAGE`]).
+    /// Parsed against the cluster size at execution time.
+    pub faults: Option<String>,
 }
 
 impl Default for Common {
@@ -104,6 +114,7 @@ impl Default for Common {
             scale: 0.25,
             seed: 2017,
             threads: 1,
+            faults: None,
         }
     }
 }
@@ -191,6 +202,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     return Err("--threads must be >= 1".into());
                 }
             }
+            "--faults" => common.faults = Some(value("--faults")?),
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -366,6 +378,30 @@ mod tests {
         }
         assert!(parse(&argv("run --preset rcv1 --threads 0")).is_err());
         assert!(parse(&argv("run --preset rcv1 --threads nope")).is_err());
+    }
+
+    #[test]
+    fn parses_faults_spec() {
+        let cmd = parse(&argv(
+            "run --preset rcv1 --nodes 4 --faults crash:1@5.0,slow:2@3,seeded:99",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { common } => {
+                assert_eq!(
+                    common.faults.as_deref(),
+                    Some("crash:1@5.0,slow:2@3,seeded:99")
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default: no faults.
+        let cmd = parse(&argv("run --preset rcv1")).unwrap();
+        match cmd {
+            Command::Run { common } => assert!(common.faults.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --preset rcv1 --faults")).is_err());
     }
 
     #[test]

@@ -4,10 +4,11 @@ use std::fs;
 use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 
-use pareto_cluster::{NodeSpec, SimCluster};
+use pareto_cluster::{FaultPlan, NodeSpec, SimCluster};
 use pareto_core::estimator::{EnergyEstimator, HeterogeneityEstimator, SamplingPlan};
 use pareto_core::framework::{Framework, FrameworkConfig, Quality};
 use pareto_core::pareto::ParetoModeler;
+use pareto_core::RecoveryConfig;
 use pareto_core::{Stratifier, StratifierConfig};
 use pareto_datagen::{loaders, writers, DataKind, Dataset};
 
@@ -183,6 +184,10 @@ fn execute(common: &Common) -> Result<(), String> {
     let dataset = load_dataset(common)?;
     let (_, cluster, cfg) = build_framework_parts(common);
     let fw = Framework::new(&cluster, cfg);
+    if let Some(spec) = &common.faults {
+        let faults = FaultPlan::parse(spec, common.nodes).map_err(|e| e.to_string())?;
+        return execute_with_faults(&fw, &dataset, common, &faults);
+    }
     let outcome = fw.run(&dataset, common.workload);
 
     println!(
@@ -232,6 +237,65 @@ fn execute(common: &Common) -> Result<(), String> {
         } => println!(
             "quality            {input_bytes} -> {output_bytes} bytes (ratio {ratio:.2})"
         ),
+    }
+    Ok(())
+}
+
+/// `run --faults`: execute through the fault-tolerant path and print the
+/// structured recovery report next to the usual plan summary.
+fn execute_with_faults(
+    fw: &Framework,
+    dataset: &Dataset,
+    common: &Common,
+    faults: &FaultPlan,
+) -> Result<(), String> {
+    let out = fw.run_with_faults(dataset, common.workload, faults, &RecoveryConfig::default());
+    let rec = &out.outcome.recovery;
+    println!(
+        "dataset            {} ({} records)",
+        dataset.name,
+        dataset.len()
+    );
+    println!("strategy           {}", common.strategy.label());
+    println!("partition sizes    {:?}", out.plan.sizes);
+    println!("faults injected    {}", rec.faults_injected);
+    for ev in faults.events() {
+        println!("                   node {} <- {:?}", ev.node_id, ev.kind);
+    }
+    println!(
+        "crashed nodes      {:?} ({} replans, {} retries, {} speculative steals)",
+        rec.crashed_nodes, rec.replans, rec.retries_spent, rec.speculative_steals
+    );
+    println!(
+        "items              {}/{} completed ({} reassigned, {} stolen){}",
+        rec.items_completed,
+        rec.items_total,
+        rec.items_reassigned,
+        rec.items_stolen,
+        if rec.exactly_once {
+            " — exactly once"
+        } else {
+            " — INCOMPLETE"
+        }
+    );
+    println!(
+        "makespan           {:.2} s vs {:.2} s fault-free (+{:.1}%)",
+        rec.makespan_s,
+        rec.fault_free_makespan_s,
+        rec.makespan_overhead * 100.0
+    );
+    println!(
+        "dirty energy       {:.1} kJ vs {:.1} kJ fault-free ({:+.1} kJ)",
+        rec.dirty_linear_j / 1000.0,
+        rec.fault_free_dirty_linear_j / 1000.0,
+        rec.dirty_overhead_j / 1000.0
+    );
+    if !rec.exactly_once {
+        return Err(format!(
+            "{} of {} items lost (all nodes failed)",
+            rec.items_total - rec.items_completed,
+            rec.items_total
+        ));
     }
     Ok(())
 }

@@ -16,6 +16,7 @@
 use pareto_energy::{dirty_energy_joules, DirtyEnergyMode};
 
 use crate::cost::Cost;
+use crate::error::ClusterError;
 use crate::kvstore::KvStore;
 use crate::network::NetworkModel;
 use crate::node::NodeSpec;
@@ -61,6 +62,18 @@ pub struct JobReport {
 }
 
 impl JobReport {
+    /// Aggregate per-node runs into a report (makespan + energy totals).
+    pub fn from_runs(runs: Vec<NodeRun>) -> Self {
+        let makespan = runs.iter().map(|r| r.seconds).fold(0.0, f64::max);
+        JobReport {
+            makespan_seconds: makespan,
+            total_dirty_linear: runs.iter().map(|r| r.dirty_joules_linear).sum(),
+            total_dirty_clamped: runs.iter().map(|r| r.dirty_joules_clamped).sum(),
+            total_energy_joules: runs.iter().map(|r| r.energy_joules).sum(),
+            runs,
+        }
+    }
+
     /// Per-node simulated times.
     pub fn node_seconds(&self) -> Vec<f64> {
         self.runs.iter().map(|r| r.seconds).collect()
@@ -93,17 +106,29 @@ pub struct SimCluster {
 
 impl SimCluster {
     /// Build a cluster from node specs with the default network and
-    /// compute rate.
-    pub fn new(nodes: Vec<NodeSpec>) -> Self {
-        assert!(!nodes.is_empty(), "cluster needs at least one node");
+    /// compute rate; rejects an empty node list.
+    pub fn try_new(nodes: Vec<NodeSpec>) -> Result<Self, ClusterError> {
+        if nodes.is_empty() {
+            return Err(ClusterError::EmptyCluster);
+        }
         let stores = nodes.iter().map(|_| KvStore::new()).collect();
-        SimCluster {
+        Ok(SimCluster {
             nodes,
             stores,
             network: NetworkModel::default(),
             base_ops_per_sec: DEFAULT_BASE_OPS_PER_SEC,
             job_start_s: 0.0,
-        }
+        })
+    }
+
+    /// Build a cluster from node specs with the default network and
+    /// compute rate.
+    ///
+    /// # Panics
+    /// Panics on an empty node list; see [`SimCluster::try_new`] for the
+    /// non-panicking form.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        Self::try_new(nodes).expect("cluster needs at least one node")
     }
 
     /// Override the network model.
@@ -112,18 +137,44 @@ impl SimCluster {
         self
     }
 
-    /// Override the type-1 compute rate (abstract ops per second).
-    pub fn with_base_ops_per_sec(mut self, rate: f64) -> Self {
-        assert!(rate > 0.0);
+    /// Override the type-1 compute rate; rejects non-positive or
+    /// non-finite rates.
+    pub fn try_with_base_ops_per_sec(mut self, rate: f64) -> Result<Self, ClusterError> {
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(ClusterError::NonPositiveComputeRate(rate));
+        }
         self.base_ops_per_sec = rate;
-        self
+        Ok(self)
+    }
+
+    /// Override the type-1 compute rate (abstract ops per second).
+    ///
+    /// # Panics
+    /// Panics on a non-positive rate; see
+    /// [`SimCluster::try_with_base_ops_per_sec`] for the non-panicking form.
+    pub fn with_base_ops_per_sec(self, rate: f64) -> Self {
+        self.try_with_base_ops_per_sec(rate)
+            .expect("base ops/sec must be positive")
+    }
+
+    /// Set where in the green traces jobs start; rejects negative or
+    /// non-finite offsets.
+    pub fn try_with_job_start(mut self, t0_seconds: f64) -> Result<Self, ClusterError> {
+        if !(t0_seconds >= 0.0 && t0_seconds.is_finite()) {
+            return Err(ClusterError::BadJobStart(t0_seconds));
+        }
+        self.job_start_s = t0_seconds;
+        Ok(self)
     }
 
     /// Set where in the green traces jobs start (seconds).
-    pub fn with_job_start(mut self, t0_seconds: f64) -> Self {
-        assert!(t0_seconds >= 0.0);
-        self.job_start_s = t0_seconds;
-        self
+    ///
+    /// # Panics
+    /// Panics on a negative offset; see [`SimCluster::try_with_job_start`]
+    /// for the non-panicking form.
+    pub fn with_job_start(self, t0_seconds: f64) -> Self {
+        self.try_with_job_start(t0_seconds)
+            .expect("job start must be non-negative")
     }
 
     /// Number of nodes.
@@ -154,6 +205,11 @@ impl SimCluster {
     /// Base compute rate (type-1 ops/second).
     pub fn base_ops_per_sec(&self) -> f64 {
         self.base_ops_per_sec
+    }
+
+    /// Job start offset into the green traces (seconds).
+    pub fn job_start_s(&self) -> f64 {
+        self.job_start_s
     }
 
     /// Convert a cost to simulated seconds on node `id`.
@@ -195,21 +251,57 @@ impl SimCluster {
         }
     }
 
+    /// Account a node that was busy for an explicit number of simulated
+    /// seconds (rather than the seconds implied by `cost`). The fault
+    /// executor uses this: a crashed node burned wall time and energy up
+    /// to its crash without completing the corresponding work, and
+    /// degraded networks or straggler factors stretch an event's time
+    /// beyond what the raw cost converts to.
+    pub fn account_busy(&self, node_id: usize, busy_seconds: f64, cost: Cost) -> NodeRun {
+        let node = &self.nodes[node_id];
+        let power = node.power();
+        let energy_joules = power.energy_joules(busy_seconds);
+        let dirty_linear = dirty_energy_joules(
+            &power,
+            &node.trace,
+            self.job_start_s,
+            busy_seconds,
+            DirtyEnergyMode::PaperLinear,
+        );
+        let dirty_clamped = dirty_energy_joules(
+            &power,
+            &node.trace,
+            self.job_start_s,
+            busy_seconds,
+            DirtyEnergyMode::Clamped,
+        );
+        NodeRun {
+            node_id,
+            seconds: busy_seconds,
+            energy_joules,
+            dirty_joules_linear: dirty_linear,
+            dirty_joules_clamped: dirty_clamped,
+            cost,
+        }
+    }
+
     /// Execute one task per node **in parallel** (real threads) and account
     /// simulated time/energy. `tasks[i]` runs logically on node `i`.
+    /// Rejects a task vector whose length differs from the node count.
     ///
     /// # Panics
-    /// Panics if `tasks.len() != num_nodes()` or if any task panics.
-    pub fn execute_job<T, F>(&self, tasks: Vec<F>) -> (Vec<T>, JobReport)
+    /// Panics if any task panics.
+    pub fn try_execute_job<T, F>(&self, tasks: Vec<F>) -> Result<(Vec<T>, JobReport), ClusterError>
     where
         T: Send,
         F: FnOnce(JobCtx<'_>) -> (T, Cost) + Send,
     {
-        assert_eq!(
-            tasks.len(),
-            self.nodes.len(),
-            "one task per node required"
-        );
+        if tasks.len() != self.nodes.len() {
+            return Err(ClusterError::TaskCountMismatch {
+                nodes: self.nodes.len(),
+                tasks: tasks.len(),
+            });
+        }
         let mut slots: Vec<Option<(T, Cost)>> = Vec::with_capacity(tasks.len());
         for _ in 0..tasks.len() {
             slots.push(None);
@@ -236,34 +328,50 @@ impl SimCluster {
             runs.push(self.account(node_id, cost));
             results.push(result);
         }
-        let makespan = runs.iter().map(|r| r.seconds).fold(0.0, f64::max);
-        let report = JobReport {
-            makespan_seconds: makespan,
-            total_dirty_linear: runs.iter().map(|r| r.dirty_joules_linear).sum(),
-            total_dirty_clamped: runs.iter().map(|r| r.dirty_joules_clamped).sum(),
-            total_energy_joules: runs.iter().map(|r| r.energy_joules).sum(),
-            runs,
-        };
-        (results, report)
+        Ok((results, JobReport::from_runs(runs)))
+    }
+
+    /// Execute one task per node **in parallel** (real threads) and account
+    /// simulated time/energy. `tasks[i]` runs logically on node `i`.
+    ///
+    /// # Panics
+    /// Panics if `tasks.len() != num_nodes()` or if any task panics; see
+    /// [`SimCluster::try_execute_job`] for the non-panicking form.
+    pub fn execute_job<T, F>(&self, tasks: Vec<F>) -> (Vec<T>, JobReport)
+    where
+        T: Send,
+        F: FnOnce(JobCtx<'_>) -> (T, Cost) + Send,
+    {
+        self.try_execute_job(tasks)
+            .expect("one task per node required")
     }
 
     /// Account a pre-computed per-node cost vector without running
-    /// anything (used by planners that already know the costs).
-    pub fn account_costs(&self, costs: &[Cost]) -> JobReport {
-        assert_eq!(costs.len(), self.nodes.len(), "one cost per node");
+    /// anything; rejects a cost vector whose length differs from the node
+    /// count.
+    pub fn try_account_costs(&self, costs: &[Cost]) -> Result<JobReport, ClusterError> {
+        if costs.len() != self.nodes.len() {
+            return Err(ClusterError::CostCountMismatch {
+                nodes: self.nodes.len(),
+                costs: costs.len(),
+            });
+        }
         let runs: Vec<NodeRun> = costs
             .iter()
             .enumerate()
             .map(|(id, &c)| self.account(id, c))
             .collect();
-        let makespan = runs.iter().map(|r| r.seconds).fold(0.0, f64::max);
-        JobReport {
-            makespan_seconds: makespan,
-            total_dirty_linear: runs.iter().map(|r| r.dirty_joules_linear).sum(),
-            total_dirty_clamped: runs.iter().map(|r| r.dirty_joules_clamped).sum(),
-            total_energy_joules: runs.iter().map(|r| r.energy_joules).sum(),
-            runs,
-        }
+        Ok(JobReport::from_runs(runs))
+    }
+
+    /// Account a pre-computed per-node cost vector without running
+    /// anything (used by planners that already know the costs).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch; see [`SimCluster::try_account_costs`]
+    /// for the non-panicking form.
+    pub fn account_costs(&self, costs: &[Cost]) -> JobReport {
+        self.try_account_costs(costs).expect("one cost per node")
     }
 }
 
@@ -437,5 +545,50 @@ mod tests {
         let c = cluster(2);
         let tasks: Vec<fn(JobCtx<'_>) -> ((), Cost)> = vec![|_| ((), Cost::ZERO)];
         c.execute_job(tasks);
+    }
+
+    #[test]
+    fn malformed_configs_are_typed_errors() {
+        assert_eq!(
+            SimCluster::try_new(vec![]).err(),
+            Some(ClusterError::EmptyCluster)
+        );
+        let c = cluster(2);
+        assert_eq!(
+            c.try_with_base_ops_per_sec(0.0).err(),
+            Some(ClusterError::NonPositiveComputeRate(0.0))
+        );
+        let c = cluster(2);
+        assert_eq!(
+            c.try_with_job_start(-5.0).err(),
+            Some(ClusterError::BadJobStart(-5.0))
+        );
+        let c = cluster(2);
+        let tasks: Vec<fn(JobCtx<'_>) -> ((), Cost)> = vec![|_| ((), Cost::ZERO)];
+        assert_eq!(
+            c.try_execute_job(tasks).err(),
+            Some(ClusterError::TaskCountMismatch { nodes: 2, tasks: 1 })
+        );
+        assert_eq!(
+            c.try_account_costs(&[Cost::ZERO]).err(),
+            Some(ClusterError::CostCountMismatch { nodes: 2, costs: 1 })
+        );
+    }
+
+    #[test]
+    fn account_busy_matches_account_for_implied_seconds() {
+        let c = cluster(4);
+        let cost = Cost::compute(50_000_000);
+        let implied = c.cost_to_seconds(2, &cost);
+        let via_busy = c.account_busy(2, implied, cost);
+        let via_costs = c.account_costs(&[Cost::ZERO, Cost::ZERO, cost, Cost::ZERO]);
+        let direct = &via_costs.runs[2];
+        assert_eq!(via_busy.seconds, direct.seconds);
+        assert_eq!(via_busy.energy_joules, direct.energy_joules);
+        assert_eq!(via_busy.dirty_joules_linear, direct.dirty_joules_linear);
+        // Stretched time burns proportionally more energy for the same cost.
+        let stretched = c.account_busy(2, implied * 2.0, cost);
+        assert!(stretched.energy_joules > via_busy.energy_joules);
+        assert_eq!(stretched.cost, cost);
     }
 }

@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn network_not_scaled_by_speed() {
-        let net = NetworkModel::new(100e-6, 1e9);
+        let net = NetworkModel::new(100e-6, 1e9).unwrap();
         let c = Cost::request(0);
         assert_eq!(c.seconds(1.0, 1e6, &net), c.seconds(0.25, 1e6, &net));
     }

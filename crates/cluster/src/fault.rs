@@ -1,0 +1,507 @@
+//! Seeded, deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a schedule of adverse events against individual
+//! nodes: crashes at a simulated time, straggler slowdown factors,
+//! transient KV-store errors during partition fetch, and network
+//! degradation windows. Plans are plain data — the executor queries them
+//! (`crash_time`, `straggler_factor`, …) while advancing simulated time,
+//! so the same plan replayed against the same job is bit-reproducible
+//! regardless of host scheduling or thread count.
+//!
+//! Plans come from three places:
+//! - explicit builders (`with_crash`, …) for tests and claims gates,
+//! - [`FaultPlan::parse`] for the CLI `--faults` spec string,
+//! - [`FaultPlan::generate`], which derives every event from
+//!   `(seed, node_id, event_index)` through a SplitMix64-style mixer, so a
+//!   single integer seed names an entire fault scenario.
+
+use crate::error::ClusterError;
+use crate::network::NetworkModel;
+
+/// One kind of injected adversity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The node halts at simulated time `at_s`; in-flight work is lost.
+    Crash {
+        /// Simulated seconds after job start.
+        at_s: f64,
+    },
+    /// Everything on the node takes `factor`× longer (CPU contention,
+    /// thermal throttling, a solar dip forcing DVFS — the cause is
+    /// abstracted away).
+    Straggler {
+        /// Slowdown multiplier, `>= 1`.
+        factor: f64,
+    },
+    /// The node's first `count` KV-store operations during partition
+    /// fetch fail transiently and must be retried.
+    StoreErrors {
+        /// Number of consecutive transient failures.
+        count: u32,
+    },
+    /// Between `from_s` and `until_s`, the node's links run at
+    /// `latency × factor` and `bandwidth ÷ factor`.
+    NetworkDegradation {
+        /// Window start (simulated seconds).
+        from_s: f64,
+        /// Window end (simulated seconds).
+        until_s: f64,
+        /// Degradation severity, `>= 1`.
+        factor: f64,
+    },
+}
+
+/// A fault bound to a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Target node.
+    pub node_id: usize,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// Probabilities and ranges for seeded plan generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-node crash probability.
+    pub crash_prob: f64,
+    /// Crash times are drawn uniformly from this window (seconds).
+    pub crash_window_s: (f64, f64),
+    /// Per-node straggler probability.
+    pub straggler_prob: f64,
+    /// Straggler factors are drawn uniformly from `[1, max_factor]`.
+    pub straggler_max_factor: f64,
+    /// Per-node probability of transient store errors.
+    pub store_error_prob: f64,
+    /// Error counts are drawn uniformly from `[1, max]`.
+    pub store_error_max: u32,
+    /// Per-node probability of a network degradation window.
+    pub degradation_prob: f64,
+    /// Degradation windows start uniformly in the crash window and last
+    /// this long (seconds).
+    pub degradation_len_s: f64,
+    /// Degradation severity factor.
+    pub degradation_factor: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            crash_prob: 0.15,
+            crash_window_s: (10.0, 200.0),
+            straggler_prob: 0.25,
+            straggler_max_factor: 4.0,
+            store_error_prob: 0.25,
+            store_error_max: 3,
+            degradation_prob: 0.25,
+            degradation_len_s: 60.0,
+            degradation_factor: 8.0,
+        }
+    }
+}
+
+/// A deterministic schedule of faults for one job.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// SplitMix64 finalizer: one bijective avalanche round.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from `(seed, node_id, event_index)`.
+fn unit_draw(seed: u64, node_id: usize, event_index: u64) -> f64 {
+    let h = mix64(mix64(seed ^ mix64(node_id as u64)) ^ event_index);
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// An empty plan (the fault-free baseline).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Empty plan, ready for the `with_*` builders.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule a crash of `node_id` at simulated time `at_s`.
+    pub fn with_crash(mut self, node_id: usize, at_s: f64) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::Crash { at_s: at_s.max(0.0) },
+        });
+        self
+    }
+
+    /// Make `node_id` a straggler: all its work takes `factor`× longer.
+    pub fn with_straggler(mut self, node_id: usize, factor: f64) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::Straggler {
+                factor: factor.max(1.0),
+            },
+        });
+        self
+    }
+
+    /// Inject `count` transient KV errors into `node_id`'s partition fetch.
+    pub fn with_store_errors(mut self, node_id: usize, count: u32) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::StoreErrors { count },
+        });
+        self
+    }
+
+    /// Degrade `node_id`'s network by `factor` during `[from_s, until_s]`.
+    pub fn with_network_degradation(
+        mut self,
+        node_id: usize,
+        from_s: f64,
+        until_s: f64,
+        factor: f64,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::NetworkDegradation {
+                from_s: from_s.max(0.0),
+                until_s: until_s.max(from_s.max(0.0)),
+                factor: factor.max(1.0),
+            },
+        });
+        self
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Earliest crash time scheduled for `node_id`, if any.
+    pub fn crash_time(&self, node_id: usize) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| e.node_id == node_id)
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { at_s } => Some(at_s),
+                _ => None,
+            })
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// Combined slowdown factor for `node_id` (product of its straggler
+    /// events; `1.0` when healthy).
+    pub fn straggler_factor(&self, node_id: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.node_id == node_id)
+            .filter_map(|e| match e.kind {
+                FaultKind::Straggler { factor } => Some(factor),
+                _ => None,
+            })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Total transient store errors `node_id` will hit during fetch.
+    pub fn store_error_count(&self, node_id: usize) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| e.node_id == node_id)
+            .map(|e| match e.kind {
+                FaultKind::StoreErrors { count } => count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The network `node_id` sees at simulated time `t`: `base` with every
+    /// active degradation window applied (latency multiplied, bandwidth
+    /// divided).
+    pub fn network_at(&self, node_id: usize, t: f64, base: &NetworkModel) -> NetworkModel {
+        let mut net = *base;
+        for e in self.events.iter().filter(|e| e.node_id == node_id) {
+            if let FaultKind::NetworkDegradation {
+                from_s,
+                until_s,
+                factor,
+            } = e.kind
+            {
+                if t >= from_s && t < until_s {
+                    net = net.degraded(factor);
+                }
+            }
+        }
+        net
+    }
+
+    /// Derive a plan from a single seed: each node draws each event kind
+    /// independently through `(seed, node_id, event_index)`, so plans for
+    /// different cluster sizes share the per-node outcomes of their common
+    /// prefix and two runs with the same seed are identical everywhere.
+    pub fn generate(seed: u64, num_nodes: usize, spec: &FaultSpec) -> Self {
+        let mut plan = FaultPlan::new();
+        for node in 0..num_nodes {
+            if unit_draw(seed, node, 0) < spec.crash_prob {
+                let (lo, hi) = spec.crash_window_s;
+                let at = lo + unit_draw(seed, node, 1) * (hi - lo).max(0.0);
+                plan = plan.with_crash(node, at);
+            }
+            if unit_draw(seed, node, 2) < spec.straggler_prob {
+                let f = 1.0 + unit_draw(seed, node, 3) * (spec.straggler_max_factor - 1.0).max(0.0);
+                plan = plan.with_straggler(node, f);
+            }
+            if unit_draw(seed, node, 4) < spec.store_error_prob {
+                let count = 1 + (unit_draw(seed, node, 5) * spec.store_error_max.max(1) as f64)
+                    as u32;
+                plan = plan.with_store_errors(node, count.min(spec.store_error_max.max(1)));
+            }
+            if unit_draw(seed, node, 6) < spec.degradation_prob {
+                let (lo, hi) = spec.crash_window_s;
+                let from = lo + unit_draw(seed, node, 7) * (hi - lo).max(0.0);
+                plan = plan.with_network_degradation(
+                    node,
+                    from,
+                    from + spec.degradation_len_s,
+                    spec.degradation_factor,
+                );
+            }
+        }
+        plan
+    }
+
+    /// Parse a CLI fault spec: comma-separated clauses, each one of
+    ///
+    /// ```text
+    /// crash:NODE@T          crash NODE at T seconds
+    /// slow:NODE@FACTOR      NODE runs FACTOR x slower
+    /// kv:NODE@COUNT         COUNT transient store errors on NODE's fetch
+    /// net:NODE@FROM-TO@F    degrade NODE's links by F in [FROM, TO]
+    /// seeded:SEED           generate a whole plan from SEED
+    /// ```
+    ///
+    /// Node indices must be `< num_nodes`.
+    pub fn parse(spec: &str, num_nodes: usize) -> Result<Self, ClusterError> {
+        let bad = |msg: String| ClusterError::BadFaultSpec(msg);
+        let mut plan = FaultPlan::new();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| bad(format!("clause `{clause}` missing `:`")))?;
+            let parse_node = |s: &str| -> Result<usize, ClusterError> {
+                let id: usize = s
+                    .parse()
+                    .map_err(|_| bad(format!("bad node id `{s}` in `{clause}`")))?;
+                if id >= num_nodes {
+                    return Err(bad(format!(
+                        "node {id} out of range (cluster has {num_nodes} nodes)"
+                    )));
+                }
+                Ok(id)
+            };
+            let parse_f64 = |s: &str| -> Result<f64, ClusterError> {
+                s.parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .ok_or_else(|| bad(format!("bad number `{s}` in `{clause}`")))
+            };
+            match kind.trim() {
+                "crash" => {
+                    let (node, t) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("crash clause `{clause}` needs NODE@T")))?;
+                    plan = plan.with_crash(parse_node(node.trim())?, parse_f64(t.trim())?);
+                }
+                "slow" => {
+                    let (node, f) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("slow clause `{clause}` needs NODE@FACTOR")))?;
+                    plan = plan.with_straggler(parse_node(node.trim())?, parse_f64(f.trim())?);
+                }
+                "kv" => {
+                    let (node, n) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("kv clause `{clause}` needs NODE@COUNT")))?;
+                    let count: u32 = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad count `{n}` in `{clause}`")))?;
+                    plan = plan.with_store_errors(parse_node(node.trim())?, count);
+                }
+                "net" => {
+                    let (node, windowed) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("net clause `{clause}` needs NODE@FROM-TO@F")))?;
+                    let (window, f) = windowed
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("net clause `{clause}` needs NODE@FROM-TO@F")))?;
+                    let (from, to) = window
+                        .split_once('-')
+                        .ok_or_else(|| bad(format!("net window `{window}` needs FROM-TO")))?;
+                    plan = plan.with_network_degradation(
+                        parse_node(node.trim())?,
+                        parse_f64(from.trim())?,
+                        parse_f64(to.trim())?,
+                        parse_f64(f.trim())?,
+                    );
+                }
+                "seeded" => {
+                    let seed: u64 = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad seed `{rest}` in `{clause}`")))?;
+                    let generated = FaultPlan::generate(seed, num_nodes, &FaultSpec::default());
+                    plan.events.extend(generated.events);
+                }
+                other => {
+                    return Err(bad(format!(
+                        "unknown fault kind `{other}` (want crash/slow/kv/net/seeded)"
+                    )))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_queries() {
+        let plan = FaultPlan::new()
+            .with_crash(2, 50.0)
+            .with_crash(2, 30.0)
+            .with_straggler(1, 3.0)
+            .with_straggler(1, 2.0)
+            .with_store_errors(0, 2)
+            .with_network_degradation(3, 10.0, 20.0, 4.0);
+        assert_eq!(plan.crash_time(2), Some(30.0));
+        assert_eq!(plan.crash_time(0), None);
+        assert_eq!(plan.straggler_factor(1), 6.0);
+        assert_eq!(plan.straggler_factor(2), 1.0);
+        assert_eq!(plan.store_error_count(0), 2);
+        assert_eq!(plan.store_error_count(1), 0);
+        let base = NetworkModel::datacenter();
+        let inside = plan.network_at(3, 15.0, &base);
+        assert!(inside.latency_s > base.latency_s);
+        assert!(inside.bandwidth_bps < base.bandwidth_bps);
+        // Outside the window, and for other nodes, the base model applies.
+        assert_eq!(plan.network_at(3, 25.0, &base), base);
+        assert_eq!(plan.network_at(0, 15.0, &base), base);
+    }
+
+    #[test]
+    fn factors_are_floored() {
+        let plan = FaultPlan::new().with_straggler(0, 0.25);
+        assert_eq!(plan.straggler_factor(0), 1.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(99, 16, &spec);
+        let b = FaultPlan::generate(99, 16, &spec);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(100, 16, &spec);
+        assert_ne!(a, c, "different seeds should differ at 16 nodes");
+    }
+
+    #[test]
+    fn generation_prefix_stable_in_cluster_size() {
+        // Events depend on (seed, node, index), not cluster size: the
+        // 8-node plan is a prefix-filter of the 16-node plan.
+        let spec = FaultSpec::default();
+        let small = FaultPlan::generate(7, 8, &spec);
+        let large = FaultPlan::generate(7, 16, &spec);
+        let large_prefix: Vec<_> = large
+            .events()
+            .iter()
+            .filter(|e| e.node_id < 8)
+            .copied()
+            .collect();
+        assert_eq!(small.events(), &large_prefix[..]);
+    }
+
+    #[test]
+    fn generation_respects_probabilities() {
+        let all = FaultSpec {
+            crash_prob: 1.0,
+            straggler_prob: 1.0,
+            store_error_prob: 1.0,
+            degradation_prob: 1.0,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(5, 4, &all);
+        assert_eq!(plan.len(), 16, "4 nodes x 4 event kinds");
+        let none = FaultSpec {
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            store_error_prob: 0.0,
+            degradation_prob: 0.0,
+            ..FaultSpec::default()
+        };
+        assert!(FaultPlan::generate(5, 4, &none).is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_each_clause() {
+        let plan = FaultPlan::parse("crash:3@120.5, slow:1@2.5, kv:0@2, net:2@10-70@8", 4).unwrap();
+        assert_eq!(plan.crash_time(3), Some(120.5));
+        assert_eq!(plan.straggler_factor(1), 2.5);
+        assert_eq!(plan.store_error_count(0), 2);
+        let base = NetworkModel::datacenter();
+        assert_ne!(plan.network_at(2, 30.0, &base), base);
+        assert_eq!(plan.network_at(2, 80.0, &base), base);
+    }
+
+    #[test]
+    fn parse_seeded_matches_generate() {
+        let parsed = FaultPlan::parse("seeded:42", 8).unwrap();
+        let generated = FaultPlan::generate(42, 8, &FaultSpec::default());
+        assert_eq!(parsed, generated);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "crash:9@10",   // node out of range
+            "crash:1",      // missing @T
+            "warp:1@3",     // unknown kind
+            "slow:x@2",     // bad node id
+            "crash:1@nan",  // non-finite time
+            "net:1@10@3",   // malformed window
+            "seeded:pi",    // bad seed
+        ] {
+            assert!(
+                FaultPlan::parse(bad, 8).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+        // Empty spec and stray commas are fine (empty plan).
+        assert!(FaultPlan::parse("", 8).unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ", 8).unwrap().is_empty());
+    }
+}

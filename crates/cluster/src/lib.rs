@@ -24,6 +24,11 @@
 //! * [`cluster`] — [`SimCluster`](cluster::SimCluster): runs one real task
 //!   per node (optionally on real threads), charges simulated time and
 //!   energy, and reports makespan + per-node dirty energy.
+//! * [`fault`] — seeded, deterministic fault injection: a
+//!   [`FaultPlan`](fault::FaultPlan) schedules node crashes, straggler
+//!   slowdowns, transient store errors, and network degradation windows,
+//!   every event derived from `(seed, node_id, event_index)` so faulty
+//!   runs stay bit-reproducible.
 //!
 //! Simulated time is `f64` seconds derived from integer operation counts —
 //! reproducible to the bit across runs and machines.
@@ -31,6 +36,8 @@
 pub mod barrier;
 pub mod cluster;
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod kvstore;
 pub mod network;
 pub mod node;
@@ -39,6 +46,8 @@ pub mod persist;
 pub use barrier::GlobalBarrier;
 pub use cluster::{JobCtx, JobReport, NodeRun, SimCluster};
 pub use cost::Cost;
+pub use error::ClusterError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 pub use kvstore::{KvError, KvStore, Pipeline, Reply};
 pub use network::NetworkModel;
 pub use persist::{dump_to_file, load_from_file, snapshot_from_bytes, snapshot_to_bytes};

@@ -6,6 +6,8 @@
 //! real hardware ("known to substantially improve the response times",
 //! §IV): batching k requests into one round trip saves `(k−1)·latency`.
 
+use crate::error::ClusterError;
+
 /// Latency/bandwidth network model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkModel {
@@ -16,24 +18,40 @@ pub struct NetworkModel {
 }
 
 impl NetworkModel {
-    /// Create a model; panics on non-positive bandwidth or negative latency.
-    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
-        assert!(latency_s >= 0.0 && latency_s.is_finite());
-        assert!(bandwidth_bps > 0.0 && bandwidth_bps.is_finite());
-        NetworkModel {
+    /// Create a model; rejects non-positive bandwidth, negative latency,
+    /// and non-finite values.
+    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Result<Self, ClusterError> {
+        if !(latency_s >= 0.0 && latency_s.is_finite()) {
+            return Err(ClusterError::BadLatency(latency_s));
+        }
+        if !(bandwidth_bps > 0.0 && bandwidth_bps.is_finite()) {
+            return Err(ClusterError::BadBandwidth(bandwidth_bps));
+        }
+        Ok(NetworkModel {
             latency_s,
             bandwidth_bps,
-        }
+        })
     }
 
     /// An intra-rack datacenter network: 100 µs RTT, 1 Gbit/s effective.
     pub fn datacenter() -> Self {
-        NetworkModel::new(100e-6, 125e6)
+        NetworkModel::new(100e-6, 125e6).expect("datacenter constants are valid")
     }
 
     /// Time to move `bytes` using `round_trips` request round trips.
     pub fn transfer_seconds(&self, bytes: u64, round_trips: u64) -> f64 {
         round_trips as f64 * self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// This link under fault-injected degradation: latency multiplied and
+    /// bandwidth divided by `factor` (floored at 1, so degradation never
+    /// improves a link).
+    pub fn degraded(&self, factor: f64) -> Self {
+        let f = factor.max(1.0);
+        NetworkModel {
+            latency_s: self.latency_s * f,
+            bandwidth_bps: self.bandwidth_bps / f,
+        }
     }
 }
 
@@ -57,13 +75,30 @@ mod tests {
 
     #[test]
     fn bandwidth_term() {
-        let net = NetworkModel::new(0.0, 100.0);
+        let net = NetworkModel::new(0.0, 100.0).unwrap();
         assert!((net.transfer_seconds(250, 5) - 2.5).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic]
-    fn rejects_zero_bandwidth() {
-        NetworkModel::new(0.0, 0.0);
+    fn rejects_bad_configs() {
+        assert_eq!(
+            NetworkModel::new(0.0, 0.0),
+            Err(ClusterError::BadBandwidth(0.0))
+        );
+        assert_eq!(
+            NetworkModel::new(-1.0, 100.0),
+            Err(ClusterError::BadLatency(-1.0))
+        );
+        assert!(NetworkModel::new(f64::NAN, 100.0).is_err());
+        assert!(NetworkModel::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn degradation_slows_transfers() {
+        let base = NetworkModel::datacenter();
+        let slow = base.degraded(8.0);
+        assert!(slow.transfer_seconds(1 << 20, 4) > base.transfer_seconds(1 << 20, 4));
+        // Factors below 1 never speed a link up.
+        assert_eq!(base.degraded(0.5), base);
     }
 }

@@ -442,12 +442,60 @@ pub struct EnergyEstimator;
 
 impl EnergyEstimator {
     /// Profiles for all nodes over `[t0, t0 + horizon]` seconds.
+    ///
+    /// Delegates to [`profiles_checked`](Self::profiles_checked) and warns
+    /// on stderr when any node's trace had to be degraded.
     pub fn profiles(cluster: &SimCluster, t0: f64, horizon: f64) -> Vec<NodeEnergyProfile> {
-        cluster
+        let (profiles, degraded) = Self::profiles_checked(cluster, t0, horizon);
+        if !degraded.is_empty() {
+            eprintln!(
+                "warning: green trace missing or non-finite on nodes {degraded:?}; \
+                 treating them as fully grid-powered (k_i = 0)"
+            );
+        }
+        profiles
+    }
+
+    /// Like [`profiles`](Self::profiles), but returns the ids of nodes
+    /// whose green trace produced a non-finite profile. Those nodes fall
+    /// back to `mean_green_watts = draw_watts`, i.e. a zero energy weight
+    /// `k_i = E_i − ḠE_i = 0`: a broken or missing trace must not push
+    /// NaN into the LP, and a zero weight makes the solver treat the node
+    /// purely by its time model.
+    pub fn profiles_checked(
+        cluster: &SimCluster,
+        t0: f64,
+        horizon: f64,
+    ) -> (Vec<NodeEnergyProfile>, Vec<usize>) {
+        // A broken planning window (NaN/infinite t0 or horizon, e.g. from
+        // a degenerate makespan estimate upstream) would panic or hang
+        // inside the trace integration; treat it as "no trace available".
+        let window_ok = t0.is_finite() && t0 >= 0.0 && horizon.is_finite();
+        let mut degraded = Vec::new();
+        let profiles = cluster
             .nodes()
             .iter()
-            .map(|n| NodeEnergyProfile::from_trace(&n.power(), &n.trace, t0, horizon))
-            .collect()
+            .enumerate()
+            .map(|(i, n)| {
+                let mut prof = if window_ok {
+                    NodeEnergyProfile::from_trace(&n.power(), &n.trace, t0, horizon)
+                } else {
+                    NodeEnergyProfile {
+                        draw_watts: n.power().watts(),
+                        mean_green_watts: f64::NAN,
+                    }
+                };
+                if !prof.draw_watts.is_finite() || !prof.mean_green_watts.is_finite() {
+                    degraded.push(i);
+                    if !prof.draw_watts.is_finite() {
+                        prof.draw_watts = 0.0;
+                    }
+                    prof.mean_green_watts = prof.draw_watts;
+                }
+                prof
+            })
+            .collect();
+        (profiles, degraded)
     }
 }
 
@@ -674,6 +722,24 @@ mod tests {
         // Mean green is bounded by the panel rating.
         assert!(profiles.iter().all(|p| p.mean_green_watts >= 0.0));
         assert!(profiles.iter().all(|p| p.mean_green_watts <= 400.0));
+    }
+
+    #[test]
+    fn non_finite_window_degrades_to_zero_energy_weight() {
+        // Traces are validated at construction, so the non-finite path in
+        // practice is a broken planning window (e.g. a NaN horizon from a
+        // degenerate makespan estimate). It must never put NaN into the LP.
+        let (_, cluster, _) = setup();
+        let (profiles, degraded) = EnergyEstimator::profiles_checked(&cluster, f64::NAN, 3600.0);
+        assert_eq!(degraded, vec![0, 1, 2, 3], "every node's window is broken");
+        for p in &profiles {
+            assert!(p.draw_watts.is_finite());
+            assert!(p.mean_green_watts.is_finite());
+            assert_eq!(p.k(), 0.0, "degraded nodes are weightless in the LP");
+        }
+        // A sane window degrades nobody.
+        let (_, ok) = EnergyEstimator::profiles_checked(&cluster, 0.0, 3600.0);
+        assert!(ok.is_empty());
     }
 
     #[test]

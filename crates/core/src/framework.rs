@@ -10,7 +10,7 @@
 //! broadcast, global count, merge) or single-phase distributed compression
 //! — returning measured makespan, dirty energy, and workload quality.
 
-use pareto_cluster::{Cost, JobCtx, JobReport, SimCluster};
+use pareto_cluster::{Cost, FaultPlan, JobCtx, JobReport, SimCluster};
 use pareto_datagen::{DataItem, Dataset};
 use pareto_energy::NodeEnergyProfile;
 use pareto_stats::LinearFit;
@@ -24,6 +24,8 @@ use pareto_workloads::{
 use crate::estimator::{EnergyEstimator, HeterogeneityEstimator, NodeTimeModel, SamplingPlan};
 use crate::pareto::{ParetoModeler, ParetoPoint};
 use crate::partitioner::{DataPartitioner, PartitionLayout};
+use crate::recovery::{execute_with_recovery, RecoveryConfig, RecoveryOutcome};
+use crate::stealing::RecordWork;
 
 /// Partitioning strategy under test (§V-C compares the first three).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,6 +188,15 @@ pub struct RunOutcome {
     pub quality: Quality,
 }
 
+/// A fault-injected run: the plan plus the recovery outcome.
+#[derive(Debug, Clone)]
+pub struct FaultRunOutcome {
+    /// The plan that was executed (and re-solved on failures).
+    pub plan: Plan,
+    /// Execution accounting plus the structured recovery story.
+    pub outcome: RecoveryOutcome,
+}
+
 /// The framework, bound to a cluster.
 pub struct Framework<'a> {
     cluster: &'a SimCluster,
@@ -344,6 +355,53 @@ impl<'a> Framework<'a> {
             report,
             quality,
         }
+    }
+
+    /// Plan, then execute the workload under an injected [`FaultPlan`],
+    /// recovering from crashes by re-solving the LP over the survivors
+    /// (see [`crate::recovery`] for the full fault model).
+    ///
+    /// The per-item work profile comes from one real execution of the
+    /// workload: its total measured op count is spread over records
+    /// proportional to payload bytes (exactly — remainders distributed by
+    /// index), so the fault-free baseline charges the same total compute
+    /// as the happy-path executor. Replans reuse the plan's fitted
+    /// `f_i(x)` models; strategies without models (baselines) get
+    /// speed-derived synthetic fits so recovery still works.
+    pub fn run_with_faults(
+        &self,
+        dataset: &Dataset,
+        workload: WorkloadKind,
+        faults: &FaultPlan,
+        recovery_cfg: &RecoveryConfig,
+    ) -> FaultRunOutcome {
+        let plan = self.plan(dataset, workload);
+        let refs: Vec<&DataItem> = dataset.items.iter().collect();
+        let (_, total_ops) = pareto_workloads::run_workload(workload, &refs);
+        let work = per_item_work(dataset, total_ops);
+        let fits: Vec<LinearFit> = match &plan.time_models {
+            Some(models) => models.iter().map(|m| m.fit).collect(),
+            None => synthetic_fits(self.cluster, &work),
+        };
+        // Runtime re-solves use the strategy's own scalarization weight;
+        // model-free baselines replan purely for makespan.
+        let alpha = match self.cfg.strategy {
+            Strategy::HetEnergyAware { alpha } => alpha,
+            Strategy::HetEnergyAwareNormalized { alpha } => alpha,
+            _ => 1.0,
+        };
+        let outcome = execute_with_recovery(
+            self.cluster,
+            &work,
+            &plan.partitions,
+            &plan.stratification.assignments,
+            &fits,
+            &plan.energy_profiles,
+            alpha,
+            faults,
+            recovery_cfg,
+        );
+        FaultRunOutcome { plan, outcome }
     }
 
     /// Write every partition into its node's store as a §IV blob (one
@@ -547,6 +605,65 @@ pub fn sequential_report(r1: &JobReport, r2: &JobReport) -> JobReport {
         total_energy_joules: runs.iter().map(|r| r.energy_joules).sum(),
         runs,
     }
+}
+
+/// Spread `total_ops` over a dataset's records proportional to payload
+/// bytes, exactly: each record gets the floor of its share and the
+/// (at most `n − 1`) leftover ops go to the lowest-index records, so the
+/// per-item ops always sum to `total_ops`.
+fn per_item_work(dataset: &Dataset, total_ops: u64) -> Vec<RecordWork> {
+    let bytes: Vec<u64> = dataset
+        .items
+        .iter()
+        .map(|i| i.payload.to_bytes().len() as u64)
+        .collect();
+    let n = bytes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total_bytes: u64 = bytes.iter().sum();
+    let mut ops: Vec<u64> = if total_bytes == 0 {
+        vec![total_ops / n as u64; n]
+    } else {
+        bytes
+            .iter()
+            .map(|&b| ((total_ops as u128 * b as u128) / total_bytes as u128) as u64)
+            .collect()
+    };
+    let mut leftover = total_ops - ops.iter().sum::<u64>();
+    let mut i = 0usize;
+    while leftover > 0 {
+        ops[i % n] += 1;
+        leftover -= 1;
+        i += 1;
+    }
+    ops.into_iter()
+        .zip(bytes)
+        .map(|(ops, bytes)| RecordWork { ops, bytes })
+        .collect()
+}
+
+/// Speed-derived time models for strategies that do not fit any: one
+/// mean-item slope per node, zero intercept. Only used so recovery can
+/// replan and detect stragglers under baseline strategies.
+fn synthetic_fits(cluster: &SimCluster, work: &[RecordWork]) -> Vec<LinearFit> {
+    let mean_ops = if work.is_empty() {
+        1.0
+    } else {
+        work.iter().map(|w| w.ops as f64).sum::<f64>() / work.len() as f64
+    };
+    (0..cluster.num_nodes())
+        .map(|i| {
+            let secs_per_item =
+                mean_ops / (cluster.base_ops_per_sec() * cluster.node(i).speed());
+            LinearFit {
+                slope: secs_per_item.max(f64::MIN_POSITIVE),
+                intercept: 0.0,
+                r_squared: 1.0,
+                n: 2,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -790,6 +907,47 @@ mod tests {
         assert_eq!(a.report.makespan_seconds, b.report.makespan_seconds);
         assert_eq!(a.report.total_dirty_linear, b.report.total_dirty_linear);
         assert_eq!(a.plan.sizes, b.plan.sizes);
+    }
+
+    #[test]
+    fn faulted_run_recovers_from_mid_job_crash() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let fw = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative));
+        let workload = WorkloadKind::Lz77;
+        let cfg = RecoveryConfig::default();
+        // Fault-free pass to place the crash mid-job.
+        let clean = fw.run_with_faults(&ds, workload, &FaultPlan::none(), &cfg);
+        assert!(clean.outcome.recovery.exactly_once);
+        let tc = clean.outcome.recovery.makespan_s * 0.4;
+        let faults = FaultPlan::new().with_crash(0, tc);
+        let out = fw.run_with_faults(&ds, workload, &faults, &cfg);
+        let rec = &out.outcome.recovery;
+        assert_eq!(rec.crashed_nodes, vec![0]);
+        assert!(rec.replans >= 1);
+        assert!(rec.exactly_once, "all items complete despite the crash");
+        assert_eq!(rec.items_total, ds.len());
+        // Reassigned items land only on survivors.
+        for &item in &out.outcome.reassigned_items {
+            assert_ne!(out.outcome.completed_by[item], Some(0));
+        }
+        // Node 0 is the fastest: losing it mid-job must cost wall time.
+        assert!(rec.makespan_overhead > 0.0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let faults = FaultPlan::generate(7, 4, &pareto_cluster::FaultSpec::default());
+        let run = || {
+            Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+                .run_with_faults(&ds, WorkloadKind::Lz77, &faults, &RecoveryConfig::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcome.recovery, b.outcome.recovery);
+        assert_eq!(a.outcome.completed_by, b.outcome.completed_by);
     }
 
     #[test]

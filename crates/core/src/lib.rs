@@ -45,6 +45,7 @@ pub mod estimator;
 pub mod framework;
 pub mod pareto;
 pub mod partitioner;
+pub mod recovery;
 pub mod scheduling;
 pub mod stealing;
 
@@ -52,8 +53,9 @@ pub use estimator::{
     AdaptiveReport, AdaptiveSamplingConfig, DriftReport, EnergyEstimator,
     HeterogeneityEstimator, NodeTimeModel, SamplingPlan,
 };
-pub use framework::{Framework, FrameworkConfig, Plan, PlanTimings, RunOutcome, Strategy};
+pub use framework::{FaultRunOutcome, Framework, FrameworkConfig, Plan, PlanTimings, RunOutcome, Strategy};
 pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
+pub use recovery::{execute_with_recovery, RecoveryConfig, RecoveryOutcome, RecoveryReport};
 pub use scheduling::{best_start, sweep_start_times, StartTimeOption};
 pub use partitioner::{DataPartitioner, PartitionLayout};
 pub use stealing::{simulate_work_stealing, RecordWork, StealingOutcome};

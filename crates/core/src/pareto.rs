@@ -127,6 +127,46 @@ impl ParetoModeler {
         self.time.len()
     }
 
+    /// A sub-modeler over `nodes` (indices into this modeler), with each
+    /// survivor's time intercept shifted forward by its entry in
+    /// `offset_seconds`. This is the runtime replanning view after a node
+    /// failure: an offset carries a survivor's current clock plus the
+    /// predicted time for its remaining backlog, so solving the restricted
+    /// LP for just the orphaned items optimizes *wall-clock* finish times
+    /// with already-completed fractions subtracted. The constant part the
+    /// offsets add to the energy objective does not move the argmin.
+    pub fn restrict_with_offsets(
+        &self,
+        nodes: &[usize],
+        offset_seconds: &[f64],
+    ) -> Result<ParetoModeler, PartitionPlanError> {
+        if nodes.len() != offset_seconds.len() {
+            return Err(PartitionPlanError::MismatchedInputs {
+                models: nodes.len(),
+                profiles: offset_seconds.len(),
+            });
+        }
+        if nodes.iter().any(|&i| i >= self.num_nodes()) {
+            return Err(PartitionPlanError::Degenerate("survivor index out of range"));
+        }
+        let time = nodes
+            .iter()
+            .zip(offset_seconds)
+            .map(|(&i, &off)| {
+                let mut f = self.time[i];
+                f.intercept += off.max(0.0);
+                f
+            })
+            .collect();
+        let energy = nodes.iter().map(|&i| self.energy[i]).collect();
+        ParetoModeler::new(time, energy)
+    }
+
+    /// A sub-modeler over `nodes` with intercepts unchanged.
+    pub fn restrict(&self, nodes: &[usize]) -> Result<ParetoModeler, PartitionPlanError> {
+        self.restrict_with_offsets(nodes, &vec![0.0; nodes.len()])
+    }
+
     /// Per-node predicted seconds for a fractional size vector.
     pub fn predicted_times(&self, x: &[f64]) -> Vec<f64> {
         self.time
@@ -357,6 +397,38 @@ mod tests {
             profile(155.0, green[3]),
         ];
         ParetoModeler::new(time, energy).unwrap()
+    }
+
+    #[test]
+    fn restrict_drops_failed_nodes() {
+        let m = paper_modeler([0.0; 4]);
+        // Node 1 died: replan across {0, 2, 3}.
+        let sub = m.restrict(&[0, 2, 3]).unwrap();
+        assert_eq!(sub.num_nodes(), 3);
+        let point = sub.solve_het_aware(1900);
+        // x_i ∝ 1/m_i = (1, 1/3, 1/4) normalized: 12/19, 4/19, 3/19.
+        assert_eq!(point.sizes, vec![1200, 400, 300]);
+        assert!(m.restrict(&[0, 9]).is_err(), "out-of-range survivor");
+        assert!(m.restrict(&[]).is_err(), "no survivors");
+    }
+
+    #[test]
+    fn restrict_offsets_shift_work_away_from_busy_nodes() {
+        let m = paper_modeler([0.0; 4]);
+        // Equal-speed pair, but node 0 already has a large backlog: the
+        // waterfill must give the orphans mostly to node 2 until clocks
+        // level out.
+        let sub = m.restrict_with_offsets(&[0, 2], &[10.0, 0.0]).unwrap();
+        let point = sub.solve_het_aware(6000);
+        assert!(
+            point.sizes[1] > point.sizes[0],
+            "idle node should absorb more orphans: {:?}",
+            point.sizes
+        );
+        let even = m.restrict_with_offsets(&[0, 2], &[0.0, 0.0]).unwrap();
+        let base = even.solve_het_aware(6000);
+        assert!(point.sizes[0] < base.sizes[0]);
+        assert!(m.restrict_with_offsets(&[0], &[0.0, 0.0]).is_err());
     }
 
     #[test]

@@ -1,0 +1,833 @@
+//! Fault-tolerant execution: survive an injected [`FaultPlan`] by
+//! re-solving the paper's LP at runtime.
+//!
+//! The happy-path executor charges one cost per node and assumes every
+//! node finishes. This module replays the same per-item work through a
+//! deterministic event simulation that honours a fault plan:
+//!
+//! * **Crashes** — a node halts at its scheduled simulated time; the item
+//!   it was processing and its whole remaining queue are *orphaned*. The
+//!   framework then re-solves the scalarized LP over the surviving nodes
+//!   ([`ParetoModeler::restrict_with_offsets`]): each survivor's time
+//!   intercept is shifted by its current clock plus its remaining backlog,
+//!   so already-completed fractions are subtracted from the optimization.
+//!   Orphans are redistributed *stratum-aware* (round-robin interleaved
+//!   across strata, cut by the LP's integer sizes) and receivers pay the
+//!   transfer over the — possibly degraded — network.
+//! * **Transient store errors** — a node's partition fetch fails `k`
+//!   times; each failure costs a round trip plus an exponential backoff in
+//!   *simulated* time (`backoff_base_s · 2^attempt`), so retries stay
+//!   bit-reproducible. A node that exhausts `max_retries` is treated as
+//!   failed and its partition is replanned like a crash.
+//! * **Stragglers** — a node whose projected finish exceeds its model
+//!   prediction `f_i(x_i)` by more than `straggler_threshold` gets the
+//!   back half of its queue speculatively re-executed on an idle node (the
+//!   same deque steal as `stealing.rs`), transfer paid by the thief.
+//! * **Network degradation** — windows from the plan stretch every
+//!   transfer a node performs while they are active.
+//!
+//! The simulation is serial and event-driven (always advance the
+//! smallest-clock node, ties broken by node id), so for a fixed fault plan
+//! the resulting [`RecoveryReport`] is bit-identical regardless of host
+//! threads — the property the CI fault-determinism job enforces.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use pareto_cluster::{Cost, FaultPlan, JobReport, NodeRun, SimCluster};
+use pareto_energy::NodeEnergyProfile;
+use pareto_stats::LinearFit;
+
+use crate::pareto::ParetoModeler;
+use crate::stealing::{steal_back_half, RecordWork};
+
+/// Tunables for the recovery machinery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Transient store errors tolerated per node before it is declared
+    /// failed.
+    pub max_retries: u32,
+    /// First retry backoff in simulated seconds; doubles per attempt.
+    pub backoff_base_s: f64,
+    /// A node is a straggler when its projected finish exceeds
+    /// `threshold × f_i(x_i)`.
+    pub straggler_threshold: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_retries: 3,
+            backoff_base_s: 0.05,
+            straggler_threshold: 1.5,
+        }
+    }
+}
+
+/// Structured account of what the recovery machinery observed and did.
+/// Derives `PartialEq` so determinism tests can compare whole reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Events in the injected fault plan.
+    pub faults_injected: usize,
+    /// Nodes that died (scheduled crash or exhausted retries), in death
+    /// order.
+    pub crashed_nodes: Vec<usize>,
+    /// LP re-solves triggered by node failures.
+    pub replans: u32,
+    /// Transient store-error retries spent across all nodes.
+    pub retries_spent: u32,
+    /// Speculative re-execution steals from stragglers.
+    pub speculative_steals: u32,
+    /// Items redistributed by replans.
+    pub items_reassigned: usize,
+    /// Items moved by speculative steals.
+    pub items_stolen: usize,
+    /// Total items in the job.
+    pub items_total: usize,
+    /// Items that completed (on any node).
+    pub items_completed: usize,
+    /// True when every item completed exactly once.
+    pub exactly_once: bool,
+    /// Wall-clock completion of the faulty run (simulated seconds,
+    /// including idle waits before steals).
+    pub makespan_s: f64,
+    /// Wall-clock completion of the fault-free run of the same job.
+    pub fault_free_makespan_s: f64,
+    /// `makespan / fault_free − 1` (0 when fault-free).
+    pub makespan_overhead: f64,
+    /// Dirty energy (paper-linear) of the faulty run, joules.
+    pub dirty_linear_j: f64,
+    /// Dirty energy (paper-linear) of the fault-free run, joules.
+    pub fault_free_dirty_linear_j: f64,
+    /// `dirty − fault_free_dirty` in joules (absolute, since dirty energy
+    /// can legitimately sit near zero under green surplus).
+    pub dirty_overhead_j: f64,
+}
+
+/// Full outcome: standard job accounting plus the recovery story.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Per-node busy-time/energy accounting (dead nodes are charged up to
+    /// their crash; `makespan_seconds` here is busy time — see
+    /// [`RecoveryReport::makespan_s`] for wall completion).
+    pub report: JobReport,
+    /// The structured recovery account.
+    pub recovery: RecoveryReport,
+    /// For each item, the node that completed it (`None` = lost, only
+    /// possible when every node died).
+    pub completed_by: Vec<Option<usize>>,
+    /// Items that were redistributed by a replan, in reassignment order.
+    pub reassigned_items: Vec<usize>,
+}
+
+/// What one simulation pass produces (before baseline comparison).
+struct SimPass {
+    runs: Vec<NodeRun>,
+    wall_makespan_s: f64,
+    crashed_nodes: Vec<usize>,
+    replans: u32,
+    retries_spent: u32,
+    speculative_steals: u32,
+    items_stolen: usize,
+    reassigned_items: Vec<usize>,
+    completed_by: Vec<Option<usize>>,
+}
+
+/// Order orphans stratum-aware: stable-group by stratum, then round-robin
+/// across the groups so any contiguous cut of the result carries a
+/// near-proportional mix of every stratum.
+fn stratum_interleave(mut orphans: Vec<usize>, strata: &[u32]) -> Vec<usize> {
+    orphans.sort_unstable();
+    let mut groups: BTreeMap<u32, VecDeque<usize>> = BTreeMap::new();
+    for item in orphans {
+        let s = strata.get(item).copied().unwrap_or(0);
+        groups.entry(s).or_default().push_back(item);
+    }
+    let total: usize = groups.values().map(|g| g.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        for group in groups.values_mut() {
+            if let Some(item) = group.pop_front() {
+                out.push(item);
+            }
+        }
+    }
+    out
+}
+
+/// Execute `work` over `initial` per-node queues while honouring `faults`,
+/// recovering as described in the module docs. `strata[r]` is record `r`'s
+/// stratum; `fits`/`profiles` are the per-node planning models used for
+/// replanning and straggler detection; `alpha` is the scalarization weight
+/// for runtime re-solves (`>= 1` uses exact waterfilling).
+///
+/// The fault-free baseline (same job, empty plan) is simulated internally
+/// to price the recovery overhead.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_recovery(
+    cluster: &SimCluster,
+    work: &[RecordWork],
+    initial: &[Vec<usize>],
+    strata: &[u32],
+    fits: &[LinearFit],
+    profiles: &[NodeEnergyProfile],
+    alpha: f64,
+    faults: &FaultPlan,
+    cfg: &RecoveryConfig,
+) -> RecoveryOutcome {
+    let p = cluster.num_nodes();
+    assert_eq!(initial.len(), p, "one initial queue per node");
+    assert_eq!(fits.len(), p, "one time model per node");
+    assert_eq!(profiles.len(), p, "one energy profile per node");
+
+    let faulty = simulate(cluster, work, initial, strata, fits, profiles, alpha, faults, cfg);
+    let (ff_makespan, ff_dirty) = if faults.is_empty() {
+        let dirty: f64 = faulty.runs.iter().map(|r| r.dirty_joules_linear).sum();
+        (faulty.wall_makespan_s, dirty)
+    } else {
+        let baseline = simulate(
+            cluster,
+            work,
+            initial,
+            strata,
+            fits,
+            profiles,
+            alpha,
+            &FaultPlan::none(),
+            cfg,
+        );
+        let dirty: f64 = baseline.runs.iter().map(|r| r.dirty_joules_linear).sum();
+        (baseline.wall_makespan_s, dirty)
+    };
+
+    let dirty_linear_j: f64 = faulty.runs.iter().map(|r| r.dirty_joules_linear).sum();
+    let items_completed = faulty.completed_by.iter().filter(|c| c.is_some()).count();
+    let recovery = RecoveryReport {
+        faults_injected: faults.len(),
+        crashed_nodes: faulty.crashed_nodes.clone(),
+        replans: faulty.replans,
+        retries_spent: faulty.retries_spent,
+        speculative_steals: faulty.speculative_steals,
+        items_reassigned: faulty.reassigned_items.len(),
+        items_stolen: faulty.items_stolen,
+        items_total: work.len(),
+        items_completed,
+        exactly_once: items_completed == work.len(),
+        makespan_s: faulty.wall_makespan_s,
+        fault_free_makespan_s: ff_makespan,
+        makespan_overhead: if ff_makespan > 0.0 {
+            faulty.wall_makespan_s / ff_makespan - 1.0
+        } else {
+            0.0
+        },
+        dirty_linear_j,
+        fault_free_dirty_linear_j: ff_dirty,
+        dirty_overhead_j: dirty_linear_j - ff_dirty,
+    };
+    RecoveryOutcome {
+        report: JobReport::from_runs(faulty.runs),
+        recovery,
+        completed_by: faulty.completed_by,
+        reassigned_items: faulty.reassigned_items,
+    }
+}
+
+/// Per-node simulation state.
+struct NodeState {
+    queue: VecDeque<usize>,
+    /// Wall-clock position (simulated seconds).
+    clock: f64,
+    /// Busy seconds actually charged (excludes idle waits).
+    busy: f64,
+    /// Completed-work cost (work lost to a crash is never charged).
+    cost: Cost,
+    /// Transfer cost to pay before the next item (fetch / received
+    /// reassignment), accumulated.
+    pending: Cost,
+    alive: bool,
+    retired: bool,
+    /// Items currently assigned (for `f_i(x_i)` straggler prediction).
+    assigned: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate(
+    cluster: &SimCluster,
+    work: &[RecordWork],
+    initial: &[Vec<usize>],
+    strata: &[u32],
+    fits: &[LinearFit],
+    profiles: &[NodeEnergyProfile],
+    alpha: f64,
+    faults: &FaultPlan,
+    cfg: &RecoveryConfig,
+) -> SimPass {
+    let p = cluster.num_nodes();
+    let modeler = ParetoModeler::new(fits.to_vec(), profiles.to_vec())
+        .expect("node-aligned fits and profiles");
+    let crash_at: Vec<Option<f64>> = (0..p).map(|i| faults.crash_time(i)).collect();
+
+    let mut nodes: Vec<NodeState> = initial
+        .iter()
+        .map(|q| NodeState {
+            queue: q.iter().copied().collect(),
+            clock: 0.0,
+            busy: 0.0,
+            cost: Cost::ZERO,
+            pending: Cost::ZERO,
+            alive: true,
+            retired: false,
+            assigned: q.len(),
+        })
+        .collect();
+    let mut completed_by: Vec<Option<usize>> = vec![None; work.len()];
+    let mut crashed_nodes = Vec::new();
+    let mut replans = 0u32;
+    let mut retries_spent = 0u32;
+    let mut speculative_steals = 0u32;
+    let mut items_stolen = 0usize;
+    let mut reassigned_items = Vec::new();
+
+    // Seconds one event takes on `node` starting at `now`: cost converted
+    // through the node's speed and the (possibly degraded) network, then
+    // stretched by the node's straggler factor.
+    let event_seconds = |node: usize, cost: &Cost, now: f64| -> f64 {
+        let net = faults.network_at(node, now, cluster.network());
+        cost.seconds(cluster.node(node).speed(), cluster.base_ops_per_sec(), &net)
+            * faults.straggler_factor(node)
+    };
+
+    // Advance `node` by `dt` busy seconds, unless its scheduled crash
+    // lands inside the event; returns false if the node died (clock
+    // pinned at the crash instant, the event's work lost).
+    let advance = |state: &mut NodeState, node: usize, dt: f64| -> bool {
+        if let Some(tc) = crash_at[node] {
+            if state.clock + dt > tc {
+                let burned = (tc - state.clock).max(0.0);
+                state.clock = tc;
+                state.busy += burned;
+                state.alive = false;
+                return false;
+            }
+        }
+        state.clock += dt;
+        state.busy += dt;
+        true
+    };
+
+    // Predicted f_i(x_i) for the node's current assignment (floored so
+    // the straggler ratio is always well-defined).
+    let predicted = |node: usize, assigned: usize| -> f64 {
+        fits[node].predict(assigned as f64).max(1e-9)
+    };
+
+    // --- Phase 0: partition fetch, with transient-error retries. ---
+    for (i, node) in nodes.iter_mut().enumerate() {
+        if node.queue.is_empty() {
+            continue;
+        }
+        let mut errors = faults.store_error_count(i);
+        let mut attempt = 0u32;
+        while errors > 0 && node.alive {
+            errors -= 1;
+            attempt += 1;
+            if attempt > cfg.max_retries {
+                node.alive = false;
+                break;
+            }
+            retries_spent += 1;
+            // A failed request still pays its round trip, then backs off
+            // exponentially in simulated time.
+            let failed = Cost {
+                compute_ops: 0,
+                bytes: 0,
+                round_trips: 1,
+            };
+            let dt = event_seconds(i, &failed, node.clock)
+                + cfg.backoff_base_s * f64::powi(2.0, (attempt - 1) as i32);
+            node.cost.add(failed);
+            if !advance(node, i, dt) {
+                break;
+            }
+        }
+        if node.alive {
+            let bytes: u64 = node.queue.iter().map(|&r| work[r].bytes).sum();
+            node.pending = Cost {
+                compute_ops: 0,
+                bytes,
+                round_trips: 1,
+            };
+        }
+    }
+    // Nodes lost during fetch orphan their whole partition.
+    for i in 0..p {
+        if !nodes[i].alive && !nodes[i].queue.is_empty() {
+            crashed_nodes.push(i);
+            let orphans: Vec<usize> = nodes[i].queue.drain(..).collect();
+            nodes[i].assigned -= orphans.len();
+            replan(
+                work,
+                strata,
+                fits,
+                &modeler,
+                alpha,
+                &mut nodes,
+                orphans,
+                &mut replans,
+                &mut reassigned_items,
+            );
+        } else if !nodes[i].alive {
+            crashed_nodes.push(i);
+        }
+    }
+
+    // --- Main loop: event-driven min-clock execution. ---
+    loop {
+        // Among active nodes, pick the smallest clock; on ties a node
+        // with work beats an idle one (so idle waits strictly advance),
+        // then the lowest id wins. f64 total_cmp keeps this deterministic.
+        let has_work = |s: &NodeState| !s.queue.is_empty() || s.pending != Cost::ZERO;
+        let Some(node) = (0..p)
+            .filter(|&i| nodes[i].alive && !nodes[i].retired)
+            .min_by(|&a, &b| {
+                nodes[a]
+                    .clock
+                    .total_cmp(&nodes[b].clock)
+                    .then_with(|| has_work(&nodes[b]).cmp(&has_work(&nodes[a])))
+                    .then(a.cmp(&b))
+            })
+        else {
+            break;
+        };
+
+        // Pay any pending transfer (fetch or received reassignment) first.
+        if nodes[node].pending != Cost::ZERO {
+            let transfer = nodes[node].pending;
+            nodes[node].pending = Cost::ZERO;
+            let dt = event_seconds(node, &transfer, nodes[node].clock);
+            nodes[node].cost.add(transfer);
+            if !advance(&mut nodes[node], node, dt) {
+                crashed_nodes.push(node);
+                let orphans: Vec<usize> = nodes[node].queue.drain(..).collect();
+                nodes[node].assigned -= orphans.len();
+                replan(
+                    work,
+                    strata,
+                    fits,
+                    &modeler,
+                    alpha,
+                    &mut nodes,
+                    orphans,
+                    &mut replans,
+                    &mut reassigned_items,
+                );
+            }
+            continue;
+        }
+
+        if let Some(r) = nodes[node].queue.pop_front() {
+            let cost = Cost::compute(work[r].ops);
+            let dt = event_seconds(node, &cost, nodes[node].clock);
+            if advance(&mut nodes[node], node, dt) {
+                nodes[node].cost.add(cost);
+                completed_by[r] = Some(node);
+            } else {
+                // Died mid-item: the in-flight item and the rest of the
+                // queue are orphans.
+                crashed_nodes.push(node);
+                let mut orphans: Vec<usize> = vec![r];
+                orphans.extend(nodes[node].queue.drain(..));
+                nodes[node].assigned -= orphans.len();
+                replan(
+                    work,
+                    strata,
+                    fits,
+                    &modeler,
+                    alpha,
+                    &mut nodes,
+                    orphans,
+                    &mut replans,
+                    &mut reassigned_items,
+                );
+            }
+            continue;
+        }
+
+        // Idle: speculative re-execution — steal the back half of the
+        // most-behind straggler (projected finish > threshold × f_v(x_v)).
+        let victim = (0..p)
+            .filter(|&v| v != node && nodes[v].alive && !nodes[v].queue.is_empty())
+            .map(|v| {
+                let remaining: f64 = nodes[v]
+                    .queue
+                    .iter()
+                    .map(|&r| event_seconds(v, &Cost::compute(work[r].ops), nodes[v].clock))
+                    .sum::<f64>()
+                    + event_seconds(v, &nodes[v].pending, nodes[v].clock);
+                (v, nodes[v].clock + remaining)
+            })
+            .filter(|&(v, projected)| {
+                projected > cfg.straggler_threshold * predicted(v, nodes[v].assigned)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+
+        if let Some((victim, _)) = victim {
+            let stolen = steal_back_half(&mut nodes[victim].queue);
+            nodes[victim].assigned -= stolen.len();
+            let bytes: u64 = stolen.iter().map(|&r| work[r].bytes).sum();
+            let transfer = Cost {
+                compute_ops: 0,
+                bytes,
+                round_trips: 1,
+            };
+            speculative_steals += 1;
+            items_stolen += stolen.len();
+            let dt = event_seconds(node, &transfer, nodes[node].clock);
+            nodes[node].cost.add(transfer);
+            if advance(&mut nodes[node], node, dt) {
+                nodes[node].assigned += stolen.len();
+                nodes[node].queue.extend(stolen);
+            } else {
+                // The thief died mid-transfer: the stolen items become
+                // orphans and are replanned.
+                crashed_nodes.push(node);
+                replan(
+                    work,
+                    strata,
+                    fits,
+                    &modeler,
+                    alpha,
+                    &mut nodes,
+                    stolen,
+                    &mut replans,
+                    &mut reassigned_items,
+                );
+            }
+            continue;
+        }
+
+        // Nothing to steal. If work remains elsewhere, wait (advance the
+        // wall clock without charging busy time) until the earliest
+        // working node's clock; otherwise retire.
+        let next_work_clock = (0..p)
+            .filter(|&j| j != node && nodes[j].alive && has_work(&nodes[j]))
+            .map(|j| nodes[j].clock)
+            .fold(f64::INFINITY, f64::min);
+        if next_work_clock.is_finite() {
+            // Strictly later than this node's clock, because clock ties
+            // prefer working nodes.
+            nodes[node].clock = next_work_clock;
+        } else {
+            nodes[node].retired = true;
+        }
+    }
+
+    let runs: Vec<NodeRun> = (0..p)
+        .map(|i| cluster.account_busy(i, nodes[i].busy, nodes[i].cost))
+        .collect();
+    // Idle waits only ever advance a node to another *working* node's
+    // clock, so the max clock is exactly the wall completion time.
+    let wall_makespan_s = nodes.iter().map(|s| s.clock).fold(0.0, f64::max);
+    SimPass {
+        runs,
+        wall_makespan_s,
+        crashed_nodes,
+        replans,
+        retries_spent,
+        speculative_steals,
+        items_stolen,
+        reassigned_items,
+        completed_by,
+    }
+}
+
+/// Re-solve the LP over the survivors and redistribute `orphans`
+/// stratum-aware. Receivers get the items appended to their queue plus a
+/// pending transfer cost; their time-intercept offsets carry current clock
+/// and backlog so completed fractions are subtracted from the solve.
+#[allow(clippy::too_many_arguments)]
+fn replan(
+    work: &[RecordWork],
+    strata: &[u32],
+    fits: &[LinearFit],
+    modeler: &ParetoModeler,
+    alpha: f64,
+    nodes: &mut [NodeState],
+    orphans: Vec<usize>,
+    replans: &mut u32,
+    reassigned_items: &mut Vec<usize>,
+) {
+    if orphans.is_empty() {
+        return;
+    }
+    let survivors: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
+    if survivors.is_empty() {
+        // Total cluster loss: the orphans stay unprocessed.
+        return;
+    }
+    *replans += 1;
+    // Wall finish estimate per survivor, in the planner's own units:
+    // current clock plus model-predicted time for the remaining backlog.
+    let offsets: Vec<f64> = survivors
+        .iter()
+        .map(|&j| nodes[j].clock + fits[j].slope.max(0.0) * nodes[j].queue.len() as f64)
+        .collect();
+    let sizes = match modeler.restrict_with_offsets(&survivors, &offsets) {
+        Ok(sub) => {
+            let point = if alpha >= 1.0 {
+                sub.solve_het_aware(orphans.len())
+            } else {
+                sub.solve(orphans.len(), alpha)
+                    .unwrap_or_else(|_| sub.solve_het_aware(orphans.len()))
+            };
+            point.sizes
+        }
+        // Degenerate models: fall back to an even split.
+        Err(_) => {
+            let base = orphans.len() / survivors.len();
+            let extra = orphans.len() % survivors.len();
+            (0..survivors.len())
+                .map(|k| base + usize::from(k < extra))
+                .collect()
+        }
+    };
+    let ordered = stratum_interleave(orphans, strata);
+    reassigned_items.extend(&ordered);
+    let mut cursor = 0usize;
+    for (k, &receiver) in survivors.iter().enumerate() {
+        let take = sizes[k].min(ordered.len() - cursor);
+        if take == 0 {
+            continue;
+        }
+        let slice = &ordered[cursor..cursor + take];
+        cursor += take;
+        let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        // The transfer is priced when the receiver reaches it; recording
+        // it as pending keeps it subject to the receiver's own crash.
+        nodes[receiver].pending.add(Cost {
+            compute_ops: 0,
+            bytes,
+            round_trips: 1,
+        });
+        nodes[receiver].queue.extend(slice.iter().copied());
+        nodes[receiver].assigned += take;
+        nodes[receiver].retired = false;
+    }
+    // Integer-rounding slack: hand any tail to the fastest survivor.
+    if cursor < ordered.len() {
+        let receiver = survivors[0];
+        let slice = &ordered[cursor..];
+        let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        nodes[receiver].pending.add(Cost {
+            compute_ops: 0,
+            bytes,
+            round_trips: 1,
+        });
+        nodes[receiver].queue.extend(slice.iter().copied());
+        nodes[receiver].assigned += slice.len();
+        nodes[receiver].retired = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pareto_cluster::NodeSpec;
+
+    fn cluster(p: usize) -> SimCluster {
+        SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, 3))
+    }
+
+    fn uniform_work(n: usize, ops: u64) -> Vec<RecordWork> {
+        vec![RecordWork { ops, bytes: 256 }; n]
+    }
+
+    fn equal_split(n: usize, p: usize) -> Vec<Vec<usize>> {
+        let mut parts = vec![Vec::new(); p];
+        for i in 0..n {
+            parts[i * p / n].push(i);
+        }
+        parts
+    }
+
+    /// Per-node f_i(x) = (seconds per mean item) · x, matching the
+    /// simulated cluster exactly so straggler detection has a truthful
+    /// baseline.
+    fn truthful_fits(cl: &SimCluster, ops: u64) -> Vec<LinearFit> {
+        (0..cl.num_nodes())
+            .map(|i| LinearFit {
+                slope: cl.cost_to_seconds(i, &Cost::compute(ops)),
+                intercept: 0.0,
+                r_squared: 1.0,
+                n: 2,
+            })
+            .collect()
+    }
+
+    fn profiles(p: usize) -> Vec<NodeEnergyProfile> {
+        (0..p)
+            .map(|i| NodeEnergyProfile {
+                draw_watts: 200.0 + 40.0 * i as f64,
+                mean_green_watts: 120.0,
+            })
+            .collect()
+    }
+
+    fn run(
+        cl: &SimCluster,
+        work: &[RecordWork],
+        initial: &[Vec<usize>],
+        faults: &FaultPlan,
+    ) -> RecoveryOutcome {
+        let strata: Vec<u32> = (0..work.len()).map(|i| (i % 3) as u32).collect();
+        let fits = truthful_fits(cl, work.first().map_or(1, |w| w.ops));
+        let profs = profiles(cl.num_nodes());
+        execute_with_recovery(
+            cl,
+            work,
+            initial,
+            &strata,
+            &fits,
+            &profs,
+            1.0,
+            faults,
+            &RecoveryConfig::default(),
+        )
+    }
+
+    #[test]
+    fn fault_free_run_has_zero_overhead() {
+        let cl = cluster(4);
+        let work = uniform_work(120, 1_000_000);
+        let out = run(&cl, &work, &equal_split(120, 4), &FaultPlan::none());
+        assert!(out.recovery.exactly_once);
+        assert_eq!(out.recovery.replans, 0);
+        assert_eq!(out.recovery.crashed_nodes, Vec::<usize>::new());
+        assert_eq!(out.recovery.makespan_overhead, 0.0);
+        assert_eq!(out.recovery.dirty_overhead_j, 0.0);
+        assert!(out.recovery.makespan_s > 0.0);
+    }
+
+    #[test]
+    fn single_crash_replans_and_completes_everything() {
+        let cl = cluster(4);
+        let work = uniform_work(200, 2_000_000);
+        let initial = equal_split(200, 4);
+        let baseline = run(&cl, &work, &initial, &FaultPlan::none());
+        let tc = baseline.recovery.makespan_s * 0.4;
+        let plan = FaultPlan::new().with_crash(1, tc);
+        let out = run(&cl, &work, &initial, &plan);
+        assert_eq!(out.recovery.crashed_nodes, vec![1]);
+        assert!(out.recovery.replans >= 1);
+        assert!(out.recovery.exactly_once, "all items must complete");
+        assert!(out.recovery.items_reassigned > 0);
+        // No reassigned item may have completed on the dead node.
+        for &item in &out.reassigned_items {
+            assert_ne!(out.completed_by[item], Some(1), "item {item} on dead node");
+        }
+        // Under an equal split the fast nodes have idle headroom, so the
+        // replanned orphans may hide entirely inside the slow node's
+        // shadow — overhead can be zero but never negative.
+        assert!(
+            out.recovery.makespan_overhead >= 0.0,
+            "recovery cannot finish before the fault-free run"
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_is_treated_as_node_failure() {
+        let cl = cluster(3);
+        let work = uniform_work(90, 1_000_000);
+        let initial = equal_split(90, 3);
+        // Default max_retries = 3, so 10 store errors kill node 2.
+        let plan = FaultPlan::new().with_store_errors(2, 10);
+        let out = run(&cl, &work, &initial, &plan);
+        assert!(out.recovery.crashed_nodes.contains(&2));
+        assert!(out.recovery.retries_spent > 0);
+        assert!(out.recovery.exactly_once);
+        assert!(out.completed_by.iter().all(|c| *c != Some(2)));
+    }
+
+    #[test]
+    fn transient_errors_within_budget_only_slow_the_node() {
+        let cl = cluster(3);
+        let work = uniform_work(90, 1_000_000);
+        let initial = equal_split(90, 3);
+        let plan = FaultPlan::new().with_store_errors(2, 2);
+        let out = run(&cl, &work, &initial, &plan);
+        assert_eq!(out.recovery.retries_spent, 2);
+        assert_eq!(out.recovery.crashed_nodes, Vec::<usize>::new());
+        assert!(out.recovery.exactly_once);
+        assert!(out.completed_by.contains(&Some(2)));
+    }
+
+    #[test]
+    fn straggler_triggers_speculative_reexecution() {
+        let cl = cluster(4);
+        let work = uniform_work(200, 2_000_000);
+        let initial = equal_split(200, 4);
+        let plan = FaultPlan::new().with_straggler(3, 8.0);
+        let out = run(&cl, &work, &initial, &plan);
+        assert!(
+            out.recovery.speculative_steals > 0,
+            "an 8x straggler must be stolen from: {:?}",
+            out.recovery
+        );
+        assert!(out.recovery.items_stolen > 0);
+        assert!(out.recovery.exactly_once);
+    }
+
+    #[test]
+    fn total_cluster_loss_reports_incomplete() {
+        let cl = cluster(2);
+        let work = uniform_work(40, 5_000_000);
+        let initial = equal_split(40, 2);
+        let plan = FaultPlan::new().with_crash(0, 0.001).with_crash(1, 0.001);
+        let out = run(&cl, &work, &initial, &plan);
+        assert!(!out.recovery.exactly_once);
+        assert_eq!(out.recovery.items_completed, 0);
+        assert_eq!(out.recovery.crashed_nodes.len(), 2);
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        let cl = cluster(4);
+        let work = uniform_work(150, 1_500_000);
+        let initial = equal_split(150, 4);
+        let plan = FaultPlan::generate(0xFA17, 4, &pareto_cluster::FaultSpec::default());
+        let a = run(&cl, &work, &initial, &plan);
+        let b = run(&cl, &work, &initial, &plan);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.completed_by, b.completed_by);
+        assert_eq!(a.reassigned_items, b.reassigned_items);
+    }
+
+    #[test]
+    fn stratum_interleave_mixes_strata() {
+        let strata = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let ordered = stratum_interleave(vec![0, 1, 2, 3, 4, 5, 6, 7, 8], &strata);
+        // Any contiguous prefix of length 3 carries one item per stratum.
+        let first: Vec<u32> = ordered[..3].iter().map(|&i| strata[i]).collect();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "prefix mixes strata: {ordered:?}");
+        assert_eq!(ordered.len(), 9);
+    }
+
+    #[test]
+    fn network_degradation_inflates_makespan() {
+        let cl = cluster(3);
+        let work = uniform_work(90, 500_000);
+        let initial = equal_split(90, 3);
+        let clean = run(&cl, &work, &initial, &FaultPlan::none());
+        let plan = FaultPlan::new().with_network_degradation(0, 0.0, 1e9, 50.0);
+        let out = run(&cl, &work, &initial, &plan);
+        assert!(out.recovery.exactly_once);
+        assert!(
+            out.recovery.makespan_s >= clean.recovery.makespan_s,
+            "degraded {} vs clean {}",
+            out.recovery.makespan_s,
+            clean.recovery.makespan_s
+        );
+    }
+}

@@ -40,6 +40,15 @@ pub struct RecordWork {
     pub bytes: u64,
 }
 
+/// Take the back half of a victim's deque (classic deque steal), in order.
+/// Shared by the work-stealing baseline and the fault executor's
+/// speculative re-execution of straggler queues.
+pub(crate) fn steal_back_half(victim: &mut std::collections::VecDeque<usize>) -> Vec<usize> {
+    let take = victim.len().div_ceil(2);
+    let start = victim.len() - take;
+    victim.drain(start..).collect()
+}
+
 /// Simulate work stealing over `initial` per-node record queues.
 ///
 /// `work[r]` describes record `r`; `initial[i]` lists the record ids that
@@ -100,10 +109,7 @@ pub fn simulate_work_stealing(
             retired[node] = true;
             continue;
         };
-        // Take the back half of the victim's queue (classic deque steal).
-        let take = queues[victim].len().div_ceil(2);
-        let start = queues[victim].len() - take;
-        let stolen: Vec<usize> = queues[victim].drain(start..).collect();
+        let stolen = steal_back_half(&mut queues[victim]);
         let moved_bytes: u64 = stolen.iter().map(|&r| work[r].bytes).sum();
         // The thief pays the transfer before it can proceed.
         let transfer = Cost {

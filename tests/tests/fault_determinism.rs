@@ -1,0 +1,135 @@
+//! Acceptance gate for the fault-injection layer: for a fixed fault plan
+//! the whole recovery story — crash handling, LP replanning, retries,
+//! speculative steals — is a deterministic function of the seed, and
+//! bit-identical whatever the planning thread count. CI runs this at
+//! extra thread counts via `PARETO_TEST_THREADS`.
+
+use pareto_cluster::{FaultPlan, FaultSpec, NodeSpec, SimCluster};
+use pareto_core::framework::{FaultRunOutcome, Framework, FrameworkConfig, Strategy};
+use pareto_core::RecoveryConfig;
+use pareto_workloads::WorkloadKind;
+
+/// Thread counts exercised: the local default {1, 4, 8} covers serial,
+/// partial-shard, and over-subscribed planning; CI appends more via
+/// `PARETO_TEST_THREADS`.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 4, 8];
+    if let Ok(extra) = std::env::var("PARETO_TEST_THREADS") {
+        for part in extra.split(',') {
+            if let Ok(t) = part.trim().parse::<usize>() {
+                if t >= 1 && !counts.contains(&t) {
+                    counts.push(t);
+                }
+            }
+        }
+    }
+    counts
+}
+
+fn faulted_run(seed: u64, threads: usize, faults: &FaultPlan) -> FaultRunOutcome {
+    let ds = pareto_datagen::rcv1_syn(seed, 0.06);
+    let cl = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, seed));
+    Framework::new(
+        &cl,
+        FrameworkConfig {
+            strategy: Strategy::HetAware,
+            seed,
+            threads,
+            ..FrameworkConfig::default()
+        },
+    )
+    .run_with_faults(
+        &ds,
+        WorkloadKind::FrequentPatterns { support: 0.15 },
+        faults,
+        &RecoveryConfig::default(),
+    )
+}
+
+/// Compare two fault runs field-for-field; f64s via to_bits.
+fn assert_bit_identical(a: &FaultRunOutcome, b: &FaultRunOutcome, ctx: &str) {
+    let (ra, rb) = (&a.outcome.recovery, &b.outcome.recovery);
+    assert_eq!(ra, rb, "{ctx}: recovery reports diverged");
+    assert_eq!(
+        ra.makespan_s.to_bits(),
+        rb.makespan_s.to_bits(),
+        "{ctx}: makespan bits diverged"
+    );
+    assert_eq!(
+        ra.dirty_linear_j.to_bits(),
+        rb.dirty_linear_j.to_bits(),
+        "{ctx}: dirty-energy bits diverged"
+    );
+    assert_eq!(
+        a.outcome.completed_by, b.outcome.completed_by,
+        "{ctx}: item placement diverged"
+    );
+    assert_eq!(
+        a.outcome.reassigned_items, b.outcome.reassigned_items,
+        "{ctx}: reassignment order diverged"
+    );
+}
+
+/// Seeded generated fault plans replay bit-identically at every thread
+/// count — the CI fault-determinism matrix gate.
+#[test]
+fn generated_fault_plan_identical_across_thread_counts() {
+    let counts = thread_counts();
+    for seed in [11u64, 2017] {
+        let faults = FaultPlan::generate(seed ^ 0xFA17, 4, &FaultSpec::default());
+        let serial = faulted_run(seed, counts[0], &faults);
+        for &threads in &counts[1..] {
+            let par = faulted_run(seed, threads, &faults);
+            assert_bit_identical(&serial, &par, &format!("seed {seed}, threads {threads}"));
+        }
+    }
+}
+
+/// The same fault plan generated twice from one seed is identical, and a
+/// different seed yields a different plan (no degenerate generator).
+#[test]
+fn fault_plans_are_seed_deterministic() {
+    let a = FaultPlan::generate(42, 8, &FaultSpec::default());
+    let b = FaultPlan::generate(42, 8, &FaultSpec::default());
+    assert_eq!(a, b);
+    let c = FaultPlan::generate(43, 8, &FaultSpec::default());
+    assert_ne!(a, c, "different seeds should draw different fault plans");
+}
+
+/// The issue's acceptance scenario: a single node crashes mid-job. Every
+/// item completes exactly once, the replanned assignment excludes the dead
+/// node, and the whole story is identical at every thread count.
+#[test]
+fn single_crash_recovery_identical_across_thread_counts() {
+    let counts = thread_counts();
+    let seed = 31u64;
+    // Place the crash mid-job using the fault-free wall makespan.
+    let clean = faulted_run(seed, 1, &FaultPlan::none());
+    assert!(clean.outcome.recovery.exactly_once);
+    let tc = clean.outcome.recovery.makespan_s * 0.4;
+    let faults = FaultPlan::new().with_crash(1, tc);
+
+    let serial = faulted_run(seed, counts[0], &faults);
+    let rec = &serial.outcome.recovery;
+    assert_eq!(rec.crashed_nodes, vec![1], "node 1 must die at {tc}s");
+    assert!(rec.replans >= 1, "the crash must trigger an LP re-solve");
+    assert!(rec.exactly_once, "all items complete exactly once: {rec:?}");
+    // The replanned assignment excludes the dead node.
+    for &item in &serial.outcome.reassigned_items {
+        assert_ne!(
+            serial.outcome.completed_by[item],
+            Some(1),
+            "reassigned item {item} completed on the dead node"
+        );
+    }
+    assert!(
+        rec.makespan_overhead >= 0.0 && rec.makespan_overhead < 1.0,
+        "crash recovery must bound makespan inflation: {}",
+        rec.makespan_overhead
+    );
+
+    for &threads in &counts[1..] {
+        let par = faulted_run(seed, threads, &faults);
+        assert_bit_identical(&serial, &par, &format!("threads {threads}"));
+    }
+}
