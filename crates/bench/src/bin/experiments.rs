@@ -14,7 +14,10 @@
 //!   speedup        planning-throughput curve across worker thread counts
 //!                  (wall-clock only — not part of `all`, whose outputs
 //!                  must be machine-independent)
-//!   all            everything above except `speedup`
+//!   telemetry      telemetry-overhead table: recorder off vs on for a
+//!                  planning pass and a faulted run, asserting identical
+//!                  results (wall-clock only — not part of `all`)
+//!   all            everything above except `speedup` and `telemetry`
 //! ```
 //!
 //! Tables print to stdout; with `--out DIR` each also lands as
@@ -97,6 +100,7 @@ fn run(cmd: &str, st: ExpSettings, out: &Option<PathBuf>) -> Result<(), String> 
             "speedup",
             out,
         ),
+        "telemetry" => emit(experiments::telemetry_overhead(st), "telemetry", out),
         "check" => {
             let results = claims::check_claims(st);
             let (table, all) = claims::render_claims(&results);
@@ -153,7 +157,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: experiments [--scale F] [--seed N] [--threads N] [--out DIR] \
-                 <table1|fig2|fig3|fig4|table2|table3|fig5|fig6|ablations|faults|check|speedup|all>"
+                 <table1|fig2|fig3|fig4|table2|table3|fig5|fig6|ablations|faults|check|speedup|\
+                 telemetry|all>"
             );
             return ExitCode::FAILURE;
         }

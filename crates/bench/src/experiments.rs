@@ -679,6 +679,113 @@ pub fn faults_experiment(st: ExpSettings) -> Table {
     table
 }
 
+/// Telemetry overhead: the same planning pass and faulted run with the
+/// recorder disabled vs enabled, with wall-clock cost and recorded-volume
+/// counts side by side. Asserts inertness as it goes — the enabled run
+/// must produce a bit-identical plan and recovery report. Wall-clock
+/// numbers are machine-dependent, so (like `speedup`) this is excluded
+/// from `all`.
+pub fn telemetry_overhead(st: ExpSettings) -> Table {
+    use std::time::Instant;
+
+    let ds = pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST);
+    let workload = WorkloadKind::FrequentPatterns {
+        support: TEXT_SUPPORT,
+    };
+    let cfg = framework_config(
+        Strategy::HetEnergyAware {
+            alpha: ALPHA_MINING,
+        },
+        PartitionLayout::Representative,
+        st.seed,
+        st.threads,
+    );
+    let rcfg = RecoveryConfig::default();
+
+    let cluster_off = make_cluster(8, st.seed);
+    let fw_off = Framework::new(&cluster_off, cfg.clone());
+    let tel = pareto_telemetry::Telemetry::enabled();
+    let cluster_on = make_cluster(8, st.seed).with_telemetry(tel.clone());
+    let fw_on = Framework::new(&cluster_on, cfg).with_telemetry(tel.clone());
+
+    // Same crash placement as `faults_experiment`: the longest-working
+    // node, 40% into its own busy time.
+    let clean = fw_off.run_with_faults(&ds, workload, &FaultPlan::none(), &rcfg);
+    let (victim, victim_busy) = clean
+        .outcome
+        .report
+        .runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.seconds))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty cluster");
+    let faults = FaultPlan::new().with_crash(victim, victim_busy * 0.4);
+
+    let t = Instant::now();
+    let plan_off = fw_off.plan(&ds, workload);
+    let plan_off_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let plan_on = fw_on.plan(&ds, workload);
+    let plan_on_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        plan_off.partitions, plan_on.partitions,
+        "telemetry must not perturb the plan"
+    );
+    let after_plan = tel.snapshot();
+
+    let t = Instant::now();
+    let run_off = fw_off.run_with_faults(&ds, workload, &faults, &rcfg);
+    let run_off_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let run_on = fw_on.run_with_faults(&ds, workload, &faults, &rcfg);
+    let run_on_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        run_off.outcome.recovery, run_on.outcome.recovery,
+        "telemetry must not perturb recovery"
+    );
+    let total = tel.snapshot();
+
+    let mut table = Table::new(
+        "Telemetry overhead — recorder off vs on (identical results asserted)",
+        &[
+            "stage", "telemetry", "wall_ms", "spans", "instants", "series", "inert",
+        ],
+    );
+    let rows: [(&str, &str, f64, usize, usize, usize); 4] = [
+        ("plan", "off", plan_off_ms, 0, 0, 0),
+        (
+            "plan",
+            "on",
+            plan_on_ms,
+            after_plan.spans.len(),
+            after_plan.instants.len(),
+            after_plan.metrics.series_count(),
+        ),
+        ("faulted-run", "off", run_off_ms, 0, 0, 0),
+        (
+            "faulted-run",
+            "on",
+            run_on_ms,
+            total.spans.len() - after_plan.spans.len(),
+            total.instants.len() - after_plan.instants.len(),
+            total.metrics.series_count() - after_plan.metrics.series_count(),
+        ),
+    ];
+    for (stage, mode, ms, spans, instants, series) in rows {
+        table.row(vec![
+            stage.to_string(),
+            mode.to_string(),
+            format!("{ms:.1}"),
+            spans.to_string(),
+            instants.to_string(),
+            series.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,6 +841,14 @@ mod tests {
         // One row per thread count; the invariance assert inside the
         // function is the real check.
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn telemetry_overhead_is_inert() {
+        // The asserts inside the function (identical plan, identical
+        // recovery report with the recorder on) are the real check.
+        let t = telemetry_overhead(tiny());
+        assert_eq!(t.len(), 4);
     }
 
     #[test]

@@ -16,6 +16,8 @@ usage:
   paretofab partition <common options> --out DIR
   paretofab run       <common options>
   paretofab frontier  <common options>   (predicted alpha sweep)
+  paretofab report    --input DUMP.json [--trace TRACE.json]
+                      (validate + summarize telemetry artifacts)
 
 common options:
   --input FILE            dataset in loader text format
@@ -37,7 +39,16 @@ common options:
                             slow:NODE@FACTOR   NODE runs FACTOR x slower
                             kv:NODE@COUNT      COUNT transient store errors
                             net:NODE@FROM-TO@F degrade NODE's network by F
-                            seeded:SEED        deterministic generated plan";
+                            seeded:SEED        deterministic generated plan
+
+telemetry options (partition / run / frontier):
+  --trace-out FILE        write a chrome-trace (trace_event JSON) loadable
+                          in about:tracing or ui.perfetto.dev
+  --metrics-out FILE      write the metrics registry in Prometheus text format
+  --telemetry-out FILE    write the full structured JSON dump (spans,
+                          instants, metrics, captured events)
+  Telemetry is observational only: results are bit-identical with or
+  without these flags.";
 
 /// A parsed invocation.
 #[derive(Debug, Clone)]
@@ -70,6 +81,13 @@ pub enum Command {
         /// Shared data/cluster/strategy options.
         common: Common,
     },
+    /// Validate and summarize previously written telemetry artifacts.
+    Report {
+        /// The structured JSON dump (`--telemetry-out` of a prior run).
+        input: PathBuf,
+        /// Optional chrome-trace file to validate alongside.
+        trace: Option<PathBuf>,
+    },
 }
 
 /// Options shared by `partition` and `run`.
@@ -99,6 +117,12 @@ pub struct Common {
     /// Fault-injection spec (`run` only; see `--faults` in [`USAGE`]).
     /// Parsed against the cluster size at execution time.
     pub faults: Option<String>,
+    /// Write a chrome-trace (`trace_event` JSON) here.
+    pub trace_out: Option<PathBuf>,
+    /// Write Prometheus-text metrics here.
+    pub metrics_out: Option<PathBuf>,
+    /// Write the full structured telemetry dump here.
+    pub telemetry_out: Option<PathBuf>,
 }
 
 impl Default for Common {
@@ -115,7 +139,17 @@ impl Default for Common {
             seed: 2017,
             threads: 1,
             faults: None,
+            trace_out: None,
+            metrics_out: None,
+            telemetry_out: None,
         }
+    }
+}
+
+impl Common {
+    /// True when any telemetry output was requested.
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.telemetry_out.is_some()
     }
 }
 
@@ -125,6 +159,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let sub = it.next().ok_or("missing subcommand")?.as_str();
     let mut common = Common::default();
     let mut out: Option<PathBuf> = None;
+    let mut trace: Option<PathBuf> = None;
     let mut alpha: Option<f64> = None;
     let mut support: Option<f64> = None;
     let mut strategy_name: Option<String> = None;
@@ -204,6 +239,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             "--faults" => common.faults = Some(value("--faults")?),
             "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--trace-out" => common.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => {
+                common.metrics_out = Some(PathBuf::from(value("--metrics-out")?))
+            }
+            "--telemetry-out" => {
+                common.telemetry_out = Some(PathBuf::from(value("--telemetry-out")?))
+            }
+            "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -271,6 +314,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             validate_data_source(&common)?;
             Ok(Command::Frontier { common })
         }
+        "report" => Ok(Command::Report {
+            input: common.input.ok_or("report requires --input DUMP.json")?,
+            trace,
+        }),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -402,6 +449,46 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("run --preset rcv1 --faults")).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_outputs() {
+        let cmd = parse(&argv(
+            "run --preset rcv1 --trace-out t.json --metrics-out m.prom \
+             --telemetry-out d.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { common } => {
+                assert_eq!(common.trace_out, Some(PathBuf::from("t.json")));
+                assert_eq!(common.metrics_out, Some(PathBuf::from("m.prom")));
+                assert_eq!(common.telemetry_out, Some(PathBuf::from("d.json")));
+                assert!(common.wants_telemetry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default: no telemetry.
+        let cmd = parse(&argv("run --preset rcv1")).unwrap();
+        match cmd {
+            Command::Run { common } => assert!(!common.wants_telemetry()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --preset rcv1 --trace-out")).is_err());
+    }
+
+    #[test]
+    fn parses_report() {
+        let cmd = parse(&argv("report --input dump.json --trace trace.json")).unwrap();
+        match cmd {
+            Command::Report { input, trace } => {
+                assert_eq!(input, PathBuf::from("dump.json"));
+                assert_eq!(trace, Some(PathBuf::from("trace.json")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("report --input dump.json")).unwrap();
+        assert!(matches!(cmd, Command::Report { trace: None, .. }));
+        assert!(parse(&argv("report")).is_err());
     }
 
     #[test]

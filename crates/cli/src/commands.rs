@@ -2,7 +2,8 @@
 
 use std::fs;
 use std::io::{BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use pareto_cluster::{FaultPlan, NodeSpec, SimCluster};
 use pareto_core::estimator::{EnergyEstimator, HeterogeneityEstimator, SamplingPlan};
@@ -11,6 +12,7 @@ use pareto_core::pareto::ParetoModeler;
 use pareto_core::RecoveryConfig;
 use pareto_core::{Stratifier, StratifierConfig};
 use pareto_datagen::{loaders, writers, DataKind, Dataset};
+use pareto_telemetry::{event, export, json, report, CaptureSink, StderrSink, TeeSink, Telemetry};
 
 use crate::args::{Command, Common};
 
@@ -26,7 +28,94 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Partition { common, out } => partition(&common, &out),
         Command::Run { common } => execute(&common),
         Command::Frontier { common } => frontier(&common),
+        Command::Report { input, trace } => report_cmd(&input, trace.as_deref()),
     }
+}
+
+/// Telemetry wiring for one CLI invocation: an enabled recorder shared by
+/// the framework and the simulated cluster, plus a capture sink so the
+/// JSON dump includes every structured event. Created only when the user
+/// asked for an output file — otherwise commands run with the disabled
+/// recorder and pay a single branch per call site.
+struct TelemetrySession {
+    tel: Arc<Telemetry>,
+    capture: Arc<CaptureSink>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    telemetry_out: Option<PathBuf>,
+}
+
+impl TelemetrySession {
+    fn start(common: &Common) -> Option<TelemetrySession> {
+        if !common.wants_telemetry() {
+            return None;
+        }
+        let capture = Arc::new(CaptureSink::new());
+        event::set_sink(Arc::new(TeeSink(Arc::new(StderrSink), capture.clone())));
+        Some(TelemetrySession {
+            tel: Telemetry::enabled(),
+            capture,
+            trace_out: common.trace_out.clone(),
+            metrics_out: common.metrics_out.clone(),
+            telemetry_out: common.telemetry_out.clone(),
+        })
+    }
+
+    fn recorder(session: &Option<TelemetrySession>) -> Option<Arc<Telemetry>> {
+        session.as_ref().map(|s| s.tel.clone())
+    }
+
+    /// Write the requested exporter files from the final snapshot.
+    fn finish(&self) -> Result<(), String> {
+        let snapshot = self.tel.snapshot();
+        if let Some(path) = &self.trace_out {
+            write_text(path, &export::chrome_trace(&snapshot))?;
+        }
+        if let Some(path) = &self.metrics_out {
+            write_text(path, &export::prometheus_text(&snapshot))?;
+        }
+        if let Some(path) = &self.telemetry_out {
+            write_text(path, &export::json_dump(&snapshot, &self.capture.events()))?;
+        }
+        for (label, path) in [
+            ("chrome trace", &self.trace_out),
+            ("prometheus metrics", &self.metrics_out),
+            ("telemetry dump", &self.telemetry_out),
+        ] {
+            if let Some(path) = path {
+                event::info("cli", format!("wrote {label} to {}", path.display()));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_text(path: &Path, contents: &str) -> Result<(), String> {
+    fs::write(path, contents).map_err(|e| format!("write {path:?}: {e}"))
+}
+
+/// `report`: validate and summarize a `--telemetry-out` dump (and
+/// optionally a `--trace-out` chrome trace).
+fn report_cmd(input: &Path, trace: Option<&Path>) -> Result<(), String> {
+    let text = fs::read_to_string(input).map_err(|e| format!("read {input:?}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parse {input:?}: {e}"))?;
+    report::validate_dump(&doc).map_err(|e| format!("invalid dump {input:?}: {e}"))?;
+    print!("{}", report::summarize_dump(&doc)?);
+    if let Some(tpath) = trace {
+        let ttext = fs::read_to_string(tpath).map_err(|e| format!("read {tpath:?}: {e}"))?;
+        let tdoc = json::parse(&ttext).map_err(|e| format!("parse {tpath:?}: {e}"))?;
+        let stats = report::validate_chrome_trace(&tdoc)
+            .map_err(|e| format!("invalid chrome trace {tpath:?}: {e}"))?;
+        println!(
+            "chrome trace {}: OK — {} events ({} span pairs, {} instants) on {} track(s)",
+            tpath.display(),
+            stats.events,
+            stats.span_pairs,
+            stats.instants,
+            stats.tracks
+        );
+    }
+    Ok(())
 }
 
 fn dataset_from_preset(name: &str, seed: u64, scale: f64) -> Result<Dataset, String> {
@@ -58,24 +147,33 @@ fn gen(preset: &str, scale: f64, seed: u64, out: &Path) -> Result<(), String> {
     let ds = dataset_from_preset(preset, seed, scale)?;
     let file = fs::File::create(out).map_err(|e| format!("create {out:?}: {e}"))?;
     writers::write(&ds, BufWriter::new(file)).map_err(|e| format!("write {out:?}: {e}"))?;
-    eprintln!(
-        "wrote {} ({} records, {} kind) to {}",
-        ds.name,
-        ds.len(),
-        ds.kind,
-        out.display()
+    event::info(
+        "cli",
+        format!(
+            "wrote {} ({} records, {} kind) to {}",
+            ds.name,
+            ds.len(),
+            ds.kind,
+            out.display()
+        ),
     );
     Ok(())
 }
 
-fn build_framework_parts(common: &Common) -> (Dataset, SimCluster, FrameworkConfig) {
-    let cluster = SimCluster::new(NodeSpec::paper_cluster(
+fn build_framework_parts(
+    common: &Common,
+    tel: Option<Arc<Telemetry>>,
+) -> (Dataset, SimCluster, FrameworkConfig) {
+    let mut cluster = SimCluster::new(NodeSpec::paper_cluster(
         common.nodes,
         400.0,
         2,
         9,
         common.seed,
     ));
+    if let Some(tel) = tel {
+        cluster = cluster.with_telemetry(tel);
+    }
     let cfg = FrameworkConfig {
         strategy: common.strategy,
         layout: common.layout,
@@ -87,9 +185,13 @@ fn build_framework_parts(common: &Common) -> (Dataset, SimCluster, FrameworkConf
 }
 
 fn partition(common: &Common, out: &Path) -> Result<(), String> {
+    let session = TelemetrySession::start(common);
     let dataset = load_dataset(common)?;
-    let (_, cluster, cfg) = build_framework_parts(common);
-    let fw = Framework::new(&cluster, cfg);
+    let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&session));
+    let mut fw = Framework::new(&cluster, cfg);
+    if let Some(tel) = TelemetrySession::recorder(&session) {
+        fw = fw.with_telemetry(tel);
+    }
     let plan = fw.plan(&dataset, common.workload);
 
     fs::create_dir_all(out).map_err(|e| format!("mkdir {out:?}: {e}"))?;
@@ -138,17 +240,23 @@ fn partition(common: &Common, out: &Path) -> Result<(), String> {
             ));
         }
     }
-    eprintln!(
-        "wrote {} partition files + plan.txt to {}",
-        plan.partitions.len(),
-        out.display()
+    event::info(
+        "cli",
+        format!(
+            "wrote {} partition files + plan.txt to {}",
+            plan.partitions.len(),
+            out.display()
+        ),
     );
+    if let Some(session) = &session {
+        session.finish()?;
+    }
     Ok(())
 }
 
 fn frontier(common: &Common) -> Result<(), String> {
     let dataset = load_dataset(common)?;
-    let (_, cluster, _) = build_framework_parts(common);
+    let (_, cluster, _) = build_framework_parts(common, None);
     let strat = Stratifier::new(StratifierConfig {
         threads: common.threads,
         ..StratifierConfig::default()
@@ -181,12 +289,20 @@ fn frontier(common: &Common) -> Result<(), String> {
 }
 
 fn execute(common: &Common) -> Result<(), String> {
+    let session = TelemetrySession::start(common);
     let dataset = load_dataset(common)?;
-    let (_, cluster, cfg) = build_framework_parts(common);
-    let fw = Framework::new(&cluster, cfg);
+    let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&session));
+    let mut fw = Framework::new(&cluster, cfg);
+    if let Some(tel) = TelemetrySession::recorder(&session) {
+        fw = fw.with_telemetry(tel);
+    }
     if let Some(spec) = &common.faults {
         let faults = FaultPlan::parse(spec, common.nodes).map_err(|e| e.to_string())?;
-        return execute_with_faults(&fw, &dataset, common, &faults);
+        let result = execute_with_faults(&fw, &dataset, common, &faults);
+        if let Some(session) = &session {
+            session.finish()?;
+        }
+        return result;
     }
     let outcome = fw.run(&dataset, common.workload);
 
@@ -237,6 +353,9 @@ fn execute(common: &Common) -> Result<(), String> {
         } => println!(
             "quality            {input_bytes} -> {output_bytes} bytes (ratio {ratio:.2})"
         ),
+    }
+    if let Some(session) = &session {
+        session.finish()?;
     }
     Ok(())
 }

@@ -13,7 +13,11 @@
 //! experiments use the host's cores, but all *reported* times are
 //! simulated and therefore deterministic.
 
+use std::sync::Arc;
+
 use pareto_energy::{dirty_energy_joules, DirtyEnergyMode};
+use pareto_telemetry::{ClockDomain, SpanId, Telemetry, Track};
+use parking_lot::Mutex;
 
 use crate::cost::Cost;
 use crate::error::ClusterError;
@@ -102,6 +106,15 @@ pub struct SimCluster {
     base_ops_per_sec: f64,
     /// Job start offset into the green traces, seconds.
     job_start_s: f64,
+    /// Instrumentation recorder (disabled by default: every recording
+    /// call is a no-op and no epoch state mutates).
+    telemetry: Arc<Telemetry>,
+    /// Telemetry-only cursor along the shared simulated timeline: where
+    /// the next job's spans begin. Barrier-separated jobs (SON phase 1 /
+    /// phase 2) each compute from simulated t = 0; the cursor keeps their
+    /// recorded spans from overlapping on the node tracks. Never read by
+    /// any scheduling or accounting decision.
+    sim_epoch: Mutex<f64>,
 }
 
 impl SimCluster {
@@ -118,6 +131,8 @@ impl SimCluster {
             network: NetworkModel::default(),
             base_ops_per_sec: DEFAULT_BASE_OPS_PER_SEC,
             job_start_s: 0.0,
+            telemetry: Telemetry::disabled(),
+            sim_epoch: Mutex::new(0.0),
         })
     }
 
@@ -135,6 +150,35 @@ impl SimCluster {
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;
         self
+    }
+
+    /// Attach a telemetry recorder: jobs record per-node execution spans
+    /// on the simulated timeline plus traffic counters.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Current start of the simulated-timeline window for the next job's
+    /// spans (telemetry bookkeeping only).
+    pub fn sim_epoch(&self) -> f64 {
+        *self.sim_epoch.lock()
+    }
+
+    /// Advance the simulated-timeline cursor past a job that took
+    /// `makespan_s`, returning the epoch the job started at. Telemetry
+    /// bookkeeping only — callers gate on an enabled recorder, so a
+    /// telemetry-free run never touches this state.
+    pub fn advance_sim_epoch(&self, makespan_s: f64) -> f64 {
+        let mut epoch = self.sim_epoch.lock();
+        let start = *epoch;
+        *epoch += makespan_s.max(0.0);
+        start
     }
 
     /// Override the type-1 compute rate; rejects non-positive or
@@ -328,7 +372,62 @@ impl SimCluster {
             runs.push(self.account(node_id, cost));
             results.push(result);
         }
-        Ok((results, JobReport::from_runs(runs)))
+        let report = JobReport::from_runs(runs);
+        self.record_job_telemetry(&report);
+        Ok((results, report))
+    }
+
+    /// Record one executed job on the simulated timeline: a coordinator
+    /// `job` span covering the makespan, one `exec` span per node, and
+    /// per-node traffic counters. Runs serially after the worker threads
+    /// join, so recording order is deterministic; nothing here feeds back.
+    fn record_job_telemetry(&self, report: &JobReport) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let tel = &self.telemetry;
+        let epoch = self.advance_sim_epoch(report.makespan_seconds);
+        let job = tel.span(
+            Track::Coordinator,
+            "job",
+            ClockDomain::Sim,
+            epoch,
+            epoch + report.makespan_seconds,
+            SpanId::NONE,
+            vec![("nodes".into(), report.runs.len().to_string())],
+        );
+        for run in &report.runs {
+            let node = run.node_id.to_string();
+            tel.span(
+                Track::Node(run.node_id),
+                "exec",
+                ClockDomain::Sim,
+                epoch,
+                epoch + run.seconds,
+                job,
+                vec![
+                    ("ops".into(), run.cost.compute_ops.to_string()),
+                    ("bytes".into(), run.cost.bytes.to_string()),
+                    ("round_trips".into(), run.cost.round_trips.to_string()),
+                ],
+            );
+            tel.counter_add(
+                "pareto_cluster_compute_ops_total",
+                &[("node", &node)],
+                run.cost.compute_ops,
+            );
+            tel.counter_add(
+                "pareto_cluster_bytes_total",
+                &[("node", &node)],
+                run.cost.bytes,
+            );
+            tel.counter_add(
+                "pareto_cluster_round_trips_total",
+                &[("node", &node)],
+                run.cost.round_trips,
+            );
+        }
+        tel.counter_add("pareto_cluster_jobs_total", &[], 1);
     }
 
     /// Execute one task per node **in parallel** (real threads) and account

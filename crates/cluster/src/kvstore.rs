@@ -20,6 +20,7 @@
 //! (`parking_lot::RwLock`), safe to share across worker threads.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -110,6 +111,31 @@ const OP_COMPUTE: u64 = 2;
 #[derive(Debug, Clone, Default)]
 pub struct KvStore {
     inner: Arc<RwLock<HashMap<String, Value>>>,
+    stats: Arc<StatsInner>,
+}
+
+/// Cumulative operation statistics, shared across clones of a store.
+/// Atomic adds commute, so the totals are deterministic even when worker
+/// threads hit the store concurrently; observational only.
+#[derive(Debug, Default)]
+struct StatsInner {
+    ops: AtomicU64,
+    bytes: AtomicU64,
+    round_trips: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Snapshot of a store's cumulative operation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Operations processed (each pipelined op counts once).
+    pub ops: u64,
+    /// Payload bytes moved in replies and writes.
+    pub bytes: u64,
+    /// Network round trips charged (pipelining amortizes these).
+    pub round_trips: u64,
+    /// Operations rejected with an error (`WRONGTYPE` etc.).
+    pub errors: u64,
 }
 
 impl KvStore {
@@ -179,7 +205,16 @@ impl KvStore {
     }
 
     fn single(&self, op: Op) -> Result<(Reply, Cost), KvError> {
-        let (reply, bytes) = self.apply(&op)?;
+        let (reply, bytes) = match self.apply(&op) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
         Ok((
             reply,
             Cost {
@@ -188,6 +223,16 @@ impl KvStore {
                 round_trips: 1,
             },
         ))
+    }
+
+    /// Snapshot the cumulative operation statistics.
+    pub fn stats(&self) -> KvStats {
+        KvStats {
+            ops: self.stats.ops.load(Ordering::Relaxed),
+            bytes: self.stats.bytes.load(Ordering::Relaxed),
+            round_trips: self.stats.round_trips.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+        }
     }
 
     /// `GET key`.
@@ -352,7 +397,15 @@ impl Pipeline<'_> {
         let mut replies = Vec::with_capacity(self.ops.len());
         let mut cost = Cost::ZERO;
         for op in &self.ops {
-            let (reply, bytes) = self.store.apply(op)?;
+            let (reply, bytes) = match self.store.apply(op) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    self.store.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            };
+            self.store.stats.ops.fetch_add(1, Ordering::Relaxed);
+            self.store.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
             cost.add(Cost {
                 compute_ops: OP_COMPUTE,
                 bytes,
@@ -361,6 +414,10 @@ impl Pipeline<'_> {
             replies.push(reply);
         }
         cost.round_trips = (self.ops.len() as u64).div_ceil(self.width as u64);
+        self.store
+            .stats
+            .round_trips
+            .fetch_add(cost.round_trips, Ordering::Relaxed);
         Ok((replies, cost))
     }
 }

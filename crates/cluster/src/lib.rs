@@ -48,7 +48,7 @@ pub use cluster::{JobCtx, JobReport, NodeRun, SimCluster};
 pub use cost::Cost;
 pub use error::ClusterError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
-pub use kvstore::{KvError, KvStore, Pipeline, Reply};
+pub use kvstore::{KvError, KvStats, KvStore, Pipeline, Reply};
 pub use network::NetworkModel;
 pub use persist::{dump_to_file, load_from_file, snapshot_from_bytes, snapshot_to_bytes};
 pub use node::{MachineType, NodeSpec, SupplyTopology};

@@ -443,14 +443,19 @@ pub struct EnergyEstimator;
 impl EnergyEstimator {
     /// Profiles for all nodes over `[t0, t0 + horizon]` seconds.
     ///
-    /// Delegates to [`profiles_checked`](Self::profiles_checked) and warns
-    /// on stderr when any node's trace had to be degraded.
+    /// Delegates to [`profiles_checked`](Self::profiles_checked) and emits
+    /// a structured warning (stderr by default, capturable via
+    /// [`pareto_telemetry::event::set_sink`]) when any node's trace had to
+    /// be degraded.
     pub fn profiles(cluster: &SimCluster, t0: f64, horizon: f64) -> Vec<NodeEnergyProfile> {
         let (profiles, degraded) = Self::profiles_checked(cluster, t0, horizon);
         if !degraded.is_empty() {
-            eprintln!(
-                "warning: green trace missing or non-finite on nodes {degraded:?}; \
-                 treating them as fully grid-powered (k_i = 0)"
+            pareto_telemetry::event::warn(
+                "estimator",
+                format!(
+                    "green trace missing or non-finite on nodes {degraded:?}; \
+                     treating them as fully grid-powered (k_i = 0)"
+                ),
             );
         }
         profiles

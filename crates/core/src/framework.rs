@@ -10,10 +10,13 @@
 //! broadcast, global count, merge) or single-phase distributed compression
 //! — returning measured makespan, dirty energy, and workload quality.
 
+use std::sync::Arc;
+
 use pareto_cluster::{Cost, FaultPlan, JobCtx, JobReport, SimCluster};
 use pareto_datagen::{DataItem, Dataset};
 use pareto_energy::NodeEnergyProfile;
 use pareto_stats::LinearFit;
+use pareto_telemetry::{ClockDomain, SpanId, Telemetry, Track};
 use pareto_stratify::{Stratification, Stratifier, StratifierConfig};
 use pareto_workloads::{
     lz77_compress, son_candidate_union, son_global_count, son_local_mine_with, son_merge,
@@ -24,7 +27,7 @@ use pareto_workloads::{
 use crate::estimator::{EnergyEstimator, HeterogeneityEstimator, NodeTimeModel, SamplingPlan};
 use crate::pareto::{ParetoModeler, ParetoPoint};
 use crate::partitioner::{DataPartitioner, PartitionLayout};
-use crate::recovery::{execute_with_recovery, RecoveryConfig, RecoveryOutcome};
+use crate::recovery::{execute_with_recovery_traced, RecoveryConfig, RecoveryOutcome};
 use crate::stealing::RecordWork;
 
 /// Partitioning strategy under test (§V-C compares the first three).
@@ -201,13 +204,33 @@ pub struct FaultRunOutcome {
 pub struct Framework<'a> {
     cluster: &'a SimCluster,
     cfg: FrameworkConfig,
+    /// Instrumentation recorder. Disabled by default, in which case every
+    /// recording call is a no-op behind one branch; recording never feeds
+    /// back into any planning or execution decision either way.
+    telemetry: Arc<Telemetry>,
 }
 
 impl<'a> Framework<'a> {
     /// Bind a framework to a simulated cluster.
     pub fn new(cluster: &'a SimCluster, cfg: FrameworkConfig) -> Self {
         assert!(cfg.pipeline_width >= 1);
-        Framework { cluster, cfg }
+        Framework {
+            cluster,
+            cfg,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder (planning spans, plan metrics, and —
+    /// for faulted runs — the full recovery story are recorded into it).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Configuration in force.
@@ -230,6 +253,9 @@ impl<'a> Framework<'a> {
         let n = dataset.len();
         let started = std::time::Instant::now();
         let mut timings = PlanTimings::default();
+        // Wall offsets (vs the recorder epoch) at each stage boundary.
+        // Purely observational, like `timings`.
+        let wall_start = self.telemetry.wall_now();
 
         // --- Stage 1: sketch ---
         let stage = std::time::Instant::now();
@@ -312,7 +338,7 @@ impl<'a> Framework<'a> {
         };
         timings.optimize_s = stage.elapsed().as_secs_f64();
         timings.total_s = started.elapsed().as_secs_f64();
-        Plan {
+        let plan = Plan {
             stratification,
             time_models,
             energy_profiles,
@@ -321,7 +347,112 @@ impl<'a> Framework<'a> {
             partitions,
             estimation_cost,
             timings,
+        };
+        self.record_plan_telemetry(&plan, n, wall_start);
+        plan
+    }
+
+    /// Record the planning span tree (§9 taxonomy: `plan` → `sketch` /
+    /// `stratify` / `profile` / `optimize` on the planner track, wall
+    /// clock) plus the plan-shape metrics. Called from serial code only,
+    /// after the plan is fully decided — nothing here can feed back.
+    fn record_plan_telemetry(&self, plan: &Plan, n: usize, wall_start: f64) {
+        if !self.telemetry.is_enabled() {
+            return;
         }
+        let tel = &self.telemetry;
+        let t = plan.timings;
+        let root = tel.span(
+            Track::Planner,
+            "plan",
+            ClockDomain::Wall,
+            wall_start,
+            wall_start + t.total_s,
+            SpanId::NONE,
+            vec![
+                ("records".into(), n.to_string()),
+                ("nodes".into(), plan.sizes.len().to_string()),
+                ("strategy".into(), self.cfg.strategy.label().into()),
+                ("threads".into(), self.cfg.threads.to_string()),
+            ],
+        );
+        let mut cursor = wall_start;
+        for (name, secs) in [
+            ("sketch", t.sketch_s),
+            ("stratify", t.stratify_s),
+            ("profile", t.profile_s),
+            ("optimize", t.optimize_s),
+        ] {
+            tel.span(
+                Track::Planner,
+                name,
+                ClockDomain::Wall,
+                cursor,
+                cursor + secs,
+                root,
+                vec![],
+            );
+            cursor += secs;
+            tel.observe(
+                "pareto_plan_stage_s",
+                &[("stage", name)],
+                secs,
+                pareto_telemetry::metrics::DURATION_BOUNDS_S,
+            );
+        }
+
+        for (i, &size) in plan.sizes.iter().enumerate() {
+            let node = i.to_string();
+            tel.gauge_set(
+                "pareto_partition_size_records",
+                &[("node", &node)],
+                size as f64,
+            );
+            tel.observe(
+                "pareto_partition_size",
+                &[],
+                size as f64,
+                pareto_telemetry::metrics::SIZE_BOUNDS,
+            );
+        }
+        if let Some(point) = &plan.pareto {
+            tel.gauge_set("pareto_lp_alpha", &[], point.alpha);
+            tel.gauge_set(
+                "pareto_lp_predicted_makespan_s",
+                &[],
+                point.predicted_makespan,
+            );
+            tel.gauge_set(
+                "pareto_lp_predicted_dirty_joules",
+                &[],
+                point.predicted_dirty_joules,
+            );
+        }
+        if let Some(models) = &plan.time_models {
+            for (i, m) in models.iter().enumerate() {
+                let node = i.to_string();
+                tel.gauge_set("pareto_fit_slope_s_per_item", &[("node", &node)], m.fit.slope);
+                tel.gauge_set(
+                    "pareto_fit_intercept_s",
+                    &[("node", &node)],
+                    m.fit.intercept,
+                );
+            }
+        }
+        for (i, prof) in plan.energy_profiles.iter().enumerate() {
+            let node = i.to_string();
+            tel.gauge_set("pareto_node_draw_watts", &[("node", &node)], prof.draw_watts);
+            tel.gauge_set(
+                "pareto_node_green_watts",
+                &[("node", &node)],
+                prof.mean_green_watts,
+            );
+        }
+        tel.counter_add(
+            "pareto_estimation_ops_total",
+            &[],
+            plan.estimation_cost.compute_ops,
+        );
     }
 
     /// Plan, place, and execute the workload; returns the measured run.
@@ -390,7 +521,7 @@ impl<'a> Framework<'a> {
             Strategy::HetEnergyAwareNormalized { alpha } => alpha,
             _ => 1.0,
         };
-        let outcome = execute_with_recovery(
+        let outcome = execute_with_recovery_traced(
             self.cluster,
             &work,
             &plan.partitions,
@@ -400,6 +531,7 @@ impl<'a> Framework<'a> {
             alpha,
             faults,
             recovery_cfg,
+            &self.telemetry,
         );
         FaultRunOutcome { plan, outcome }
     }

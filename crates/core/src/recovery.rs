@@ -32,10 +32,12 @@
 //! threads — the property the CI fault-determinism job enforces.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use pareto_cluster::{Cost, FaultPlan, JobReport, NodeRun, SimCluster};
 use pareto_energy::NodeEnergyProfile;
 use pareto_stats::LinearFit;
+use pareto_telemetry::{ClockDomain, SpanId, Telemetry, Track};
 
 use crate::pareto::ParetoModeler;
 use crate::stealing::{steal_back_half, RecordWork};
@@ -175,16 +177,62 @@ pub fn execute_with_recovery(
     faults: &FaultPlan,
     cfg: &RecoveryConfig,
 ) -> RecoveryOutcome {
+    execute_with_recovery_traced(
+        cluster,
+        work,
+        initial,
+        strata,
+        fits,
+        profiles,
+        alpha,
+        faults,
+        cfg,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`execute_with_recovery`] with a telemetry recorder attached: the
+/// faulty pass records per-node sim-clock spans (fetch retries, item
+/// execution, transfers), crash instants, coordinator replan instants,
+/// and recovery metrics. The internal fault-free baseline pass records
+/// nothing — it exists only to price the overhead. Recording is inert:
+/// the [`RecoveryOutcome`] is bit-identical with telemetry on or off.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_recovery_traced(
+    cluster: &SimCluster,
+    work: &[RecordWork],
+    initial: &[Vec<usize>],
+    strata: &[u32],
+    fits: &[LinearFit],
+    profiles: &[NodeEnergyProfile],
+    alpha: f64,
+    faults: &FaultPlan,
+    cfg: &RecoveryConfig,
+    telemetry: &Arc<Telemetry>,
+) -> RecoveryOutcome {
     let p = cluster.num_nodes();
     assert_eq!(initial.len(), p, "one initial queue per node");
     assert_eq!(fits.len(), p, "one time model per node");
     assert_eq!(profiles.len(), p, "one energy profile per node");
 
-    let faulty = simulate(cluster, work, initial, strata, fits, profiles, alpha, faults, cfg);
+    // Spans land after any previously recorded jobs on the shared sim
+    // timeline; the cursor only moves when a recorder is attached.
+    let epoch = if telemetry.is_enabled() {
+        cluster.sim_epoch()
+    } else {
+        0.0
+    };
+    let faulty = simulate(
+        cluster, work, initial, strata, fits, profiles, alpha, faults, cfg, telemetry, epoch,
+    );
+    if telemetry.is_enabled() {
+        cluster.advance_sim_epoch(faulty.wall_makespan_s);
+    }
     let (ff_makespan, ff_dirty) = if faults.is_empty() {
         let dirty: f64 = faulty.runs.iter().map(|r| r.dirty_joules_linear).sum();
         (faulty.wall_makespan_s, dirty)
     } else {
+        // Baseline pass records nothing — only the faulty run is the story.
         let baseline = simulate(
             cluster,
             work,
@@ -195,6 +243,8 @@ pub fn execute_with_recovery(
             alpha,
             &FaultPlan::none(),
             cfg,
+            &Telemetry::disabled(),
+            0.0,
         );
         let dirty: f64 = baseline.runs.iter().map(|r| r.dirty_joules_linear).sum();
         (baseline.wall_makespan_s, dirty)
@@ -224,12 +274,59 @@ pub fn execute_with_recovery(
         fault_free_dirty_linear_j: ff_dirty,
         dirty_overhead_j: dirty_linear_j - ff_dirty,
     };
+    record_recovery_telemetry(telemetry, &recovery, epoch);
     RecoveryOutcome {
         report: JobReport::from_runs(faulty.runs),
         recovery,
         completed_by: faulty.completed_by,
         reassigned_items: faulty.reassigned_items,
     }
+}
+
+/// Record the recovery summary: a coordinator span covering the faulty
+/// run plus the headline counters/gauges. Serial, post-hoc, inert.
+fn record_recovery_telemetry(tel: &Telemetry, rec: &RecoveryReport, epoch: f64) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.span(
+        Track::Coordinator,
+        "recovery",
+        ClockDomain::Sim,
+        epoch,
+        epoch + rec.makespan_s,
+        SpanId::NONE,
+        vec![
+            ("crashes".into(), rec.crashed_nodes.len().to_string()),
+            ("replans".into(), rec.replans.to_string()),
+            ("steals".into(), rec.speculative_steals.to_string()),
+            ("items".into(), rec.items_total.to_string()),
+        ],
+    );
+    tel.counter_add("pareto_faults_injected_total", &[], rec.faults_injected as u64);
+    tel.counter_add("pareto_crashes_total", &[], rec.crashed_nodes.len() as u64);
+    tel.counter_add("pareto_replans_total", &[], rec.replans as u64);
+    tel.counter_add("pareto_retries_total", &[], rec.retries_spent as u64);
+    tel.counter_add("pareto_steals_total", &[], rec.speculative_steals as u64);
+    tel.counter_add(
+        "pareto_items_reassigned_total",
+        &[],
+        rec.items_reassigned as u64,
+    );
+    tel.counter_add("pareto_items_stolen_total", &[], rec.items_stolen as u64);
+    tel.gauge_set("pareto_recovery_makespan_s", &[], rec.makespan_s);
+    tel.gauge_set(
+        "pareto_recovery_fault_free_makespan_s",
+        &[],
+        rec.fault_free_makespan_s,
+    );
+    tel.gauge_set(
+        "pareto_recovery_makespan_overhead",
+        &[],
+        rec.makespan_overhead,
+    );
+    tel.gauge_set("pareto_recovery_dirty_linear_j", &[], rec.dirty_linear_j);
+    tel.gauge_set("pareto_recovery_dirty_overhead_j", &[], rec.dirty_overhead_j);
 }
 
 /// Per-node simulation state.
@@ -244,6 +341,9 @@ struct NodeState {
     /// Transfer cost to pay before the next item (fetch / received
     /// reassignment), accumulated.
     pending: Cost,
+    /// Telemetry label for the pending transfer ("fetch", "redistribute",
+    /// …). Never read by any decision.
+    pending_kind: &'static str,
     alive: bool,
     retired: bool,
     /// Items currently assigned (for `f_i(x_i)` straggler prediction).
@@ -261,6 +361,8 @@ fn simulate(
     alpha: f64,
     faults: &FaultPlan,
     cfg: &RecoveryConfig,
+    tel: &Telemetry,
+    epoch: f64,
 ) -> SimPass {
     let p = cluster.num_nodes();
     let modeler = ParetoModeler::new(fits.to_vec(), profiles.to_vec())
@@ -275,6 +377,7 @@ fn simulate(
             busy: 0.0,
             cost: Cost::ZERO,
             pending: Cost::ZERO,
+            pending_kind: "fetch",
             alive: true,
             retired: false,
             assigned: q.len(),
@@ -346,7 +449,21 @@ fn simulate(
             let dt = event_seconds(i, &failed, node.clock)
                 + cfg.backoff_base_s * f64::powi(2.0, (attempt - 1) as i32);
             node.cost.add(failed);
-            if !advance(node, i, dt) {
+            let before = node.clock;
+            let survived = advance(node, i, dt);
+            if tel.is_enabled() {
+                tel.span(
+                    Track::Node(i),
+                    "kv-retry",
+                    ClockDomain::Sim,
+                    epoch + before,
+                    epoch + node.clock,
+                    SpanId::NONE,
+                    vec![("attempt".into(), attempt.to_string())],
+                );
+                tel.counter_add("pareto_kv_retries_total", &[], 1);
+            }
+            if !survived {
                 break;
             }
         }
@@ -363,7 +480,9 @@ fn simulate(
     for i in 0..p {
         if !nodes[i].alive && !nodes[i].queue.is_empty() {
             crashed_nodes.push(i);
+            record_crash(tel, epoch, i, nodes[i].clock, "fetch");
             let orphans: Vec<usize> = nodes[i].queue.drain(..).collect();
+            let now = nodes[i].clock;
             nodes[i].assigned -= orphans.len();
             replan(
                 work,
@@ -375,9 +494,13 @@ fn simulate(
                 orphans,
                 &mut replans,
                 &mut reassigned_items,
+                tel,
+                epoch,
+                now,
             );
         } else if !nodes[i].alive {
             crashed_nodes.push(i);
+            record_crash(tel, epoch, i, nodes[i].clock, "fetch");
         }
     }
 
@@ -403,12 +526,18 @@ fn simulate(
         // Pay any pending transfer (fetch or received reassignment) first.
         if nodes[node].pending != Cost::ZERO {
             let transfer = nodes[node].pending;
+            let kind = nodes[node].pending_kind;
             nodes[node].pending = Cost::ZERO;
             let dt = event_seconds(node, &transfer, nodes[node].clock);
             nodes[node].cost.add(transfer);
-            if !advance(&mut nodes[node], node, dt) {
+            let before = nodes[node].clock;
+            let survived = advance(&mut nodes[node], node, dt);
+            record_transfer(tel, epoch, node, before, nodes[node].clock, kind, transfer.bytes);
+            if !survived {
                 crashed_nodes.push(node);
+                record_crash(tel, epoch, node, nodes[node].clock, "transfer");
                 let orphans: Vec<usize> = nodes[node].queue.drain(..).collect();
+                let now = nodes[node].clock;
                 nodes[node].assigned -= orphans.len();
                 replan(
                     work,
@@ -420,6 +549,9 @@ fn simulate(
                     orphans,
                     &mut replans,
                     &mut reassigned_items,
+                    tel,
+                    epoch,
+                    now,
                 );
             }
             continue;
@@ -428,15 +560,29 @@ fn simulate(
         if let Some(r) = nodes[node].queue.pop_front() {
             let cost = Cost::compute(work[r].ops);
             let dt = event_seconds(node, &cost, nodes[node].clock);
+            let before = nodes[node].clock;
             if advance(&mut nodes[node], node, dt) {
                 nodes[node].cost.add(cost);
                 completed_by[r] = Some(node);
+                if tel.is_enabled() {
+                    tel.span(
+                        Track::Node(node),
+                        "exec",
+                        ClockDomain::Sim,
+                        epoch + before,
+                        epoch + nodes[node].clock,
+                        SpanId::NONE,
+                        vec![("item".into(), r.to_string())],
+                    );
+                }
             } else {
                 // Died mid-item: the in-flight item and the rest of the
                 // queue are orphans.
                 crashed_nodes.push(node);
+                record_crash(tel, epoch, node, nodes[node].clock, "exec");
                 let mut orphans: Vec<usize> = vec![r];
                 orphans.extend(nodes[node].queue.drain(..));
+                let now = nodes[node].clock;
                 nodes[node].assigned -= orphans.len();
                 replan(
                     work,
@@ -448,6 +594,9 @@ fn simulate(
                     orphans,
                     &mut replans,
                     &mut reassigned_items,
+                    tel,
+                    epoch,
+                    now,
                 );
             }
             continue;
@@ -484,13 +633,30 @@ fn simulate(
             items_stolen += stolen.len();
             let dt = event_seconds(node, &transfer, nodes[node].clock);
             nodes[node].cost.add(transfer);
-            if advance(&mut nodes[node], node, dt) {
+            let before = nodes[node].clock;
+            let survived = advance(&mut nodes[node], node, dt);
+            record_transfer(tel, epoch, node, before, nodes[node].clock, "steal", bytes);
+            if tel.is_enabled() {
+                tel.instant(
+                    Track::Node(node),
+                    "steal",
+                    ClockDomain::Sim,
+                    epoch + before,
+                    vec![
+                        ("victim".into(), victim.to_string()),
+                        ("items".into(), stolen.len().to_string()),
+                    ],
+                );
+            }
+            if survived {
                 nodes[node].assigned += stolen.len();
                 nodes[node].queue.extend(stolen);
             } else {
                 // The thief died mid-transfer: the stolen items become
                 // orphans and are replanned.
                 crashed_nodes.push(node);
+                record_crash(tel, epoch, node, nodes[node].clock, "steal");
+                let now = nodes[node].clock;
                 replan(
                     work,
                     strata,
@@ -501,6 +667,9 @@ fn simulate(
                     stolen,
                     &mut replans,
                     &mut reassigned_items,
+                    tel,
+                    epoch,
+                    now,
                 );
             }
             continue;
@@ -541,6 +710,50 @@ fn simulate(
     }
 }
 
+/// Instant marker for a node death, on the node's own sim track.
+/// `during` says what the node was doing when it died.
+fn record_crash(tel: &Telemetry, epoch: f64, node: usize, clock: f64, during: &str) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.instant(
+        Track::Node(node),
+        "crash",
+        ClockDomain::Sim,
+        epoch + clock,
+        vec![("during".into(), during.into())],
+    );
+}
+
+/// Span for a paid data transfer (partition fetch, replan redistribution,
+/// or a speculative steal) on the paying node's sim track.
+fn record_transfer(
+    tel: &Telemetry,
+    epoch: f64,
+    node: usize,
+    start: f64,
+    end: f64,
+    kind: &str,
+    bytes: u64,
+) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.span(
+        Track::Node(node),
+        "transfer",
+        ClockDomain::Sim,
+        epoch + start,
+        epoch + end,
+        SpanId::NONE,
+        vec![
+            ("kind".into(), kind.into()),
+            ("bytes".into(), bytes.to_string()),
+        ],
+    );
+    tel.counter_add("pareto_transfer_bytes_total", &[("kind", kind)], bytes);
+}
+
 /// Re-solve the LP over the survivors and redistribute `orphans`
 /// stratum-aware. Receivers get the items appended to their queue plus a
 /// pending transfer cost; their time-intercept offsets carry current clock
@@ -556,6 +769,9 @@ fn replan(
     orphans: Vec<usize>,
     replans: &mut u32,
     reassigned_items: &mut Vec<usize>,
+    tel: &Telemetry,
+    epoch: f64,
+    now: f64,
 ) {
     if orphans.is_empty() {
         return;
@@ -566,6 +782,18 @@ fn replan(
         return;
     }
     *replans += 1;
+    if tel.is_enabled() {
+        tel.instant(
+            Track::Coordinator,
+            "replan",
+            ClockDomain::Sim,
+            epoch + now,
+            vec![
+                ("orphans".into(), orphans.len().to_string()),
+                ("survivors".into(), survivors.len().to_string()),
+            ],
+        );
+    }
     // Wall finish estimate per survivor, in the planner's own units:
     // current clock plus model-predicted time for the remaining backlog.
     let offsets: Vec<f64> = survivors
@@ -609,6 +837,7 @@ fn replan(
             bytes,
             round_trips: 1,
         });
+        nodes[receiver].pending_kind = "redistribute";
         nodes[receiver].queue.extend(slice.iter().copied());
         nodes[receiver].assigned += take;
         nodes[receiver].retired = false;
@@ -623,6 +852,7 @@ fn replan(
             bytes,
             round_trips: 1,
         });
+        nodes[receiver].pending_kind = "redistribute";
         nodes[receiver].queue.extend(slice.iter().copied());
         nodes[receiver].assigned += slice.len();
         nodes[receiver].retired = false;

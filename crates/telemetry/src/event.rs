@@ -1,0 +1,159 @@
+//! Structured events: the replacement for ad-hoc `eprintln!` warnings.
+//!
+//! Library code emits [`Event`]s through [`warn`]/[`info`]; a process-wide
+//! [`EventSink`] decides where they go. The default sink writes the
+//! classic `warning: …` line to stderr, so behaviour is unchanged for CLI
+//! users — but tests (and the CLI's `--telemetry-out` dump) can swap in a
+//! [`CaptureSink`] and observe every event instead of scraping stderr.
+
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Mutex, RwLock};
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Progress notices ("wrote 4 partition files…").
+    Info,
+    /// Degraded-but-continuing conditions (non-finite green window, …).
+    Warning,
+}
+
+impl Severity {
+    /// Stable label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Severity class.
+    pub severity: Severity,
+    /// Emitting subsystem ("estimator", "cli", "recovery", …).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Where events go.
+pub trait EventSink: Send + Sync {
+    /// Consume one event.
+    fn emit(&self, event: &Event);
+}
+
+/// The default sink: `warning:`-prefixed lines on stderr (infos get no
+/// prefix, matching the pre-telemetry CLI notices).
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        match event.severity {
+            Severity::Warning => eprintln!("warning: {}", event.message),
+            Severity::Info => eprintln!("{}", event.message),
+        }
+    }
+}
+
+/// A sink that buffers events for later inspection (tests, JSON dumps).
+#[derive(Default)]
+pub struct CaptureSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CaptureSink {
+    /// Fresh empty capture.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+}
+
+impl EventSink for CaptureSink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Forward each event to both sinks (e.g. stderr *and* a capture buffer).
+pub struct TeeSink(pub Arc<dyn EventSink>, pub Arc<dyn EventSink>);
+
+impl EventSink for TeeSink {
+    fn emit(&self, event: &Event) {
+        self.0.emit(event);
+        self.1.emit(event);
+    }
+}
+
+fn global_sink() -> &'static RwLock<Arc<dyn EventSink>> {
+    static SINK: OnceLock<RwLock<Arc<dyn EventSink>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(Arc::new(StderrSink)))
+}
+
+/// Replace the process-wide sink, returning the previous one.
+pub fn set_sink(sink: Arc<dyn EventSink>) -> Arc<dyn EventSink> {
+    std::mem::replace(&mut *global_sink().write(), sink)
+}
+
+/// Emit one event through the process-wide sink.
+pub fn emit(severity: Severity, target: &str, message: String) {
+    let event = Event {
+        severity,
+        target: target.to_string(),
+        message,
+    };
+    global_sink().read().emit(&event);
+}
+
+/// Emit a warning.
+pub fn warn(target: &str, message: String) {
+    emit(Severity::Warning, target, message);
+}
+
+/// Emit an informational notice.
+pub fn info(target: &str, message: String) {
+    emit(Severity::Info, target, message);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_sink_sees_events_and_restores() {
+        let capture = Arc::new(CaptureSink::new());
+        let previous = set_sink(capture.clone());
+        warn("test", "something degraded".into());
+        info("test", "progress".into());
+        set_sink(previous);
+        // Emitting after restore must not land in the capture.
+        warn("test", "later".into());
+        let events = capture.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].severity, Severity::Warning);
+        assert_eq!(events[0].target, "test");
+        assert_eq!(events[1].severity, Severity::Info);
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let a = Arc::new(CaptureSink::new());
+        let b = Arc::new(CaptureSink::new());
+        let tee = TeeSink(a.clone(), b.clone());
+        tee.emit(&Event {
+            severity: Severity::Info,
+            target: "t".into(),
+            message: "m".into(),
+        });
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Exporters: render a [`TelemetrySnapshot`](crate::TelemetrySnapshot)
+//! as Prometheus text, a structured JSON dump, or a chrome-trace file.
+
+mod chrome;
+mod json_dump;
+mod prometheus;
+
+pub use chrome::chrome_trace;
+pub use json_dump::json_dump;
+pub use prometheus::prometheus_text;

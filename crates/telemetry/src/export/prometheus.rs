@@ -1,0 +1,134 @@
+//! Prometheus text exposition format (text/plain; version 0.0.4).
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricKey;
+use crate::TelemetrySnapshot;
+
+fn write_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, String)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape(&v));
+    }
+    out.push('}');
+}
+
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn type_line(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
+    if last.as_deref() != Some(name) {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last = Some(name.to_string());
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else if v.is_nan() {
+        "NaN".into()
+    } else if v > 0.0 {
+        "+Inf".into()
+    } else {
+        "-Inf".into()
+    }
+}
+
+/// Render the snapshot's metrics registry in Prometheus text format.
+/// Series appear in sorted `(name, labels)` order, so output is
+/// deterministic.
+pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
+    let reg = &snapshot.metrics;
+    let mut out = String::new();
+    let mut last: Option<String> = None;
+
+    for (key, value) in &reg.counters {
+        type_line(&mut out, &mut last, &key.name, "counter");
+        render_sample(&mut out, key, &value.to_string());
+    }
+    let mut last = None;
+    for (key, value) in &reg.gauges {
+        type_line(&mut out, &mut last, &key.name, "gauge");
+        render_sample(&mut out, key, &fmt_f64(*value));
+    }
+    let mut last = None;
+    for (key, hist) in &reg.histograms {
+        type_line(&mut out, &mut last, &key.name, "histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in hist.counts.iter().enumerate() {
+            cumulative += count;
+            let le = hist
+                .bounds
+                .get(i)
+                .map(|&b| fmt_f64(b))
+                .unwrap_or_else(|| "+Inf".into());
+            let _ = write!(out, "{}_bucket", key.name);
+            write_labels(&mut out, &key.labels, Some(("le", le)));
+            let _ = writeln!(out, " {cumulative}");
+        }
+        let _ = write!(out, "{}_sum", key.name);
+        write_labels(&mut out, &key.labels, None);
+        let _ = writeln!(out, " {}", fmt_f64(hist.sum));
+        let _ = write!(out, "{}_count", key.name);
+        write_labels(&mut out, &key.labels, None);
+        let _ = writeln!(out, " {}", hist.count);
+    }
+    out
+}
+
+fn render_sample(out: &mut String, key: &MetricKey, value: &str) {
+    out.push_str(&key.name);
+    write_labels(out, &key.labels, None);
+    let _ = writeln!(out, " {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let tel = Telemetry::enabled();
+        tel.counter_add("pareto_retries_total", &[("node", "2")], 3);
+        tel.gauge_set("pareto_makespan_s", &[], 12.5);
+        tel.observe("pareto_item_s", &[], 0.05, &[0.1, 1.0]);
+        tel.observe("pareto_item_s", &[], 5.0, &[0.1, 1.0]);
+        let text = prometheus_text(&tel.snapshot());
+        assert!(text.contains("# TYPE pareto_retries_total counter"));
+        assert!(text.contains("pareto_retries_total{node=\"2\"} 3"));
+        assert!(text.contains("# TYPE pareto_makespan_s gauge"));
+        assert!(text.contains("pareto_makespan_s 12.5"));
+        assert!(text.contains("pareto_item_s_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("pareto_item_s_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("pareto_item_s_count 2"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let tel = Telemetry::enabled();
+        for v in [0.05, 0.5, 2.0] {
+            tel.observe("h_s", &[], v, &[0.1, 1.0]);
+        }
+        let text = prometheus_text(&tel.snapshot());
+        assert!(text.contains("h_s_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("h_s_bucket{le=\"1.0\"} 2"));
+        assert!(text.contains("h_s_bucket{le=\"+Inf\"} 3"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Deterministic, zero-decision-feedback instrumentation for the Pareto
+//! framework.
+//!
+//! The contract that makes this layer safe to thread through every hot
+//! path is **inertness**: nothing a [`Telemetry`] recorder returns ever
+//! feeds back into a planning or execution decision, so a run with
+//! telemetry enabled produces bit-identical plans and
+//! `RecoveryReport`s to a run with it disabled (the
+//! `telemetry_inertness` integration suite enforces this across thread
+//! counts and fault plans).
+//!
+//! Three kinds of data are collected:
+//!
+//! * **Spans** ([`span`]) — hierarchical intervals on per-track timelines
+//!   (planner, coordinator, one per node), stamped with the *simulated*
+//!   clock wherever one exists and the wall clock otherwise.
+//! * **Metrics** ([`metrics`]) — counters, gauges, and histograms keyed by
+//!   name + labels, walked in sorted order by every exporter.
+//! * **Events** ([`event`]) — structured warnings/notices with a
+//!   process-wide sink (stderr by default, capturable in tests).
+//!
+//! Exporters ([`export`]) render a [`TelemetrySnapshot`] as Prometheus
+//! text, a structured JSON dump, or a chrome-trace (`trace_event`) file
+//! that loads directly in `about:tracing` / Perfetto; [`report`] parses
+//! and validates those files back (monotonic timestamps per track,
+//! matched B/E pairs).
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+pub use event::{CaptureSink, Event, EventSink, Severity, StderrSink, TeeSink};
+pub use metrics::{MetricKey, MetricsRegistry, DURATION_BOUNDS_S, SIZE_BOUNDS};
+pub use span::{Attrs, ClockDomain, InstantRecord, SpanId, SpanRecord, Track};
+
+#[derive(Debug, Default)]
+struct Recorder {
+    spans: Vec<SpanRecord>,
+    instants: Vec<InstantRecord>,
+    metrics: MetricsRegistry,
+    next_id: u64,
+}
+
+/// Everything a recorder collected, cloned out for export. `PartialEq` so
+/// tests can compare snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// All closed spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// All instant markers, in recording order.
+    pub instants: Vec<InstantRecord>,
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+/// The recorder handle. Cheap to share (`Arc`), internally synchronized,
+/// and a no-op in the disabled state — the recording fast path is one
+/// branch on a plain bool.
+///
+/// Recording rules that preserve determinism of the *data*:
+/// * spans and instants may only be recorded from serial code (their
+///   `Vec` order is part of the exported artifact);
+/// * parallel code may only add to counters, which commute.
+pub struct Telemetry {
+    enabled: bool,
+    epoch: Instant,
+    inner: Mutex<Recorder>,
+}
+
+impl Telemetry {
+    /// An enabled recorder; its wall epoch is the moment of creation.
+    pub fn enabled() -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            enabled: true,
+            epoch: Instant::now(),
+            inner: Mutex::new(Recorder::default()),
+        })
+    }
+
+    /// A disabled recorder: every record call is a no-op.
+    pub fn disabled() -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            enabled: false,
+            epoch: Instant::now(),
+            inner: Mutex::new(Recorder::default()),
+        })
+    }
+
+    /// Whether this recorder records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Wall-clock seconds since this recorder's epoch (for
+    /// [`ClockDomain::Wall`] stamps).
+    pub fn wall_now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Record a closed span; returns its id for use as a parent handle.
+    /// No-op (returning [`SpanId::NONE`]) when disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        track: Track,
+        name: &str,
+        domain: ClockDomain,
+        start_s: f64,
+        end_s: f64,
+        parent: SpanId,
+        attrs: Attrs,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.spans.push(SpanRecord {
+            id,
+            parent: parent.0,
+            track,
+            name: name.to_string(),
+            domain,
+            start_s,
+            end_s: end_s.max(start_s),
+            attrs,
+        });
+        SpanId(id)
+    }
+
+    /// Record a zero-duration marker. No-op when disabled.
+    pub fn instant(&self, track: Track, name: &str, domain: ClockDomain, ts_s: f64, attrs: Attrs) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.lock().instants.push(InstantRecord {
+            track,
+            name: name.to_string(),
+            domain,
+            ts_s,
+            attrs,
+        });
+    }
+
+    /// Add to a counter. Safe from parallel sections (increments commute).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.inner
+            .lock()
+            .metrics
+            .counter_add(MetricKey::new(name, labels), v);
+    }
+
+    /// Set a gauge (last write wins).
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.inner
+            .lock()
+            .metrics
+            .gauge_set(MetricKey::new(name, labels), v);
+    }
+
+    /// Observe into a histogram created with `bounds` on first touch.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64, bounds: &[f64]) {
+        if !self.enabled {
+            return;
+        }
+        self.inner
+            .lock()
+            .metrics
+            .observe(MetricKey::new(name, labels), v, bounds);
+    }
+
+    /// Clone out everything recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock();
+        TelemetrySnapshot {
+            spans: inner.spans.clone(),
+            instants: inner.instants.clone(),
+            metrics: inner.metrics.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let tel = Telemetry::disabled();
+        let id = tel.span(
+            Track::Planner,
+            "plan",
+            ClockDomain::Wall,
+            0.0,
+            1.0,
+            SpanId::NONE,
+            vec![],
+        );
+        assert_eq!(id, SpanId::NONE);
+        tel.instant(Track::Coordinator, "x", ClockDomain::Sim, 0.0, vec![]);
+        tel.counter_add("c", &[], 1);
+        tel.gauge_set("g", &[], 1.0);
+        tel.observe("h", &[], 1.0, DURATION_BOUNDS_S);
+        let snap = tel.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.instants.is_empty());
+        assert_eq!(snap.metrics.series_count(), 0);
+    }
+
+    #[test]
+    fn spans_get_increasing_ids_and_parents() {
+        let tel = Telemetry::enabled();
+        let root = tel.span(
+            Track::Planner,
+            "plan",
+            ClockDomain::Wall,
+            0.0,
+            4.0,
+            SpanId::NONE,
+            vec![("records".into(), "100".into())],
+        );
+        let child = tel.span(
+            Track::Planner,
+            "sketch",
+            ClockDomain::Wall,
+            0.0,
+            1.0,
+            root,
+            vec![],
+        );
+        assert!(root.is_some() && child.is_some());
+        assert!(child.0 > root.0);
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[1].parent, root.0);
+    }
+
+    #[test]
+    fn span_end_clamped_to_start() {
+        let tel = Telemetry::enabled();
+        tel.span(
+            Track::Node(0),
+            "exec",
+            ClockDomain::Sim,
+            5.0,
+            4.0,
+            SpanId::NONE,
+            vec![],
+        );
+        let snap = tel.snapshot();
+        assert_eq!(snap.spans[0].end_s, 5.0);
+    }
+
+    #[test]
+    fn wall_now_is_monotonic() {
+        let tel = Telemetry::enabled();
+        let a = tel.wall_now();
+        let b = tel.wall_now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,178 @@
+//! The metrics registry: counters, gauges, and histograms.
+//!
+//! Metrics are keyed by `(name, sorted label pairs)` in `BTreeMap`s so
+//! every export walks them in one deterministic order regardless of the
+//! order in which they were touched — counter increments commute, which is
+//! what lets parallel code sections record counters without perturbing
+//! determinism (spans, by contrast, must only be recorded from serial
+//! code).
+
+use std::collections::BTreeMap;
+
+/// A metric identity: name plus label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`pareto_recovery_retries_total`).
+    pub name: String,
+    /// Label pairs, kept sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key; labels are sorted so `{a, b}` and `{b, a}` collide.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// Fixed-bucket histogram (cumulative counts exported Prometheus-style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket bounds, strictly increasing; an implicit `+Inf` bucket
+    /// follows.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; `counts.len() ==
+    /// bounds.len() + 1` with the last slot the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+/// Default histogram bounds for durations in seconds (log-spaced).
+pub const DURATION_BOUNDS_S: &[f64] = &[
+    1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0, 3600.0,
+];
+
+/// Default histogram bounds for sizes/counts (log-spaced).
+pub const SIZE_BOUNDS: &[f64] = &[
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7,
+];
+
+/// The registry proper.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    /// Monotonic counters.
+    pub counters: BTreeMap<MetricKey, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<MetricKey, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to a counter (creating it at zero).
+    pub fn counter_add(&mut self, key: MetricKey, v: u64) {
+        *self.counters.entry(key).or_insert(0) += v;
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&mut self, key: MetricKey, v: f64) {
+        self.gauges.insert(key, v);
+    }
+
+    /// Observe a value into a histogram created with `bounds` on first
+    /// touch (later observations reuse the original bounds).
+    pub fn observe(&mut self, key: MetricKey, v: f64, bounds: &[f64]) {
+        self.histograms
+            .entry(key)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Total number of registered series.
+    pub fn series_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_keys_normalize() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(MetricKey::new("x_total", &[("a", "1"), ("b", "2")]), 3);
+        reg.counter_add(MetricKey::new("x_total", &[("b", "2"), ("a", "1")]), 4);
+        assert_eq!(reg.counters.len(), 1);
+        assert_eq!(
+            reg.counters[&MetricKey::new("x_total", &[("a", "1"), ("b", "2")])],
+            7
+        );
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut reg = MetricsRegistry::new();
+        let key = MetricKey::new("g", &[]);
+        reg.gauge_set(key.clone(), 1.5);
+        reg.gauge_set(key.clone(), 2.5);
+        assert_eq!(reg.gauges[&key], 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_inf_overflow() {
+        let mut reg = MetricsRegistry::new();
+        let key = MetricKey::new("h", &[]);
+        for v in [0.05, 0.5, 0.5, 99.0] {
+            reg.observe(key.clone(), v, &[0.1, 1.0]);
+        }
+        let h = &reg.histograms[&key];
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 100.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(MetricKey::new("z", &[]), 1);
+        reg.counter_add(MetricKey::new("a", &[("n", "2")]), 1);
+        reg.counter_add(MetricKey::new("a", &[("n", "1")]), 1);
+        let names: Vec<String> = reg
+            .counters
+            .keys()
+            .map(|k| format!("{}{:?}", k.name, k.labels))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

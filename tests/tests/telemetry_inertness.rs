@@ -1,0 +1,243 @@
+//! Acceptance gate for the telemetry subsystem: recording must be
+//! *inert*. Attaching an enabled recorder to the framework and the
+//! simulated cluster may never change a plan or a recovery report — not
+//! by one bit, at any thread count, with or without injected faults. The
+//! flip side is also checked: the recorder must actually be *rich* — a
+//! faulted run must leave crash/replan/redistribution visible as distinct
+//! spans and instants on per-node tracks, and the chrome-trace export of
+//! that run must be structurally well-formed.
+
+use std::sync::Arc;
+
+use pareto_cluster::{FaultPlan, FaultSpec, NodeSpec, SimCluster};
+use pareto_core::estimator::EnergyEstimator;
+use pareto_core::framework::{FaultRunOutcome, Framework, FrameworkConfig, Plan, Strategy};
+use pareto_core::RecoveryConfig;
+use pareto_telemetry::export::chrome_trace;
+use pareto_telemetry::report::validate_chrome_trace;
+use pareto_telemetry::{event, json, CaptureSink, Telemetry, TelemetrySnapshot, Track};
+use pareto_workloads::WorkloadKind;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn make_framework(seed: u64, threads: usize, tel: Option<Arc<Telemetry>>) -> (SimCluster, FrameworkConfig) {
+    let mut cl = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, seed));
+    if let Some(tel) = tel {
+        cl = cl.with_telemetry(tel);
+    }
+    let cfg = FrameworkConfig {
+        strategy: Strategy::HetEnergyAware { alpha: 0.995 },
+        seed,
+        threads,
+        ..FrameworkConfig::default()
+    };
+    (cl, cfg)
+}
+
+fn plan_with(seed: u64, threads: usize, tel: Option<Arc<Telemetry>>) -> Plan {
+    let ds = pareto_datagen::rcv1_syn(seed, 0.06);
+    let (cl, cfg) = make_framework(seed, threads, tel.clone());
+    let mut fw = Framework::new(&cl, cfg);
+    if let Some(tel) = tel {
+        fw = fw.with_telemetry(tel);
+    }
+    fw.plan(&ds, WorkloadKind::FrequentPatterns { support: 0.15 })
+}
+
+fn faulted_run_with(
+    seed: u64,
+    threads: usize,
+    faults: &FaultPlan,
+    tel: Option<Arc<Telemetry>>,
+) -> FaultRunOutcome {
+    let ds = pareto_datagen::rcv1_syn(seed, 0.06);
+    let (cl, cfg) = make_framework(seed, threads, tel.clone());
+    let mut fw = Framework::new(&cl, cfg);
+    if let Some(tel) = tel {
+        fw = fw.with_telemetry(tel);
+    }
+    fw.run_with_faults(
+        &ds,
+        WorkloadKind::FrequentPatterns { support: 0.15 },
+        faults,
+        &RecoveryConfig::default(),
+    )
+}
+
+/// Bit-level plan comparison: partitions, sizes, and every f64 the
+/// optimizer produced (wall-clock timings excluded — they are the one
+/// legitimately non-deterministic field).
+fn assert_plans_bit_identical(off: &Plan, on: &Plan, ctx: &str) {
+    assert_eq!(off.sizes, on.sizes, "{ctx}: sizes diverged");
+    assert_eq!(off.partitions, on.partitions, "{ctx}: partitions diverged");
+    match (&off.pareto, &on.pareto) {
+        (Some(a), Some(b)) => {
+            assert_eq!(
+                a.alpha.to_bits(),
+                b.alpha.to_bits(),
+                "{ctx}: alpha bits diverged"
+            );
+            assert_eq!(
+                a.predicted_makespan.to_bits(),
+                b.predicted_makespan.to_bits(),
+                "{ctx}: predicted makespan bits diverged"
+            );
+            assert_eq!(
+                a.predicted_dirty_joules.to_bits(),
+                b.predicted_dirty_joules.to_bits(),
+                "{ctx}: predicted dirty-energy bits diverged"
+            );
+        }
+        (None, None) => {}
+        _ => panic!("{ctx}: pareto point present on one side only"),
+    }
+}
+
+/// Planning with an enabled recorder produces a bit-identical plan at
+/// every thread count — and actually records the planning stages.
+#[test]
+fn plan_is_bit_identical_with_telemetry_on() {
+    for &threads in &THREADS {
+        let off = plan_with(2017, threads, None);
+        let tel = Telemetry::enabled();
+        let on = plan_with(2017, threads, Some(tel.clone()));
+        assert_plans_bit_identical(&off, &on, &format!("threads {threads}"));
+        let snap = tel.snapshot();
+        for stage in ["plan", "sketch", "stratify", "profile", "optimize"] {
+            assert!(
+                snap.spans.iter().any(|s| s.name == stage),
+                "threads {threads}: no {stage:?} span recorded"
+            );
+        }
+    }
+}
+
+/// Faulted runs — a generated fault plan and an explicit mid-job crash —
+/// produce bit-identical recovery reports with the recorder attached, at
+/// every thread count.
+#[test]
+fn faulted_run_is_bit_identical_with_telemetry_on() {
+    let seed = 31u64;
+    let clean = faulted_run_with(seed, 1, &FaultPlan::none(), None);
+    let tc = clean.outcome.recovery.makespan_s * 0.4;
+    let fault_plans = [
+        FaultPlan::generate(seed ^ 0xFA17, 4, &FaultSpec::default()),
+        FaultPlan::new().with_crash(1, tc),
+    ];
+    for faults in &fault_plans {
+        for &threads in &THREADS {
+            let off = faulted_run_with(seed, threads, faults, None);
+            let on = faulted_run_with(seed, threads, faults, Some(Telemetry::enabled()));
+            let ctx = format!("threads {threads}, faults {faults:?}");
+            assert_eq!(
+                off.outcome.recovery, on.outcome.recovery,
+                "{ctx}: recovery reports diverged"
+            );
+            assert_eq!(
+                off.outcome.recovery.makespan_s.to_bits(),
+                on.outcome.recovery.makespan_s.to_bits(),
+                "{ctx}: makespan bits diverged"
+            );
+            assert_eq!(
+                off.outcome.recovery.dirty_linear_j.to_bits(),
+                on.outcome.recovery.dirty_linear_j.to_bits(),
+                "{ctx}: dirty-energy bits diverged"
+            );
+            assert_eq!(
+                off.outcome.completed_by, on.outcome.completed_by,
+                "{ctx}: item placement diverged"
+            );
+        }
+    }
+}
+
+fn node_track(snap: &TelemetrySnapshot, pred: impl Fn(&str, usize) -> bool) -> bool {
+    snap.spans.iter().any(|s| match s.track {
+        Track::Node(n) => pred(&s.name, n),
+        _ => false,
+    })
+}
+
+/// The acceptance scenario: a faulted run's trace shows the crash, the
+/// replan, and the redistribution as distinct, correctly-tracked records,
+/// and its chrome-trace export validates (monotonic timestamps per track,
+/// matched B/E pairs).
+#[test]
+fn faulted_run_trace_shows_crash_replan_redistribution() {
+    let seed = 31u64;
+    let clean = faulted_run_with(seed, 1, &FaultPlan::none(), None);
+    let tc = clean.outcome.recovery.makespan_s * 0.4;
+    let faults = FaultPlan::new().with_crash(1, tc);
+    let tel = Telemetry::enabled();
+    let out = faulted_run_with(seed, 1, &faults, Some(tel.clone()));
+    assert_eq!(out.outcome.recovery.crashed_nodes, vec![1]);
+    let snap = tel.snapshot();
+
+    // The crash is an instant on the dead node's own track.
+    assert!(
+        snap.instants
+            .iter()
+            .any(|i| i.name == "crash" && i.track == Track::Node(1)),
+        "no crash instant on node 1's track"
+    );
+    // The replan is an instant on the coordinator track.
+    assert!(
+        snap.instants
+            .iter()
+            .any(|i| i.name == "replan" && i.track == Track::Coordinator),
+        "no replan instant on the coordinator track"
+    );
+    // Redistribution shows up as transfer spans tagged with its kind on
+    // surviving nodes' tracks.
+    assert!(
+        node_track(&snap, |name, n| name == "transfer" && n != 1)
+            && snap.spans.iter().any(|s| {
+                s.name == "transfer"
+                    && s.attrs
+                        .iter()
+                        .any(|(k, v)| k == "kind" && v == "redistribute")
+            }),
+        "no redistribute transfer span on a survivor's track"
+    );
+    // Item executions land on per-node tracks.
+    assert!(
+        node_track(&snap, |name, _| name == "exec"),
+        "no exec spans on node tracks"
+    );
+
+    // The chrome-trace export of exactly this snapshot is well-formed.
+    let trace = chrome_trace(&snap);
+    let doc = json::parse(&trace).expect("chrome trace parses as JSON");
+    let stats = validate_chrome_trace(&doc).expect("chrome trace validates");
+    assert!(stats.span_pairs > 0, "trace has no span pairs");
+    assert!(stats.instants >= 2, "trace lost the crash/replan instants");
+    assert!(stats.tracks >= 3, "trace has no per-node tracks");
+}
+
+/// The estimator's degraded-green-window warning flows through the
+/// structured event layer, so tests can observe it without scraping
+/// stderr.
+#[test]
+fn estimator_degraded_warning_is_capturable() {
+    let cl = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, 7));
+    let capture = Arc::new(CaptureSink::new());
+    let previous = event::set_sink(capture.clone());
+    // A non-finite planning window forces every node onto the degraded
+    // "fully grid-powered" fallback.
+    let profiles = EnergyEstimator::profiles(&cl, f64::NAN, 3600.0);
+    event::set_sink(previous);
+    assert_eq!(profiles.len(), 4);
+    assert!(
+        profiles.iter().all(|p| p.mean_green_watts.is_finite()),
+        "degraded profiles must stay finite"
+    );
+    let events = capture.events();
+    assert!(
+        events.iter().any(|e| {
+            e.target == "estimator"
+                && e.severity == pareto_telemetry::Severity::Warning
+                && e.message.contains("green trace missing or non-finite")
+        }),
+        "degraded-window warning not captured: {events:?}"
+    );
+}
