@@ -17,7 +17,11 @@
 //!   telemetry      telemetry-overhead table: recorder off vs on for a
 //!                  planning pass and a faulted run, asserting identical
 //!                  results (wall-clock only — not part of `all`)
-//!   all            everything above except `speedup` and `telemetry`
+//!   replan         replanning-amortization table: cold plan per alpha vs
+//!                  one warm incremental session sweeping the same alphas
+//!                  (wall-clock only — not part of `all`)
+//!   all            everything above except `speedup`, `telemetry`, and
+//!                  `replan`
 //! ```
 //!
 //! Tables print to stdout; with `--out DIR` each also lands as
@@ -101,6 +105,7 @@ fn run(cmd: &str, st: ExpSettings, out: &Option<PathBuf>) -> Result<(), String> 
             out,
         ),
         "telemetry" => emit(experiments::telemetry_overhead(st), "telemetry", out),
+        "replan" => emit(experiments::replan_amortization(st), "replan", out),
         "check" => {
             let results = claims::check_claims(st);
             let (table, all) = claims::render_claims(&results);

@@ -9,6 +9,7 @@
 
 use pareto_cluster::{FaultPlan, NodeSpec, SimCluster};
 use pareto_core::framework::{Framework, FrameworkConfig, Quality, Strategy};
+use pareto_core::PlanSession;
 use pareto_core::RecoveryConfig;
 use pareto_core::partitioner::PartitionLayout;
 use pareto_core::StratifierConfig;
@@ -439,6 +440,86 @@ pub fn planning_speedup(st: ExpSettings, thread_counts: &[usize]) -> Table {
             format!("{speedup:.2}x"),
         ]);
     }
+    table
+}
+
+/// Incremental replanning amortization: a fresh cold `Framework::plan`
+/// per α against one warm [`PlanSession`] sweeping the same α values.
+/// The warm session pays for sketch/stratify/profile once and reruns only
+/// the LP + partitioning per α, so its per-α cost collapses to the
+/// optimizer's. Asserts the cache contract along the way: every warm plan
+/// must pick exactly the cold plan's partition sizes.
+pub fn replan_amortization(st: ExpSettings) -> Table {
+    let ds = pareto_datagen::rcv1_syn(st.seed, st.scale * MINING_SCALE_BOOST);
+    let cluster = make_cluster(8, st.seed);
+    let workload = WorkloadKind::FrequentPatterns {
+        support: TEXT_SUPPORT,
+    };
+    let cfg = framework_config(
+        Strategy::HetEnergyAware { alpha: 1.0 },
+        PartitionLayout::Representative,
+        st.seed,
+        st.threads,
+    );
+
+    let mut session = PlanSession::new(&cluster, cfg.clone(), ds.clone(), workload);
+    let mut table = Table::new(
+        "Replanning amortization — cold plan per alpha vs one warm session",
+        &["alpha", "cold_s", "warm_s", "speedup", "warm_reuse"],
+    );
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    for &alpha in &ALPHA_SWEEP {
+        let cold_cfg = FrameworkConfig {
+            strategy: Strategy::HetEnergyAware { alpha },
+            ..cfg.clone()
+        };
+        let cold = Framework::new(&cluster, cold_cfg).plan(&ds, workload);
+        session.set_alpha(alpha);
+        let warm = session.plan().expect("warm sweep plan");
+        assert_eq!(
+            cold.sizes, warm.sizes,
+            "warm replan must match the cold plan (alpha = {alpha})"
+        );
+        let reuse = session.last_reuse();
+        let reused: Vec<&str> = [
+            ("sketch", reuse.sketch),
+            ("stratify", reuse.stratify),
+            ("profile", reuse.profile),
+        ]
+        .iter()
+        .filter_map(|&(name, hit)| hit.then_some(name))
+        .collect();
+        cold_total += cold.timings.total_s;
+        warm_total += warm.timings.total_s;
+        let speedup = if warm.timings.total_s > 0.0 {
+            cold.timings.total_s / warm.timings.total_s
+        } else {
+            f64::INFINITY
+        };
+        table.row(vec![
+            format!("{alpha}"),
+            format!("{:.4}", cold.timings.total_s),
+            format!("{:.6}", warm.timings.total_s),
+            format!("{speedup:.0}x"),
+            if reused.is_empty() {
+                "-".into()
+            } else {
+                reused.join("+")
+            },
+        ]);
+    }
+    let total_speedup = if warm_total > 0.0 {
+        cold_total / warm_total
+    } else {
+        f64::INFINITY
+    };
+    table.row(vec![
+        "total".into(),
+        format!("{cold_total:.4}"),
+        format!("{warm_total:.6}"),
+        format!("{total_speedup:.0}x"),
+        String::new(),
+    ]);
     table
 }
 

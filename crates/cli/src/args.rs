@@ -16,6 +16,15 @@ usage:
   paretofab partition <common options> --out DIR
   paretofab run       <common options>
   paretofab frontier  <common options>   (predicted alpha sweep)
+  paretofab plan      <common options> [--sweep A1,A2,...] [--out FILE]
+                      (incremental planning session; a sweep reuses the
+                       cached sketch/stratify/profile artifacts per alpha
+                       and prints cache hit/miss statistics; --out writes
+                       a deterministic plan summary for diffing)
+  paretofab replan    <common options> [--drop-node N] [--realpha A]
+                      [--append-scale F]
+                      (plan cold, apply the deltas, replan warm; prints
+                       which stages were reused vs recomputed)
   paretofab report    --input DUMP.json [--trace TRACE.json]
                       (validate + summarize telemetry artifacts)
 
@@ -41,7 +50,7 @@ common options:
                             net:NODE@FROM-TO@F degrade NODE's network by F
                             seeded:SEED        deterministic generated plan
 
-telemetry options (partition / run / frontier):
+telemetry options (partition / run / frontier / plan / replan):
   --trace-out FILE        write a chrome-trace (trace_event JSON) loadable
                           in about:tracing or ui.perfetto.dev
   --metrics-out FILE      write the metrics registry in Prometheus text format
@@ -80,6 +89,29 @@ pub enum Command {
     Frontier {
         /// Shared data/cluster/strategy options.
         common: Common,
+    },
+    /// Plan through a warm [`pareto_core::PlanSession`], optionally
+    /// sweeping α, and print cache reuse statistics.
+    Plan {
+        /// Shared data/cluster/strategy options.
+        common: Common,
+        /// α values to sweep (empty: plan once with the configured
+        /// strategy).
+        sweep: Vec<f64>,
+        /// Deterministic plan-summary output for diffing (optional).
+        out: Option<PathBuf>,
+    },
+    /// Plan cold, apply deltas, replan warm; print stage reuse.
+    Replan {
+        /// Shared data/cluster/strategy options.
+        common: Common,
+        /// Drop this node from the roster before replanning.
+        drop_node: Option<usize>,
+        /// Change the scalarization weight before replanning.
+        realpha: Option<f64>,
+        /// Append a synthetic tail of this scale before replanning
+        /// (0 = no append).
+        append_scale: f64,
     },
     /// Validate and summarize previously written telemetry artifacts.
     Report {
@@ -163,6 +195,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut alpha: Option<f64> = None;
     let mut support: Option<f64> = None;
     let mut strategy_name: Option<String> = None;
+    let mut sweep: Vec<f64> = Vec::new();
+    let mut drop_node: Option<usize> = None;
+    let mut realpha: Option<f64> = None;
+    let mut append_scale: f64 = 0.0;
 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -238,6 +274,38 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
             }
             "--faults" => common.faults = Some(value("--faults")?),
+            "--sweep" => {
+                sweep = value("--sweep")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<Vec<f64>, _>>()
+                    .map_err(|e| format!("bad --sweep: {e}"))?;
+                if sweep.is_empty() {
+                    return Err("--sweep needs at least one alpha".into());
+                }
+            }
+            "--drop-node" => {
+                drop_node = Some(
+                    value("--drop-node")?
+                        .parse()
+                        .map_err(|e| format!("bad --drop-node: {e}"))?,
+                )
+            }
+            "--realpha" => {
+                realpha = Some(
+                    value("--realpha")?
+                        .parse()
+                        .map_err(|e| format!("bad --realpha: {e}"))?,
+                )
+            }
+            "--append-scale" => {
+                append_scale = value("--append-scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --append-scale: {e}"))?;
+                if append_scale.is_nan() || append_scale < 0.0 {
+                    return Err(format!("--append-scale must be >= 0, got {append_scale}"));
+                }
+            }
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--trace-out" => common.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--metrics-out" => {
@@ -313,6 +381,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "frontier" => {
             validate_data_source(&common)?;
             Ok(Command::Frontier { common })
+        }
+        "plan" => {
+            validate_data_source(&common)?;
+            Ok(Command::Plan { common, sweep, out })
+        }
+        "replan" => {
+            validate_data_source(&common)?;
+            if drop_node.is_none() && realpha.is_none() && append_scale == 0.0 {
+                return Err(
+                    "replan needs at least one delta: --drop-node, --realpha, or --append-scale"
+                        .into(),
+                );
+            }
+            Ok(Command::Replan {
+                common,
+                drop_node,
+                realpha,
+                append_scale,
+            })
         }
         "report" => Ok(Command::Report {
             input: common.input.ok_or("report requires --input DUMP.json")?,
@@ -489,6 +576,56 @@ mod tests {
         let cmd = parse(&argv("report --input dump.json")).unwrap();
         assert!(matches!(cmd, Command::Report { trace: None, .. }));
         assert!(parse(&argv("report")).is_err());
+    }
+
+    #[test]
+    fn parses_plan_with_sweep() {
+        let cmd = parse(&argv(
+            "plan --preset rcv1 --nodes 4 --sweep 1.0,0.999,0.995 --out plans.txt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan { common, sweep, out } => {
+                assert_eq!(common.nodes, 4);
+                assert_eq!(sweep, vec![1.0, 0.999, 0.995]);
+                assert_eq!(out, Some(PathBuf::from("plans.txt")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Sweep and out are optional; a bare plan is a single cold plan.
+        let cmd = parse(&argv("plan --preset rcv1")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Plan { ref sweep, out: None, .. } if sweep.is_empty()
+        ));
+        assert!(parse(&argv("plan --preset rcv1 --sweep")).is_err());
+        assert!(parse(&argv("plan --preset rcv1 --sweep nope")).is_err());
+        assert!(parse(&argv("plan")).is_err()); // no data source
+    }
+
+    #[test]
+    fn parses_replan_deltas() {
+        let cmd = parse(&argv(
+            "replan --preset rcv1 --nodes 4 --drop-node 2 --realpha 0.99 --append-scale 0.01",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Replan {
+                drop_node,
+                realpha,
+                append_scale,
+                ..
+            } => {
+                assert_eq!(drop_node, Some(2));
+                assert_eq!(realpha, Some(0.99));
+                assert_eq!(append_scale, 0.01);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // At least one delta is required.
+        assert!(parse(&argv("replan --preset rcv1")).is_err());
+        assert!(parse(&argv("replan --preset rcv1 --append-scale -1")).is_err());
+        assert!(parse(&argv("replan --preset rcv1 --drop-node nope")).is_err());
     }
 
     #[test]

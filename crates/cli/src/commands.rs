@@ -10,7 +10,7 @@ use pareto_core::estimator::{EnergyEstimator, HeterogeneityEstimator, SamplingPl
 use pareto_core::framework::{Framework, FrameworkConfig, Quality};
 use pareto_core::pareto::ParetoModeler;
 use pareto_core::RecoveryConfig;
-use pareto_core::{Stratifier, StratifierConfig};
+use pareto_core::{PlanSession, Stratifier, StratifierConfig};
 use pareto_datagen::{loaders, writers, DataKind, Dataset};
 use pareto_telemetry::{event, export, json, report, CaptureSink, StderrSink, TeeSink, Telemetry};
 
@@ -29,6 +29,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Run { common } => execute(&common),
         Command::Frontier { common } => frontier(&common),
         Command::Report { input, trace } => report_cmd(&input, trace.as_deref()),
+        Command::Plan { common, sweep, out } => plan_cmd(&common, &sweep, out.as_deref()),
+        Command::Replan {
+            common,
+            drop_node,
+            realpha,
+            append_scale,
+        } => replan_cmd(&common, drop_node, realpha, append_scale),
     }
 }
 
@@ -356,6 +363,167 @@ fn execute(common: &Common) -> Result<(), String> {
     }
     if let Some(session) = &session {
         session.finish()?;
+    }
+    Ok(())
+}
+
+/// One printable line per plan: α (when the LP ran), sizes, and the LP's
+/// predicted objectives. Timing is reported separately so this line stays
+/// deterministic across runs.
+fn plan_line(plan: &pareto_core::Plan) -> String {
+    match &plan.pareto {
+        Some(p) => format!(
+            "alpha={} sizes={:?} makespan_s={:.4} dirty_kj={:.4}",
+            p.alpha,
+            plan.sizes,
+            p.predicted_makespan,
+            p.predicted_dirty_joules / 1000.0
+        ),
+        None => format!("alpha=- sizes={:?}", plan.sizes),
+    }
+}
+
+fn reuse_line(reuse: pareto_core::StageReuse) -> String {
+    let flag = |b: bool| if b { "hit" } else { "miss" };
+    format!(
+        "sketch={} stratify={} profile={} optimize={} partition={}",
+        flag(reuse.sketch),
+        flag(reuse.stratify),
+        flag(reuse.profile),
+        flag(reuse.optimize),
+        flag(reuse.partition)
+    )
+}
+
+fn print_cache_stats(stats: &pareto_core::CacheStats) {
+    println!("cache events:");
+    for (stage, event, count) in stats.events() {
+        println!("  {stage}/{event} = {count}");
+    }
+}
+
+/// `plan`: run the incremental planning engine through a warm
+/// [`PlanSession`], optionally sweeping α. The first plan pays the full
+/// pipeline; every later α reuses the cached sketch/stratify/profile
+/// artifacts, which the printed cache statistics make visible.
+fn plan_cmd(common: &Common, sweep: &[f64], out: Option<&Path>) -> Result<(), String> {
+    let tel = TelemetrySession::start(common);
+    let dataset = load_dataset(common)?;
+    let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&tel));
+    let mut session = PlanSession::new(&cluster, cfg, dataset, common.workload);
+    if let Some(rec) = TelemetrySession::recorder(&tel) {
+        session = session.with_telemetry(rec);
+    }
+    println!(
+        "dataset            {} ({} records)",
+        session.dataset().name,
+        session.dataset().len()
+    );
+    println!("nodes              {}", common.nodes);
+
+    let mut plans = Vec::new();
+    if sweep.is_empty() {
+        let plan = session.plan().map_err(|e| e.to_string())?;
+        println!("plan               {}", plan_line(&plan));
+        println!("stage cache        {}", reuse_line(session.last_reuse()));
+        plans.push(plan);
+    } else {
+        for &alpha in sweep {
+            session.set_alpha(alpha);
+            let plan = session.plan().map_err(|e| e.to_string())?;
+            println!(
+                "plan               {}  [{}; {:.4}s]",
+                plan_line(&plan),
+                reuse_line(session.last_reuse()),
+                plan.timings.total_s
+            );
+            plans.push(plan);
+        }
+    }
+    if plans.len() >= 2 {
+        let cold_s = plans[0].timings.total_s;
+        let warm: Vec<f64> = plans[1..].iter().map(|p| p.timings.total_s).collect();
+        let warm_avg_s = warm.iter().sum::<f64>() / warm.len() as f64;
+        println!("sweep-timing: cold_s={cold_s:.6} warm_avg_s={warm_avg_s:.6}");
+    }
+    print_cache_stats(session.cache_stats());
+
+    if let Some(path) = out {
+        // Deterministic summary (no timings) so CI can diff cold vs warm
+        // sweeps byte-for-byte.
+        let mut text = String::new();
+        for plan in &plans {
+            text.push_str(&plan_line(plan));
+            text.push('\n');
+        }
+        write_text(path, &text)?;
+        event::info("cli", format!("wrote plan summary to {}", path.display()));
+    }
+    if let Some(tel) = &tel {
+        tel.finish()?;
+    }
+    Ok(())
+}
+
+/// `replan`: plan cold, apply the requested deltas (append records, drop a
+/// node, change α), replan warm, and print which stages were recomputed.
+fn replan_cmd(
+    common: &Common,
+    drop_node: Option<usize>,
+    realpha: Option<f64>,
+    append_scale: f64,
+) -> Result<(), String> {
+    let tel = TelemetrySession::start(common);
+    let dataset = load_dataset(common)?;
+    let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&tel));
+    let mut session = PlanSession::new(&cluster, cfg, dataset, common.workload);
+    if let Some(rec) = TelemetrySession::recorder(&tel) {
+        session = session.with_telemetry(rec);
+    }
+    let cold = session.plan().map_err(|e| e.to_string())?;
+    println!(
+        "cold plan          {}  [{:.4}s]",
+        plan_line(&cold),
+        cold.timings.total_s
+    );
+
+    if append_scale > 0.0 {
+        let preset = common
+            .preset
+            .as_deref()
+            .ok_or("--append-scale needs --preset to synthesize the appended records")?;
+        // A different seed so the appended records are new content, not a
+        // replay of the existing prefix.
+        let extra = dataset_from_preset(preset, common.seed.wrapping_add(1), append_scale)?;
+        let n = extra.len();
+        session.append_items(extra.items);
+        println!(
+            "delta              appended {n} records (dataset now {})",
+            session.dataset().len()
+        );
+    }
+    if let Some(node) = drop_node {
+        session.drop_node(node).map_err(|e| e.to_string())?;
+        println!(
+            "delta              dropped node {node} (roster now {:?})",
+            session.roster()
+        );
+    }
+    if let Some(alpha) = realpha {
+        session.set_alpha(alpha);
+        println!("delta              alpha -> {alpha}");
+    }
+
+    let warm = session.plan().map_err(|e| e.to_string())?;
+    println!(
+        "warm replan        {}  [{:.4}s]",
+        plan_line(&warm),
+        warm.timings.total_s
+    );
+    println!("stage cache        {}", reuse_line(session.last_reuse()));
+    print_cache_stats(session.cache_stats());
+    if let Some(tel) = &tel {
+        tel.finish()?;
     }
     Ok(())
 }

@@ -251,6 +251,27 @@ impl SimCluster {
         self.base_ops_per_sec
     }
 
+    /// Deterministic digest of the planning-relevant state of an active
+    /// node `roster` (ids into this cluster): base throughput plus each
+    /// roster node's [`NodeSpec::planning_fingerprint`], folded in roster
+    /// order. Any node add/remove/reorder — or a change to a rostered
+    /// node's speed, power, or green trace — changes the digest, which is
+    /// the roster-change invalidation hook the incremental planner keys
+    /// its profile/optimize stages on.
+    ///
+    /// # Panics
+    /// Panics if a roster id is out of range.
+    pub fn roster_fingerprint(&self, roster: &[usize]) -> u64 {
+        let mut state =
+            pareto_stats::split_seed(0x0057_A7E5_9EC0_0001, self.base_ops_per_sec.to_bits());
+        state = pareto_stats::split_seed(state, roster.len() as u64);
+        for &id in roster {
+            state = pareto_stats::split_seed(state, id as u64);
+            state = pareto_stats::split_seed(state, self.nodes[id].planning_fingerprint());
+        }
+        state
+    }
+
     /// Job start offset into the green traces (seconds).
     pub fn job_start_s(&self) -> f64 {
         self.job_start_s

@@ -105,6 +105,24 @@ impl NodeSpec {
         self.machine_type.power_model()
     }
 
+    /// Deterministic digest of everything the *planner* reads from this
+    /// node: relative speed, power draw, and the full green-energy trace.
+    /// Two nodes with equal digests are interchangeable to planning, so
+    /// the incremental planner uses this (via
+    /// [`crate::SimCluster::roster_fingerprint`]) to decide whether a
+    /// roster change invalidates cached profile/optimize artifacts.
+    pub fn planning_fingerprint(&self) -> u64 {
+        let mut state = pareto_stats::split_seed(0x0057_A7E5_9EC0_0000, self.id as u64);
+        state = pareto_stats::split_seed(state, self.speed().to_bits());
+        state = pareto_stats::split_seed(state, self.power().watts().to_bits());
+        let hourly = self.trace.hourly();
+        state = pareto_stats::split_seed(state, hourly.len() as u64);
+        for &watts in hourly {
+            state = pareto_stats::split_seed(state, watts.to_bits());
+        }
+        state
+    }
+
     /// Build the paper's standard heterogeneous cluster of `p` nodes:
     /// machine types cycle 1→4 and each type is pinned to one of the four
     /// datacenter locations (so speed and energy heterogeneity co-vary, as

@@ -131,6 +131,22 @@ impl<'a> HeterogeneityEstimator<'a> {
         stratification: &Stratification,
         workload: WorkloadKind,
     ) -> (Vec<NodeTimeModel>, Cost) {
+        let (measurements, total_cost) = self.measure(dataset, stratification, workload);
+        (self.fit_nodes(&measurements), total_cost)
+    }
+
+    /// The measurement half of [`estimate`](Self::estimate): run the
+    /// progressive-sampling schedule and return the raw `(sample size,
+    /// ops)` observations plus the total cost charged. The measurements
+    /// are **node-independent** (the workload runs on a stratified sample,
+    /// never on a node), which is what lets the incremental planner reuse
+    /// them across roster changes and re-fit per node cheaply.
+    pub fn measure(
+        &self,
+        dataset: &Dataset,
+        stratification: &Stratification,
+        workload: WorkloadKind,
+    ) -> (Vec<(usize, u64)>, Cost) {
         let n = dataset.len();
         assert!(n > 0, "cannot estimate on an empty dataset");
         let sizes = self.plan.sizes(n);
@@ -179,13 +195,27 @@ impl<'a> HeterogeneityEstimator<'a> {
         for &(_, ops) in &measurements {
             total_cost.add(Cost::compute(ops));
         }
-        (self.fit_nodes(&measurements), total_cost)
+        (measurements, total_cost)
     }
 
     /// Fit one [`NodeTimeModel`] per node from the shared measurements,
     /// sharding nodes across workers (fits are pure per-node functions;
     /// outputs concatenate in node order).
     fn fit_nodes(&self, measurements: &[(usize, u64)]) -> Vec<NodeTimeModel> {
+        let ids: Vec<usize> = (0..self.cluster.num_nodes()).collect();
+        self.fit_measurements(measurements, &ids)
+    }
+
+    /// Fit one [`NodeTimeModel`] for each node in `node_ids` (actual
+    /// cluster ids, e.g. an active roster) from shared measurements. Each
+    /// fit is a pure per-node function of the measurements, so the models
+    /// for a node are bit-identical whether fitted alongside the full
+    /// cluster or a restricted roster — and at any thread count.
+    pub fn fit_measurements(
+        &self,
+        measurements: &[(usize, u64)],
+        node_ids: &[usize],
+    ) -> Vec<NodeTimeModel> {
         let fit_node = |node_id: usize| {
             let observations: Vec<(f64, f64)> = measurements
                 .iter()
@@ -201,11 +231,11 @@ impl<'a> HeterogeneityEstimator<'a> {
                 observations,
             }
         };
-        let p = self.cluster.num_nodes();
+        let p = node_ids.len();
         if self.threads <= 1 || p < 2 {
-            return (0..p).map(fit_node).collect();
+            return node_ids.iter().map(|&id| fit_node(id)).collect();
         }
-        let ids: Vec<usize> = (0..p).collect();
+        let ids = node_ids;
         let chunk = p.div_ceil(self.threads.min(p));
         let mut models = Vec::with_capacity(p);
         crossbeam::thread::scope(|scope| {

@@ -16,18 +16,19 @@ use pareto_cluster::{Cost, FaultPlan, JobCtx, JobReport, SimCluster};
 use pareto_datagen::{DataItem, Dataset};
 use pareto_energy::NodeEnergyProfile;
 use pareto_stats::LinearFit;
-use pareto_telemetry::{ClockDomain, SpanId, Telemetry, Track};
-use pareto_stratify::{Stratification, Stratifier, StratifierConfig};
+use pareto_telemetry::Telemetry;
+use pareto_stratify::{Stratification, StratifierConfig};
 use pareto_workloads::{
     lz77_compress, son_candidate_union, son_global_count, son_local_mine_with, son_merge,
     webgraph_compress, AprioriConfig, LocalMiner, Lz77Config, MiningOutput, WebGraphConfig,
     WorkloadKind,
 };
 
-use crate::estimator::{EnergyEstimator, HeterogeneityEstimator, NodeTimeModel, SamplingPlan};
-use crate::pareto::{ParetoModeler, ParetoPoint};
-use crate::partitioner::{DataPartitioner, PartitionLayout};
+use crate::estimator::{NodeTimeModel, SamplingPlan};
+use crate::pareto::ParetoPoint;
+use crate::partitioner::PartitionLayout;
 use crate::recovery::{execute_with_recovery_traced, RecoveryConfig, RecoveryOutcome};
+use crate::stages::{PlanEngine, PlanError};
 use crate::stealing::RecordWork;
 
 /// Partitioning strategy under test (§V-C compares the first three).
@@ -240,225 +241,51 @@ impl<'a> Framework<'a> {
 
     /// Produce the partitioning plan for `dataset` under `workload`.
     ///
-    /// The pipeline runs in four timed stages — **sketch** (MinHash over
-    /// every record), **stratify** (compositeKModes over the sketches),
-    /// **profile** (energy `k_i` profiles + progressive-sampling time
-    /// models), and **optimize** (Pareto LP + partition materialization).
-    /// The first three shard their inner loops across
-    /// [`FrameworkConfig::threads`] workers; the plan is bit-identical at
-    /// any thread count.
+    /// The pipeline runs as five cache-keyed stages — **sketch** (MinHash
+    /// over every record), **stratify** (compositeKModes over the
+    /// sketches), **profile** (energy `k_i` profiles + progressive-sampling
+    /// time models), **optimize** (Pareto LP), and **partition**
+    /// (materialization) — driven by a one-shot cold
+    /// [`crate::stages::PlanEngine`]; long-lived callers use
+    /// [`crate::session::PlanSession`] to keep the engine's artifact cache
+    /// warm across replans. The first three stages shard their inner loops
+    /// across [`FrameworkConfig::threads`] workers; the plan is
+    /// bit-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics on any [`PlanError`] (empty dataset, infeasible LP). Use
+    /// [`Framework::try_plan`] to handle those as values.
     pub fn plan(&self, dataset: &Dataset, workload: WorkloadKind) -> Plan {
-        assert!(!dataset.is_empty(), "cannot plan an empty dataset");
-        let p = self.cluster.num_nodes();
-        let n = dataset.len();
-        let started = std::time::Instant::now();
-        let mut timings = PlanTimings::default();
-        // Wall offsets (vs the recorder epoch) at each stage boundary.
-        // Purely observational, like `timings`.
-        let wall_start = self.telemetry.wall_now();
-
-        // --- Stage 1: sketch ---
-        let stage = std::time::Instant::now();
-        let stratifier = Stratifier::new(StratifierConfig {
-            threads: self.cfg.threads,
-            ..self.cfg.stratifier.clone()
-        });
-        let signatures = stratifier.sketch(dataset);
-        timings.sketch_s = stage.elapsed().as_secs_f64();
-
-        // --- Stage 2: stratify ---
-        let stage = std::time::Instant::now();
-        let stratification = stratifier.stratify_signatures(&signatures);
-        timings.stratify_s = stage.elapsed().as_secs_f64();
-
-        // --- Stage 3: profile (energy + per-node time models) ---
-        let stage = std::time::Instant::now();
-        let energy_profiles =
-            EnergyEstimator::profiles(self.cluster, 0.0, self.cfg.planning_horizon_s);
-        let needs_models = matches!(
-            self.cfg.strategy,
-            Strategy::HetAware
-                | Strategy::HetEnergyAware { .. }
-                | Strategy::HetEnergyAwareNormalized { .. }
-        );
-        let estimated = if needs_models {
-            let estimator = HeterogeneityEstimator::new(
-                self.cluster,
-                self.cfg.sampling,
-                self.cfg.seed ^ 0x5A17,
-            )
-            .with_threads(self.cfg.threads);
-            Some(estimator.estimate(dataset, &stratification, workload))
-        } else {
-            None
-        };
-        timings.profile_s = stage.elapsed().as_secs_f64();
-
-        // --- Stage 4: optimize (Pareto solve + partitioning) ---
-        let stage = std::time::Instant::now();
-        let (time_models, estimation_cost, pareto) = match estimated {
-            None => (None, Cost::ZERO, None),
-            Some((models, cost)) => {
-                let fits: Vec<LinearFit> = models.iter().map(|m| m.fit).collect();
-                let modeler = ParetoModeler::new(fits, energy_profiles.clone())
-                    .expect("aligned models and profiles");
-                let point = match self.cfg.strategy {
-                    Strategy::HetAware => modeler.solve_het_aware(n),
-                    Strategy::HetEnergyAware { alpha } => modeler
-                        .solve(n, alpha)
-                        .expect("partitioning LP is always feasible"),
-                    Strategy::HetEnergyAwareNormalized { alpha } => modeler
-                        .solve_normalized(n, alpha)
-                        .expect("partitioning LP is always feasible"),
-                    _ => unreachable!("needs_models gates the strategies"),
-                };
-                (Some(models), cost, Some(point))
-            }
-        };
-
-        let sizes = match &pareto {
-            Some(point) => point.sizes.clone(),
-            None => DataPartitioner::equal_sizes(n, p),
-        };
-        let partitioner = DataPartitioner::new(self.cfg.seed ^ 0x9A27);
-        let partitions = match self.cfg.strategy {
-            Strategy::Random => partitioner.random(n, &sizes),
-            Strategy::RoundRobin => DataPartitioner::round_robin(n, p),
-            Strategy::ClusterMode => {
-                let ids: Vec<u64> = dataset.items.iter().map(|i| i.id).collect();
-                DataPartitioner::hash_slots(&ids, p)
-            }
-            _ => partitioner.partition(&stratification, &sizes, self.cfg.layout),
-        };
-        // Hash placement dictates its own sizes; report what it produced.
-        let sizes = if matches!(self.cfg.strategy, Strategy::ClusterMode) {
-            partitions.iter().map(Vec::len).collect()
-        } else {
-            sizes
-        };
-        timings.optimize_s = stage.elapsed().as_secs_f64();
-        timings.total_s = started.elapsed().as_secs_f64();
-        let plan = Plan {
-            stratification,
-            time_models,
-            energy_profiles,
-            pareto,
-            sizes,
-            partitions,
-            estimation_cost,
-            timings,
-        };
-        self.record_plan_telemetry(&plan, n, wall_start);
-        plan
+        self.try_plan(dataset, workload)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Record the planning span tree (§9 taxonomy: `plan` → `sketch` /
-    /// `stratify` / `profile` / `optimize` on the planner track, wall
-    /// clock) plus the plan-shape metrics. Called from serial code only,
-    /// after the plan is fully decided — nothing here can feed back.
-    fn record_plan_telemetry(&self, plan: &Plan, n: usize, wall_start: f64) {
-        if !self.telemetry.is_enabled() {
-            return;
-        }
-        let tel = &self.telemetry;
-        let t = plan.timings;
-        let root = tel.span(
-            Track::Planner,
-            "plan",
-            ClockDomain::Wall,
-            wall_start,
-            wall_start + t.total_s,
-            SpanId::NONE,
-            vec![
-                ("records".into(), n.to_string()),
-                ("nodes".into(), plan.sizes.len().to_string()),
-                ("strategy".into(), self.cfg.strategy.label().into()),
-                ("threads".into(), self.cfg.threads.to_string()),
-            ],
-        );
-        let mut cursor = wall_start;
-        for (name, secs) in [
-            ("sketch", t.sketch_s),
-            ("stratify", t.stratify_s),
-            ("profile", t.profile_s),
-            ("optimize", t.optimize_s),
-        ] {
-            tel.span(
-                Track::Planner,
-                name,
-                ClockDomain::Wall,
-                cursor,
-                cursor + secs,
-                root,
-                vec![],
-            );
-            cursor += secs;
-            tel.observe(
-                "pareto_plan_stage_s",
-                &[("stage", name)],
-                secs,
-                pareto_telemetry::metrics::DURATION_BOUNDS_S,
-            );
-        }
-
-        for (i, &size) in plan.sizes.iter().enumerate() {
-            let node = i.to_string();
-            tel.gauge_set(
-                "pareto_partition_size_records",
-                &[("node", &node)],
-                size as f64,
-            );
-            tel.observe(
-                "pareto_partition_size",
-                &[],
-                size as f64,
-                pareto_telemetry::metrics::SIZE_BOUNDS,
-            );
-        }
-        if let Some(point) = &plan.pareto {
-            tel.gauge_set("pareto_lp_alpha", &[], point.alpha);
-            tel.gauge_set(
-                "pareto_lp_predicted_makespan_s",
-                &[],
-                point.predicted_makespan,
-            );
-            tel.gauge_set(
-                "pareto_lp_predicted_dirty_joules",
-                &[],
-                point.predicted_dirty_joules,
-            );
-        }
-        if let Some(models) = &plan.time_models {
-            for (i, m) in models.iter().enumerate() {
-                let node = i.to_string();
-                tel.gauge_set("pareto_fit_slope_s_per_item", &[("node", &node)], m.fit.slope);
-                tel.gauge_set(
-                    "pareto_fit_intercept_s",
-                    &[("node", &node)],
-                    m.fit.intercept,
-                );
-            }
-        }
-        for (i, prof) in plan.energy_profiles.iter().enumerate() {
-            let node = i.to_string();
-            tel.gauge_set("pareto_node_draw_watts", &[("node", &node)], prof.draw_watts);
-            tel.gauge_set(
-                "pareto_node_green_watts",
-                &[("node", &node)],
-                prof.mean_green_watts,
-            );
-        }
-        tel.counter_add(
-            "pareto_estimation_ops_total",
-            &[],
-            plan.estimation_cost.compute_ops,
-        );
+    /// Like [`Framework::plan`], returning planning failures as a typed
+    /// [`PlanError`] instead of panicking.
+    pub fn try_plan(&self, dataset: &Dataset, workload: WorkloadKind) -> Result<Plan, PlanError> {
+        PlanEngine::new(self.cluster, self.cfg.clone())
+            .with_telemetry(self.telemetry.clone())
+            .plan(dataset, workload)
     }
 
     /// Plan, place, and execute the workload; returns the measured run.
+    ///
+    /// # Panics
+    /// Panics on any [`PlanError`]; see [`Framework::try_run`].
     pub fn run(&self, dataset: &Dataset, workload: WorkloadKind) -> RunOutcome {
-        let plan = self.plan(dataset, workload);
-        self.run_with_plan(dataset, workload, plan)
+        self.try_run(dataset, workload)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Framework::run`], returning planning failures as a typed
+    /// [`PlanError`] instead of panicking.
+    pub fn try_run(
+        &self,
+        dataset: &Dataset,
+        workload: WorkloadKind,
+    ) -> Result<RunOutcome, PlanError> {
+        let plan = self.try_plan(dataset, workload)?;
+        Ok(self.run_with_plan(dataset, workload, plan))
     }
 
     /// Execute a workload under an existing plan (lets experiments reuse
@@ -506,7 +333,20 @@ impl<'a> Framework<'a> {
         faults: &FaultPlan,
         recovery_cfg: &RecoveryConfig,
     ) -> FaultRunOutcome {
-        let plan = self.plan(dataset, workload);
+        self.try_run_with_faults(dataset, workload, faults, recovery_cfg)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Framework::run_with_faults`], returning planning failures as
+    /// a typed [`PlanError`] instead of panicking.
+    pub fn try_run_with_faults(
+        &self,
+        dataset: &Dataset,
+        workload: WorkloadKind,
+        faults: &FaultPlan,
+        recovery_cfg: &RecoveryConfig,
+    ) -> Result<FaultRunOutcome, PlanError> {
+        let plan = self.try_plan(dataset, workload)?;
         let refs: Vec<&DataItem> = dataset.items.iter().collect();
         let (_, total_ops) = pareto_workloads::run_workload(workload, &refs);
         let work = per_item_work(dataset, total_ops);
@@ -533,7 +373,7 @@ impl<'a> Framework<'a> {
             recovery_cfg,
             &self.telemetry,
         );
-        FaultRunOutcome { plan, outcome }
+        Ok(FaultRunOutcome { plan, outcome })
     }
 
     /// Write every partition into its node's store as a §IV blob (one

@@ -41,20 +41,26 @@
 //! assert!(outcome.report.makespan_seconds > 0.0);
 //! ```
 
+pub mod cache;
 pub mod estimator;
 pub mod framework;
 pub mod pareto;
 pub mod partitioner;
 pub mod recovery;
 pub mod scheduling;
+pub mod session;
+pub mod stages;
 pub mod stealing;
 
+pub use cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache};
 pub use estimator::{
     AdaptiveReport, AdaptiveSamplingConfig, DriftReport, EnergyEstimator,
     HeterogeneityEstimator, NodeTimeModel, SamplingPlan,
 };
 pub use framework::{FaultRunOutcome, Framework, FrameworkConfig, Plan, PlanTimings, RunOutcome, Strategy};
 pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
+pub use session::PlanSession;
+pub use stages::{dataset_fingerprint, PlanEngine, PlanError, PlanStage, StageCtx, StageReuse};
 pub use recovery::{execute_with_recovery, RecoveryConfig, RecoveryOutcome, RecoveryReport};
 pub use scheduling::{best_start, sweep_start_times, StartTimeOption};
 pub use partitioner::{DataPartitioner, PartitionLayout};

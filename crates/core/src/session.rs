@@ -1,0 +1,171 @@
+//! A long-lived planning session: one [`PlanEngine`] kept warm across
+//! replans, plus the delta operations a production planner sees most —
+//! dataset appends, node churn, and α/strategy changes.
+//!
+//! The session owns its dataset and maintains the content chain digest
+//! incrementally ([`crate::stages::extend_dataset_fingerprint`]), so an
+//! append costs a digest of the *new* records only and the previous
+//! generation's digest survives as the prefix hint that lets the sketch
+//! stage reuse its cached signatures.
+//!
+//! Every plan a warm session produces is bit-identical to a cold
+//! [`crate::Framework::plan`] over the same inputs — the cache only ever
+//! returns what a cold compute would have produced (the `incremental`
+//! integration suite proptests this across deltas, threads, and seeds).
+
+use std::sync::Arc;
+
+use pareto_cluster::SimCluster;
+use pareto_datagen::{DataItem, Dataset};
+use pareto_telemetry::Telemetry;
+use pareto_workloads::WorkloadKind;
+
+use crate::cache::{CacheStats, Fingerprint};
+use crate::framework::{FrameworkConfig, Plan, Strategy};
+use crate::stages::{extend_dataset_fingerprint, PlanEngine, PlanError, StageReuse};
+
+/// A replanning session over one dataset/workload pair.
+pub struct PlanSession<'a> {
+    engine: PlanEngine<'a>,
+    dataset: Dataset,
+    workload: WorkloadKind,
+    /// Chain digest of the current dataset contents.
+    dataset_fp: Fingerprint,
+    /// Digest + length at the last successful plan (the sketch-append
+    /// prefix hint).
+    prev_dataset: Option<(Fingerprint, usize)>,
+}
+
+impl<'a> PlanSession<'a> {
+    /// Open a session over `dataset` (full cluster roster, cold cache).
+    pub fn new(
+        cluster: &'a SimCluster,
+        cfg: FrameworkConfig,
+        dataset: Dataset,
+        workload: WorkloadKind,
+    ) -> Self {
+        let dataset_fp = crate::stages::dataset_fingerprint(&dataset);
+        PlanSession {
+            engine: PlanEngine::new(cluster, cfg),
+            dataset,
+            workload,
+            dataset_fp,
+            prev_dataset: None,
+        }
+    }
+
+    /// Attach a telemetry recorder (cache counters + plan spans).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.engine = self.engine.with_telemetry(telemetry);
+        self
+    }
+
+    /// Bound the artifact cache.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.engine = self.engine.with_cache_capacity(capacity);
+        self
+    }
+
+    /// Plan (or replan) with the current dataset, roster, and config.
+    /// Only stages whose inputs changed since the cached artifacts were
+    /// produced are recomputed.
+    pub fn plan(&mut self) -> Result<Plan, PlanError> {
+        let plan = self.engine.plan_with_fingerprint(
+            &self.dataset,
+            self.workload,
+            self.dataset_fp,
+            self.prev_dataset,
+        )?;
+        self.prev_dataset = Some((self.dataset_fp, self.dataset.len()));
+        Ok(plan)
+    }
+
+    /// Sweep the scalarization weight: one plan per α, in order. The
+    /// sketch/stratify/profile artifacts are computed once (cold) and
+    /// reused for every subsequent α — only the LP + partitioning rerun.
+    pub fn sweep(&mut self, alphas: &[f64]) -> Result<Vec<Plan>, PlanError> {
+        let mut plans = Vec::with_capacity(alphas.len());
+        for &alpha in alphas {
+            self.set_alpha(alpha);
+            plans.push(self.plan()?);
+        }
+        Ok(plans)
+    }
+
+    /// Append records to the dataset, extending the content digest
+    /// incrementally. The next [`plan`](Self::plan) re-sketches only the
+    /// appended records and re-stratifies/re-profiles from there.
+    pub fn append_items(&mut self, items: Vec<DataItem>) {
+        self.dataset_fp = extend_dataset_fingerprint(self.dataset_fp, &items);
+        self.dataset.items.extend(items);
+    }
+
+    /// Remove a node from the active roster. Cached measurements survive
+    /// (they are node-independent); profile/optimize/partition re-run.
+    pub fn drop_node(&mut self, node: usize) -> Result<(), PlanError> {
+        let roster = self.engine.roster();
+        if !roster.contains(&node) {
+            return Err(PlanError::UnknownNode {
+                node,
+                cluster_size: self.engine.cluster().num_nodes(),
+            });
+        }
+        let next: Vec<usize> = roster.iter().copied().filter(|&id| id != node).collect();
+        self.engine.set_roster(next)
+    }
+
+    /// Return a cluster node to the active roster (no-op if present).
+    pub fn restore_node(&mut self, node: usize) -> Result<(), PlanError> {
+        let mut next = self.engine.roster().to_vec();
+        next.push(node);
+        self.engine.set_roster(next)
+    }
+
+    /// Change the scalarization weight. Energy-aware strategies keep
+    /// their class; any other strategy switches to
+    /// [`Strategy::HetEnergyAware`] at the given α.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        let cfg = self.engine.config_mut();
+        cfg.strategy = match cfg.strategy {
+            Strategy::HetEnergyAwareNormalized { .. } => {
+                Strategy::HetEnergyAwareNormalized { alpha }
+            }
+            _ => Strategy::HetEnergyAware { alpha },
+        };
+    }
+
+    /// Switch the partitioning strategy outright.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.engine.config_mut().strategy = strategy;
+    }
+
+    /// The current dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The current content digest.
+    pub fn dataset_fingerprint(&self) -> Fingerprint {
+        self.dataset_fp
+    }
+
+    /// The active roster (sorted node ids).
+    pub fn roster(&self) -> &[usize] {
+        self.engine.roster()
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &FrameworkConfig {
+        self.engine.config()
+    }
+
+    /// Cache hit/miss/evict counters accumulated over the session.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// Which stages of the last plan were served from the cache.
+    pub fn last_reuse(&self) -> StageReuse {
+        self.engine.last_reuse()
+    }
+}

@@ -158,6 +158,23 @@ impl MinHasher {
         .expect("sketch scope panicked");
         out
     }
+
+    /// Extend an existing batch of signatures with sketches of appended
+    /// sets. Sketching is a pure per-set function (no cross-record state),
+    /// so `prefix ++ sketch(new_sets)` is bit-identical to sketching the
+    /// whole concatenated batch from scratch — the property the
+    /// incremental planner's append path relies on.
+    pub fn sketch_extend(
+        &self,
+        prefix: &[Signature],
+        new_sets: &[&ItemSet],
+        threads: usize,
+    ) -> Vec<Signature> {
+        let mut out = Vec::with_capacity(prefix.len() + new_sets.len());
+        out.extend_from_slice(prefix);
+        out.extend(self.sketch_batch_par(new_sets, threads));
+        out
+    }
 }
 
 /// Minimal internal seed splitter (kept local to avoid a dependency cycle

@@ -124,6 +124,28 @@ impl Stratifier {
         hasher.sketch_batch_par(&sets, self.cfg.threads)
     }
 
+    /// Sketch only the records of `dataset` beyond `prefix` and return the
+    /// full signature vector. Bit-identical to [`Stratifier::sketch`] on
+    /// the whole dataset whenever `prefix` equals the sketch of the
+    /// dataset's first `prefix.len()` records under the same config
+    /// (MinHash is a pure per-record function), which is what lets the
+    /// incremental planner reuse a cached sketch after a dataset append.
+    ///
+    /// # Panics
+    /// Panics if `prefix` is longer than the dataset.
+    pub fn sketch_append(&self, dataset: &Dataset, prefix: &[Signature]) -> Vec<Signature> {
+        assert!(
+            prefix.len() <= dataset.len(),
+            "prefix longer than the dataset"
+        );
+        let hasher = MinHasher::new(self.cfg.sketch_size, self.cfg.seed);
+        let new_sets: Vec<&pareto_datagen::ItemSet> = dataset.items[prefix.len()..]
+            .iter()
+            .map(|it| &it.items)
+            .collect();
+        hasher.sketch_extend(prefix, &new_sets, self.cfg.threads)
+    }
+
     /// Cluster pre-computed signatures (useful when the caller also needs
     /// the sketches, e.g. for diagnostics).
     pub fn stratify_signatures(&self, signatures: &[Signature]) -> Stratification {

@@ -80,6 +80,12 @@ pub const SIZE_BOUNDS: &[f64] = &[
     1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7,
 ];
 
+/// Counter of plan-cache events, labelled `{event=hit|miss|evict,
+/// stage=<stage name>}`. Recorded by the incremental planning engine's
+/// stage driver; CI's cache-reuse job greps it out of the `report`
+/// subcommand to assert that warm α sweeps actually reuse artifacts.
+pub const PLAN_CACHE_EVENTS_TOTAL: &str = "pareto_plan_cache_events_total";
+
 /// The registry proper.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
