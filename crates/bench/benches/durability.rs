@@ -1,0 +1,146 @@
+//! Wall-clock cost of the durability tier: WAL append overhead on the hot
+//! write path, recovery replay throughput, and the price of one full chaos
+//! schedule (execute + audit + storage drills).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pareto_cluster::{FaultPlan, FaultSpec, KvStore, NodeSpec, SimCluster};
+use pareto_core::framework::{FrameworkConfig, Strategy};
+use pareto_core::{run_chaos, ChaosConfig};
+use pareto_telemetry::Telemetry;
+use pareto_workloads::WorkloadKind;
+
+const SEED: u64 = 99;
+
+/// Fill a WAL-armed store with `n` mixed mutations; returns the baseline
+/// snapshot for recovery benches.
+fn filled_store(n: usize) -> (KvStore, Vec<u8>) {
+    let store = KvStore::new();
+    let baseline = store.enable_wal();
+    for i in 0..n {
+        match i % 3 {
+            0 => {
+                store
+                    .set(&format!("k:{}", i % 64), (i as u64).to_le_bytes().to_vec())
+                    .unwrap();
+            }
+            1 => {
+                store
+                    .rpush("oplog", (i as u64).to_be_bytes().to_vec())
+                    .unwrap();
+            }
+            _ => {
+                store.incr("counter:ops").unwrap();
+            }
+        }
+    }
+    (store, baseline)
+}
+
+/// Write-path overhead: the same mutation mix with the WAL off vs on.
+fn wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(20);
+    for &armed in &[false, true] {
+        let label = if armed { "wal" } else { "volatile" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &armed, |b, &armed| {
+            b.iter(|| {
+                let store = KvStore::new();
+                if armed {
+                    let _ = store.enable_wal();
+                }
+                for i in 0..512usize {
+                    store
+                        .set(&format!("k:{}", i % 64), (i as u64).to_le_bytes().to_vec())
+                        .unwrap();
+                }
+                black_box(store.stats().ops)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Recovery replay throughput as the log grows.
+fn wal_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recover");
+    group.sample_size(20);
+    for &records in &[256usize, 1024, 4096] {
+        let (store, baseline) = filled_store(records);
+        let wal = store.wal_bytes();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(records),
+            &records,
+            |b, &records| {
+                b.iter(|| {
+                    let (recovered, report) =
+                        KvStore::recover(Some(&baseline), &wal).expect("clean recovery");
+                    assert_eq!(report.records_replayed, records as u64);
+                    black_box(recovered.export_entries().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One full chaos schedule end to end: the marginal cost that multiplies
+/// into the CI sweep budget.
+fn chaos_schedule(c: &mut Criterion) {
+    let cluster = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, SEED));
+    let dataset = pareto_datagen::rcv1_syn(5, 0.04);
+    let cfg = FrameworkConfig {
+        strategy: Strategy::HetAware,
+        ..FrameworkConfig::default()
+    };
+    let mut group = c.benchmark_group("chaos_schedule");
+    group.sample_size(10);
+    for &schedules in &[1u32, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedules),
+            &schedules,
+            |b, &schedules| {
+                let chaos = ChaosConfig {
+                    schedules,
+                    seed: SEED,
+                    ..ChaosConfig::default()
+                };
+                b.iter(|| {
+                    let report = run_chaos(
+                        &cluster,
+                        &dataset,
+                        WorkloadKind::Lz77,
+                        &cfg,
+                        &chaos,
+                        &Telemetry::disabled(),
+                    )
+                    .expect("sweep plans cleanly");
+                    assert!(report.is_clean());
+                    black_box(report.checks)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Seeded storage-fault plan generation (the per-schedule fixed cost).
+fn fault_plan_generation(c: &mut Criterion) {
+    c.bench_function("storage_fault_plan_generate", |b| {
+        let spec = FaultSpec::storage();
+        let mut seed = SEED;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(FaultPlan::generate(seed, 8, &spec).events().len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    wal_append,
+    wal_recover,
+    chaos_schedule,
+    fault_plan_generation
+);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 
 use std::path::PathBuf;
 
+use pareto_cluster::Durability;
 use pareto_core::framework::Strategy;
 use pareto_core::partitioner::PartitionLayout;
 use pareto_datagen::DataKind;
@@ -27,6 +28,12 @@ usage:
                        which stages were reused vs recomputed)
   paretofab report    --input DUMP.json [--trace TRACE.json]
                       (validate + summarize telemetry artifacts)
+  paretofab chaos     <common options> [--schedules N] [--inject-corruption]
+                      (sweep N seeded fault schedules through the invariant
+                       auditor and shrink any violation to a minimal
+                       reproducing --faults spec; exits nonzero on
+                       violations. --inject-corruption adds a known-bad
+                       schedule that must be caught and shrunk)
 
 common options:
   --input FILE            dataset in loader text format
@@ -42,12 +49,20 @@ common options:
   --scale F --seed N      synthetic generation controls
   --threads N             planning worker threads (default 1; the plan is
                           bit-identical at any thread count)
+  --durability <none|snapshot|wal>  KV durability mode for `run`
+                          (default none; wal verifies bit-identical
+                           recovery after the workload and prints a
+                           durability report)
   --faults SPEC           inject faults into `run` and report the recovery.
                           SPEC is comma-separated events:
                             crash:NODE@T       kill NODE at simulated second T
                             slow:NODE@FACTOR   NODE runs FACTOR x slower
                             kv:NODE@COUNT      COUNT transient store errors
                             net:NODE@FROM-TO@F degrade NODE's network by F
+                            torn:NODE@K        truncate NODE's WAL tail by K bytes
+                            rot:NODE@OFF@MASK  XOR NODE's WAL byte OFF with MASK
+                            snaploss:NODE      NODE loses its checkpoint snapshot
+                            recrash:NODE@R     crash NODE mid-recovery after R records
                             seeded:SEED        deterministic generated plan
 
 telemetry options (partition / run / frontier / plan / replan):
@@ -120,6 +135,16 @@ pub enum Command {
         /// Optional chrome-trace file to validate alongside.
         trace: Option<PathBuf>,
     },
+    /// Sweep seeded fault schedules through the invariant auditor and
+    /// shrink any violation to a minimal reproducing `--faults` spec.
+    Chaos {
+        /// Shared data/cluster/strategy options.
+        common: Common,
+        /// Number of seeded schedules to sweep.
+        schedules: u32,
+        /// Plant a known-bad corrupted schedule that must be caught.
+        inject_corruption: bool,
+    },
 }
 
 /// Options shared by `partition` and `run`.
@@ -149,6 +174,9 @@ pub struct Common {
     /// Fault-injection spec (`run` only; see `--faults` in [`USAGE`]).
     /// Parsed against the cluster size at execution time.
     pub faults: Option<String>,
+    /// KV durability mode (`run` only; WAL arms every node's store and
+    /// verifies bit-identical recovery after the workload).
+    pub durability: Durability,
     /// Write a chrome-trace (`trace_event` JSON) here.
     pub trace_out: Option<PathBuf>,
     /// Write Prometheus-text metrics here.
@@ -171,6 +199,7 @@ impl Default for Common {
             seed: 2017,
             threads: 1,
             faults: None,
+            durability: Durability::None,
             trace_out: None,
             metrics_out: None,
             telemetry_out: None,
@@ -199,6 +228,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut drop_node: Option<usize> = None;
     let mut realpha: Option<f64> = None;
     let mut append_scale: f64 = 0.0;
+    let mut schedules: u32 = 256;
+    let mut inject_corruption = false;
 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -274,6 +305,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
             }
             "--faults" => common.faults = Some(value("--faults")?),
+            "--durability" => {
+                common.durability = match value("--durability")?.as_str() {
+                    "none" => Durability::None,
+                    "snapshot" => Durability::SnapshotOnCheckpoint,
+                    "wal" => Durability::Wal,
+                    other => return Err(format!("unknown durability {other:?}")),
+                }
+            }
+            "--schedules" => {
+                schedules = value("--schedules")?
+                    .parse()
+                    .map_err(|e| format!("bad --schedules: {e}"))?;
+                if schedules == 0 {
+                    return Err("--schedules must be >= 1".into());
+                }
+            }
+            "--inject-corruption" => inject_corruption = true,
             "--sweep" => {
                 sweep = value("--sweep")?
                     .split(',')
@@ -405,6 +453,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             input: common.input.ok_or("report requires --input DUMP.json")?,
             trace,
         }),
+        "chaos" => {
+            validate_data_source(&common)?;
+            Ok(Command::Chaos {
+                common,
+                schedules,
+                inject_corruption,
+            })
+        }
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -626,6 +682,72 @@ mod tests {
         assert!(parse(&argv("replan --preset rcv1")).is_err());
         assert!(parse(&argv("replan --preset rcv1 --append-scale -1")).is_err());
         assert!(parse(&argv("replan --preset rcv1 --drop-node nope")).is_err());
+    }
+
+    #[test]
+    fn parses_durability_modes() {
+        for (name, mode) in [
+            ("none", Durability::None),
+            ("snapshot", Durability::SnapshotOnCheckpoint),
+            ("wal", Durability::Wal),
+        ] {
+            let cmd = parse(&argv(&format!("run --preset rcv1 --durability {name}"))).unwrap();
+            match cmd {
+                Command::Run { common } => assert_eq!(common.durability, mode),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Default: no durability.
+        let cmd = parse(&argv("run --preset rcv1")).unwrap();
+        match cmd {
+            Command::Run { common } => assert_eq!(common.durability, Durability::None),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --preset rcv1 --durability paper")).is_err());
+        assert!(parse(&argv("run --preset rcv1 --durability")).is_err());
+    }
+
+    #[test]
+    fn parses_chaos() {
+        let cmd = parse(&argv(
+            "chaos --preset rcv1 --nodes 4 --schedules 64 --inject-corruption",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Chaos {
+                common,
+                schedules,
+                inject_corruption,
+            } => {
+                assert_eq!(common.nodes, 4);
+                assert_eq!(schedules, 64);
+                assert!(inject_corruption);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: 256 schedules, no planted corruption.
+        let cmd = parse(&argv("chaos --preset rcv1")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Chaos {
+                schedules: 256,
+                inject_corruption: false,
+                ..
+            }
+        ));
+        assert!(parse(&argv("chaos")).is_err()); // no data source
+        assert!(parse(&argv("chaos --preset rcv1 --schedules 0")).is_err());
+        assert!(parse(&argv("chaos --preset rcv1 --schedules nope")).is_err());
+    }
+
+    #[test]
+    fn parses_storage_fault_clauses() {
+        let spec = "torn:1@13,rot:2@40@8,snaploss:3,recrash:0@2";
+        let cmd = parse(&argv(&format!("run --preset rcv1 --nodes 4 --faults {spec}"))).unwrap();
+        match cmd {
+            Command::Run { common } => assert_eq!(common.faults.as_deref(), Some(spec)),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

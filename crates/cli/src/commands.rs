@@ -5,11 +5,11 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use pareto_cluster::{FaultPlan, NodeSpec, SimCluster};
+use pareto_cluster::{Durability, FaultPlan, FaultSpec, NodeSpec, SimCluster};
 use pareto_core::estimator::{EnergyEstimator, HeterogeneityEstimator, SamplingPlan};
-use pareto_core::framework::{Framework, FrameworkConfig, Quality};
+use pareto_core::framework::{DurabilityReport, Framework, FrameworkConfig, Quality};
 use pareto_core::pareto::ParetoModeler;
-use pareto_core::RecoveryConfig;
+use pareto_core::{run_chaos, ChaosConfig, RecoveryConfig};
 use pareto_core::{PlanSession, Stratifier, StratifierConfig};
 use pareto_datagen::{loaders, writers, DataKind, Dataset};
 use pareto_telemetry::{event, export, json, report, CaptureSink, StderrSink, TeeSink, Telemetry};
@@ -36,6 +36,11 @@ pub fn run(cmd: Command) -> Result<(), String> {
             realpha,
             append_scale,
         } => replan_cmd(&common, drop_node, realpha, append_scale),
+        Command::Chaos {
+            common,
+            schedules,
+            inject_corruption,
+        } => chaos_cmd(&common, schedules, inject_corruption),
     }
 }
 
@@ -186,6 +191,7 @@ fn build_framework_parts(
         layout: common.layout,
         seed: common.seed,
         threads: common.threads,
+        durability: common.durability,
         ..FrameworkConfig::default()
     };
     (Dataset::new("placeholder", DataKind::Text, vec![]), cluster, cfg)
@@ -361,8 +367,43 @@ fn execute(common: &Common) -> Result<(), String> {
             "quality            {input_bytes} -> {output_bytes} bytes (ratio {ratio:.2})"
         ),
     }
+    if let Some(dur) = &outcome.durability {
+        print_durability(dur)?;
+    }
     if let Some(session) = &session {
         session.finish()?;
+    }
+    Ok(())
+}
+
+fn durability_label(mode: Durability) -> &'static str {
+    match mode {
+        Durability::None => "none",
+        Durability::SnapshotOnCheckpoint => "snapshot",
+        Durability::Wal => "wal",
+    }
+}
+
+/// Print the post-run durability verification and fail the command when
+/// any node's recovery was not bit-identical.
+fn print_durability(dur: &DurabilityReport) -> Result<(), String> {
+    println!(
+        "durability         {} — {} WAL record(s) across {} node(s)",
+        durability_label(dur.mode),
+        dur.total_wal_records(),
+        dur.nodes.len()
+    );
+    for node in &dur.nodes {
+        println!(
+            "                   node {}: {} record(s), {} WAL byte(s), recovery {}",
+            node.node_id,
+            node.wal_records,
+            node.wal_bytes,
+            if node.recovered_ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    if !dur.all_recovered() {
+        return Err("durability verification failed: recovered state diverged".into());
     }
     Ok(())
 }
@@ -584,5 +625,71 @@ fn execute_with_faults(
             rec.items_total
         ));
     }
+    Ok(())
+}
+
+/// `chaos`: sweep seeded fault schedules through the executor + invariant
+/// auditor and shrink every violation to a minimal reproducing `--faults`
+/// spec. Exit codes are CI-oriented: a clean sweep succeeds, a violation
+/// fails — unless `--inject-corruption` planted one on purpose, in which
+/// case *catching* it is the success condition and the stable
+/// `minimal-spec:` line is printed for diffing across runs.
+fn chaos_cmd(common: &Common, schedules: u32, inject_corruption: bool) -> Result<(), String> {
+    let session = TelemetrySession::start(common);
+    let dataset = load_dataset(common)?;
+    let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&session));
+    let tel = TelemetrySession::recorder(&session).unwrap_or_else(Telemetry::disabled);
+    let chaos = ChaosConfig {
+        schedules,
+        seed: common.seed,
+        spec: FaultSpec::storage(),
+        recovery: RecoveryConfig::default(),
+        inject_corruption,
+    };
+    let report = run_chaos(&cluster, &dataset, common.workload, &cfg, &chaos, &tel)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "dataset            {} ({} records)",
+        dataset.name,
+        dataset.len()
+    );
+    println!(
+        "chaos              {} schedule(s) from seed {}, {} invariant checks",
+        report.schedules_run, common.seed, report.checks
+    );
+    for failure in &report.failures {
+        println!("violation          schedule seed {}", failure.schedule_seed);
+        println!("                   full spec: {}", failure.spec);
+        for v in &failure.violations {
+            println!("                   {v}");
+        }
+        // Stable one-line reproducer, greppable/diffable by CI.
+        println!("minimal-spec: {}", failure.minimal_spec);
+    }
+    if let Some(session) = &session {
+        session.finish()?;
+    }
+    if inject_corruption {
+        if report.failures.is_empty() {
+            return Err(
+                "--inject-corruption planted a corrupted schedule but the auditor caught nothing"
+                    .into(),
+            );
+        }
+        println!(
+            "result             planted corruption caught and shrunk ({} failing schedule(s))",
+            report.failures.len()
+        );
+        return Ok(());
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "{} of {} schedule(s) violated invariants",
+            report.failures.len(),
+            report.schedules_run
+        ));
+    }
+    println!("result             all schedules clean");
     Ok(())
 }

@@ -49,6 +49,30 @@ pub enum FaultKind {
         /// Degradation severity, `>= 1`.
         factor: f64,
     },
+    /// Storage: the node's WAL loses its final record mid-write — the
+    /// last framed record is cut after `cut_bytes` bytes (modulo the
+    /// record length, so every cut point is reachable).
+    TornWrite {
+        /// Bytes of the final record that made it to disk.
+        cut_bytes: u32,
+    },
+    /// Storage: one byte of the node's durable WAL is silently flipped —
+    /// byte `offset % len` XORed with `mask`.
+    BitRot {
+        /// Seeded byte position (taken modulo the artifact length).
+        offset: u64,
+        /// Non-zero XOR mask applied to that byte.
+        mask: u8,
+    },
+    /// Storage: the node's checkpoint snapshot is lost; recovery must
+    /// replay the WAL from genesis.
+    SnapshotLoss,
+    /// Storage: recovery itself crashes after replaying `at_record` WAL
+    /// records, then restarts from scratch (which must be idempotent).
+    CrashDuringRecovery {
+        /// Records replayed before the recovery process dies.
+        at_record: u32,
+    },
 }
 
 /// A fault bound to a node.
@@ -82,6 +106,20 @@ pub struct FaultSpec {
     pub degradation_len_s: f64,
     /// Degradation severity factor.
     pub degradation_factor: f64,
+    /// Per-node torn-write probability. Zero by default so pre-existing
+    /// seeded plans are unchanged; see [`FaultSpec::storage`].
+    pub torn_write_prob: f64,
+    /// Torn-write cut points are drawn uniformly from `[0, max_cut)`
+    /// bytes (the drill takes them modulo the final record's length).
+    pub torn_write_max_cut: u32,
+    /// Per-node bit-rot probability (zero by default).
+    pub bit_rot_prob: f64,
+    /// Per-node snapshot-loss probability (zero by default).
+    pub snapshot_loss_prob: f64,
+    /// Per-node crash-during-recovery probability (zero by default).
+    pub recovery_crash_prob: f64,
+    /// Recovery crashes after a record index drawn from `[0, max)`.
+    pub recovery_crash_max_record: u32,
 }
 
 impl Default for FaultSpec {
@@ -96,6 +134,29 @@ impl Default for FaultSpec {
             degradation_prob: 0.25,
             degradation_len_s: 60.0,
             degradation_factor: 8.0,
+            // Storage faults are opt-in: nonzero defaults would reshuffle
+            // every seeded plan generated before they existed.
+            torn_write_prob: 0.0,
+            torn_write_max_cut: 96,
+            bit_rot_prob: 0.0,
+            snapshot_loss_prob: 0.0,
+            recovery_crash_prob: 0.0,
+            recovery_crash_max_record: 4,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// The chaos-harness spec: compute faults at their defaults plus the
+    /// storage fault kinds enabled. Kept out of [`FaultSpec::default`] so
+    /// plans seeded before storage faults existed stay bit-identical.
+    pub fn storage() -> Self {
+        FaultSpec {
+            torn_write_prob: 0.35,
+            bit_rot_prob: 0.35,
+            snapshot_loss_prob: 0.25,
+            recovery_crash_prob: 0.3,
+            ..FaultSpec::default()
         }
     }
 }
@@ -116,8 +177,15 @@ fn mix64(mut z: u64) -> u64 {
 
 /// Uniform draw in `[0, 1)` from `(seed, node_id, event_index)`.
 fn unit_draw(seed: u64, node_id: usize, event_index: u64) -> f64 {
-    let h = mix64(mix64(seed ^ mix64(node_id as u64)) ^ event_index);
+    let h = raw_draw(seed, node_id, event_index);
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Full-width hash from `(seed, node_id, event_index)` — the integer
+/// sibling of [`unit_draw`], used where a draw needs all 64 bits (bit-rot
+/// offsets).
+fn raw_draw(seed: u64, node_id: usize, event_index: u64) -> u64 {
+    mix64(mix64(seed ^ mix64(node_id as u64)) ^ event_index)
 }
 
 impl FaultPlan {
@@ -179,9 +247,59 @@ impl FaultPlan {
         self
     }
 
+    /// Tear `node_id`'s final WAL record after `cut_bytes` bytes.
+    pub fn with_torn_write(mut self, node_id: usize, cut_bytes: u32) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::TornWrite { cut_bytes },
+        });
+        self
+    }
+
+    /// Flip one byte of `node_id`'s WAL: byte `offset % len` XOR `mask`
+    /// (a zero mask is floored to 1 so the fault is never a no-op).
+    pub fn with_bit_rot(mut self, node_id: usize, offset: u64, mask: u8) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::BitRot {
+                offset,
+                mask: mask.max(1),
+            },
+        });
+        self
+    }
+
+    /// Lose `node_id`'s checkpoint snapshot.
+    pub fn with_snapshot_loss(mut self, node_id: usize) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::SnapshotLoss,
+        });
+        self
+    }
+
+    /// Crash `node_id`'s recovery after `at_record` replayed records.
+    pub fn with_recovery_crash(mut self, node_id: usize, at_record: u32) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::CrashDuringRecovery { at_record },
+        });
+        self
+    }
+
     /// All scheduled events.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
+    }
+
+    /// A copy of this plan with event `index` removed — the shrinking
+    /// primitive of the chaos harness's delta-debugging loop.
+    pub fn without_event(&self, index: usize) -> Self {
+        let mut events = self.events.clone();
+        if index < events.len() {
+            events.remove(index);
+        }
+        FaultPlan { events }
     }
 
     /// Number of scheduled events.
@@ -252,6 +370,61 @@ impl FaultPlan {
         net
     }
 
+    /// First torn-write cut for `node_id`, if any.
+    pub fn torn_write(&self, node_id: usize) -> Option<u32> {
+        self.events
+            .iter()
+            .filter(|e| e.node_id == node_id)
+            .find_map(|e| match e.kind {
+                FaultKind::TornWrite { cut_bytes } => Some(cut_bytes),
+                _ => None,
+            })
+    }
+
+    /// First bit-rot `(offset, mask)` for `node_id`, if any.
+    pub fn bit_rot(&self, node_id: usize) -> Option<(u64, u8)> {
+        self.events
+            .iter()
+            .filter(|e| e.node_id == node_id)
+            .find_map(|e| match e.kind {
+                FaultKind::BitRot { offset, mask } => Some((offset, mask)),
+                _ => None,
+            })
+    }
+
+    /// True when `node_id`'s checkpoint snapshot is scheduled to be lost.
+    pub fn snapshot_lost(&self, node_id: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node_id == node_id && matches!(e.kind, FaultKind::SnapshotLoss)
+        })
+    }
+
+    /// Record index at which `node_id`'s recovery crashes, if scheduled.
+    pub fn recovery_crash(&self, node_id: usize) -> Option<u32> {
+        self.events
+            .iter()
+            .filter(|e| e.node_id == node_id)
+            .find_map(|e| match e.kind {
+                FaultKind::CrashDuringRecovery { at_record } => Some(at_record),
+                _ => None,
+            })
+    }
+
+    /// True when `node_id` has any storage fault scheduled (torn write,
+    /// bit-rot, snapshot loss, or crash-during-recovery).
+    pub fn has_storage_faults(&self, node_id: usize) -> bool {
+        self.events.iter().any(|e| {
+            e.node_id == node_id
+                && matches!(
+                    e.kind,
+                    FaultKind::TornWrite { .. }
+                        | FaultKind::BitRot { .. }
+                        | FaultKind::SnapshotLoss
+                        | FaultKind::CrashDuringRecovery { .. }
+                )
+        })
+    }
+
     /// Derive a plan from a single seed: each node draws each event kind
     /// independently through `(seed, node_id, event_index)`, so plans for
     /// different cluster sizes share the per-node outcomes of their common
@@ -283,8 +456,60 @@ impl FaultPlan {
                     spec.degradation_factor,
                 );
             }
+            // Storage faults use event indices 8+, so enabling them never
+            // perturbs the draws of the original four kinds above.
+            if unit_draw(seed, node, 8) < spec.torn_write_prob {
+                let cut =
+                    (unit_draw(seed, node, 9) * spec.torn_write_max_cut.max(1) as f64) as u32;
+                plan = plan.with_torn_write(node, cut);
+            }
+            if unit_draw(seed, node, 10) < spec.bit_rot_prob {
+                let offset = raw_draw(seed, node, 11);
+                let mask = 1u8 << (raw_draw(seed, node, 12) % 8);
+                plan = plan.with_bit_rot(node, offset, mask);
+            }
+            if unit_draw(seed, node, 13) < spec.snapshot_loss_prob {
+                plan = plan.with_snapshot_loss(node);
+            }
+            if unit_draw(seed, node, 14) < spec.recovery_crash_prob {
+                let at = (unit_draw(seed, node, 15)
+                    * spec.recovery_crash_max_record.max(1) as f64) as u32;
+                plan = plan.with_recovery_crash(node, at);
+            }
         }
         plan
+    }
+
+    /// Serialize back into the `--faults` grammar accepted by
+    /// [`FaultPlan::parse`]: `parse(plan.to_spec())` reproduces the plan
+    /// exactly (Rust's `f64` `Display` is shortest-round-trip). This is
+    /// how the chaos shrinker prints a minimal reproducing schedule.
+    pub fn to_spec(&self) -> String {
+        let clauses: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::Crash { at_s } => format!("crash:{}@{}", e.node_id, at_s),
+                FaultKind::Straggler { factor } => format!("slow:{}@{}", e.node_id, factor),
+                FaultKind::StoreErrors { count } => format!("kv:{}@{}", e.node_id, count),
+                FaultKind::NetworkDegradation {
+                    from_s,
+                    until_s,
+                    factor,
+                } => format!("net:{}@{}-{}@{}", e.node_id, from_s, until_s, factor),
+                FaultKind::TornWrite { cut_bytes } => {
+                    format!("torn:{}@{}", e.node_id, cut_bytes)
+                }
+                FaultKind::BitRot { offset, mask } => {
+                    format!("rot:{}@{}@{}", e.node_id, offset, mask)
+                }
+                FaultKind::SnapshotLoss => format!("snaploss:{}", e.node_id),
+                FaultKind::CrashDuringRecovery { at_record } => {
+                    format!("recrash:{}@{}", e.node_id, at_record)
+                }
+            })
+            .collect();
+        clauses.join(", ")
     }
 
     /// Parse a CLI fault spec: comma-separated clauses, each one of
@@ -294,6 +519,10 @@ impl FaultPlan {
     /// slow:NODE@FACTOR      NODE runs FACTOR x slower
     /// kv:NODE@COUNT         COUNT transient store errors on NODE's fetch
     /// net:NODE@FROM-TO@F    degrade NODE's links by F in [FROM, TO]
+    /// torn:NODE@K           tear NODE's final WAL record after K bytes
+    /// rot:NODE@OFF@MASK     flip byte OFF%len of NODE's WAL with MASK
+    /// snaploss:NODE         lose NODE's checkpoint snapshot
+    /// recrash:NODE@R        crash NODE's recovery after R records
     /// seeded:SEED           generate a whole plan from SEED
     /// ```
     ///
@@ -366,6 +595,48 @@ impl FaultPlan {
                         parse_f64(f.trim())?,
                     );
                 }
+                "torn" => {
+                    let (node, k) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("torn clause `{clause}` needs NODE@K")))?;
+                    let cut: u32 = k
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad cut `{k}` in `{clause}`")))?;
+                    plan = plan.with_torn_write(parse_node(node.trim())?, cut);
+                }
+                "rot" => {
+                    let (node, rest2) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("rot clause `{clause}` needs NODE@OFF@MASK")))?;
+                    let (off, mask) = rest2
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("rot clause `{clause}` needs NODE@OFF@MASK")))?;
+                    let offset: u64 = off
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad offset `{off}` in `{clause}`")))?;
+                    let mask: u8 = mask
+                        .trim()
+                        .parse()
+                        .ok()
+                        .filter(|&m| m > 0)
+                        .ok_or_else(|| bad(format!("bad mask `{mask}` in `{clause}`")))?;
+                    plan = plan.with_bit_rot(parse_node(node.trim())?, offset, mask);
+                }
+                "snaploss" => {
+                    plan = plan.with_snapshot_loss(parse_node(rest.trim())?);
+                }
+                "recrash" => {
+                    let (node, r) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("recrash clause `{clause}` needs NODE@R")))?;
+                    let at: u32 = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad record `{r}` in `{clause}`")))?;
+                    plan = plan.with_recovery_crash(parse_node(node.trim())?, at);
+                }
                 "seeded" => {
                     let seed: u64 = rest
                         .trim()
@@ -376,7 +647,7 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(bad(format!(
-                        "unknown fault kind `{other}` (want crash/slow/kv/net/seeded)"
+                        "unknown fault kind `{other}` (want crash/slow/kv/net/torn/rot/snaploss/recrash/seeded)"
                     )))
                 }
             }
@@ -482,6 +753,95 @@ mod tests {
         let parsed = FaultPlan::parse("seeded:42", 8).unwrap();
         let generated = FaultPlan::generate(42, 8, &FaultSpec::default());
         assert_eq!(parsed, generated);
+    }
+
+    #[test]
+    fn storage_builders_and_queries() {
+        let plan = FaultPlan::new()
+            .with_torn_write(1, 13)
+            .with_bit_rot(2, 0xDEAD_BEEF, 0) // zero mask floored to 1
+            .with_snapshot_loss(3)
+            .with_recovery_crash(0, 2);
+        assert_eq!(plan.torn_write(1), Some(13));
+        assert_eq!(plan.torn_write(0), None);
+        assert_eq!(plan.bit_rot(2), Some((0xDEAD_BEEF, 1)));
+        assert!(plan.snapshot_lost(3));
+        assert!(!plan.snapshot_lost(2));
+        assert_eq!(plan.recovery_crash(0), Some(2));
+        for node in 0..4 {
+            assert!(plan.has_storage_faults(node), "node {node}");
+        }
+        let compute_only = FaultPlan::new().with_crash(0, 5.0).with_straggler(0, 2.0);
+        assert!(!compute_only.has_storage_faults(0));
+    }
+
+    #[test]
+    fn storage_generation_extends_without_perturbing_compute_draws() {
+        // Same seed, storage probs on vs off: the compute events must be
+        // byte-identical because storage kinds use fresh event indices.
+        let base = FaultPlan::generate(2017, 8, &FaultSpec::default());
+        let storage = FaultPlan::generate(2017, 8, &FaultSpec::storage());
+        let compute_events: Vec<_> = storage
+            .events()
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    FaultKind::TornWrite { .. }
+                        | FaultKind::BitRot { .. }
+                        | FaultKind::SnapshotLoss
+                        | FaultKind::CrashDuringRecovery { .. }
+                )
+            })
+            .copied()
+            .collect();
+        assert_eq!(base.events(), &compute_events[..]);
+        // And with everything at probability 1, all 8 kinds fire per node.
+        let all = FaultSpec {
+            crash_prob: 1.0,
+            straggler_prob: 1.0,
+            store_error_prob: 1.0,
+            degradation_prob: 1.0,
+            torn_write_prob: 1.0,
+            bit_rot_prob: 1.0,
+            snapshot_loss_prob: 1.0,
+            recovery_crash_prob: 1.0,
+            ..FaultSpec::default()
+        };
+        assert_eq!(FaultPlan::generate(5, 4, &all).len(), 32, "4 nodes x 8 kinds");
+    }
+
+    #[test]
+    fn to_spec_round_trips_generated_plans() {
+        for seed in [7u64, 2017, 0xFA17] {
+            let plan = FaultPlan::generate(seed, 8, &FaultSpec::storage());
+            let spec = plan.to_spec();
+            let reparsed = FaultPlan::parse(&spec, 8).unwrap();
+            assert_eq!(plan, reparsed, "seed {seed}: `{spec}`");
+        }
+        // Explicit storage clauses parse too.
+        let plan =
+            FaultPlan::parse("torn:1@13, rot:2@3735928559@8, snaploss:3, recrash:0@2", 4).unwrap();
+        assert_eq!(plan.torn_write(1), Some(13));
+        assert_eq!(plan.bit_rot(2), Some((3_735_928_559, 8)));
+        assert!(plan.snapshot_lost(3));
+        assert_eq!(plan.recovery_crash(0), Some(2));
+        assert_eq!(FaultPlan::parse(&plan.to_spec(), 4).unwrap(), plan);
+    }
+
+    #[test]
+    fn without_event_removes_exactly_one() {
+        let plan = FaultPlan::new()
+            .with_crash(0, 5.0)
+            .with_torn_write(1, 9)
+            .with_snapshot_loss(2);
+        let shrunk = plan.without_event(1);
+        assert_eq!(shrunk.len(), 2);
+        assert_eq!(shrunk.torn_write(1), None);
+        assert_eq!(shrunk.crash_time(0), Some(5.0));
+        assert!(shrunk.snapshot_lost(2));
+        // Out-of-range index is a no-op copy.
+        assert_eq!(plan.without_event(99), plan);
     }
 
     #[test]

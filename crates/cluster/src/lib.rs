@@ -26,9 +26,14 @@
 //!   energy, and reports makespan + per-node dirty energy.
 //! * [`fault`] — seeded, deterministic fault injection: a
 //!   [`FaultPlan`](fault::FaultPlan) schedules node crashes, straggler
-//!   slowdowns, transient store errors, and network degradation windows,
-//!   every event derived from `(seed, node_id, event_index)` so faulty
-//!   runs stay bit-reproducible.
+//!   slowdowns, transient store errors, network degradation windows, and
+//!   storage faults (torn WAL writes, bit-rot, snapshot loss,
+//!   crash-during-recovery), every event derived from
+//!   `(seed, node_id, event_index)` so faulty runs stay bit-reproducible.
+//! * [`wal`] — a write-ahead log for the KV store: length-prefixed
+//!   CRC32-checksummed records with segment rotation; together with the
+//!   checksummed [`persist`] snapshot format it gives
+//!   [`KvStore::recover`](kvstore::KvStore::recover) bit-identical replay.
 //!
 //! Simulated time is `f64` seconds derived from integer operation counts —
 //! reproducible to the bit across runs and machines.
@@ -42,13 +47,22 @@ pub mod kvstore;
 pub mod network;
 pub mod node;
 pub mod persist;
+pub mod wal;
 
 pub use barrier::GlobalBarrier;
 pub use cluster::{JobCtx, JobReport, NodeRun, SimCluster};
 pub use cost::Cost;
 pub use error::ClusterError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
-pub use kvstore::{KvError, KvStats, KvStore, Pipeline, Reply};
+pub use kvstore::{
+    Durability, KvError, KvStats, KvStore, Pipeline, RecoverError, RecoverReport, Reply,
+};
 pub use network::NetworkModel;
-pub use persist::{dump_to_file, load_from_file, snapshot_from_bytes, snapshot_to_bytes};
+pub use persist::{
+    dump_to_file, entries_to_bytes, load_from_file, snapshot_from_bytes, snapshot_to_bytes,
+    PersistError,
+};
 pub use node::{MachineType, NodeSpec, SupplyTopology};
+pub use wal::{
+    crc32, replay_bytes, replay_with_options, Wal, WalError, WalOp, WalReplay, WalStats,
+};

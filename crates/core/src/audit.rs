@@ -1,0 +1,479 @@
+//! Invariant auditor for fault-injected runs and durable-store drills.
+//!
+//! The recovery executor (PR 2) and the durable KV tier both make strong
+//! promises — exactly-once item processing, conservation of the LP plan's
+//! partition sizes, monotone simulated time, bit-identical WAL recovery.
+//! This module turns those promises into *checked invariants*: given a
+//! [`RecoveryOutcome`] (plus the plan it executed), [`audit_fault_run`]
+//! returns an [`AuditReport`] listing every violated invariant with a
+//! human-readable detail string. The chaos harness ([`crate::chaos`])
+//! sweeps hundreds of seeded fault schedules through this auditor and
+//! shrinks any failure to a minimal reproducing schedule.
+//!
+//! The auditor is read-only and pure: it never mutates the outcome it
+//! inspects, so auditing cannot perturb determinism.
+
+use pareto_cluster::FaultPlan;
+
+use crate::recovery::RecoveryOutcome;
+
+/// The invariants the auditor enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// Every item completes exactly once whenever at least one node
+    /// survives; no item is ever recorded complete on a node that never
+    /// ran it.
+    ExactlyOnce,
+    /// Per-stratum conservation: for each stratum, the number of completed
+    /// items equals the stratum's population (no stratum silently starves
+    /// while others double-dip).
+    StratumConservation,
+    /// The initial partitions form an exact permutation of the dataset and
+    /// match the LP plan's integer sizes.
+    SizeConservation,
+    /// Simulated time is finite, non-negative, and a faulty run never
+    /// finishes before its own fault-free baseline.
+    TimeMonotone,
+    /// The [`RecoveryReport`](crate::recovery::RecoveryReport)'s
+    /// aggregate fields agree with the per-item evidence.
+    ReportConsistency,
+    /// WAL recovery reproduces the expected store state (storage drills:
+    /// torn writes recover the longest complete prefix, bit-rot is either
+    /// detected or harmless, recovery restarts are idempotent).
+    WalRecovery,
+}
+
+impl Invariant {
+    /// Stable label, used as the telemetry `invariant` attribute.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Invariant::ExactlyOnce => "exactly_once",
+            Invariant::StratumConservation => "stratum_conservation",
+            Invariant::SizeConservation => "size_conservation",
+            Invariant::TimeMonotone => "time_monotone",
+            Invariant::ReportConsistency => "report_consistency",
+            Invariant::WalRecovery => "wal_recovery",
+        }
+    }
+
+    /// Every invariant, in audit order.
+    pub const ALL: [Invariant; 6] = [
+        Invariant::ExactlyOnce,
+        Invariant::StratumConservation,
+        Invariant::SizeConservation,
+        Invariant::TimeMonotone,
+        Invariant::ReportConsistency,
+        Invariant::WalRecovery,
+    ];
+}
+
+impl std::fmt::Display for Invariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One broken invariant with its evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// What the auditor saw (counts, node ids, byte offsets …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant.label(), self.detail)
+    }
+}
+
+/// The auditor's verdict: how many checks ran and which ones failed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Individual checks evaluated (a violation-free report with zero
+    /// checks is vacuous, so callers can assert `checks > 0`).
+    pub checks: usize,
+    /// Every broken invariant, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// A fresh, empty report.
+    pub fn new() -> Self {
+        AuditReport::default()
+    }
+
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count a passed check (or several).
+    pub fn passed(&mut self, checks: usize) {
+        self.checks += checks;
+    }
+
+    /// Record a violation (counts as one check).
+    pub fn violate(&mut self, invariant: Invariant, detail: String) {
+        self.checks += 1;
+        self.violations.push(Violation { invariant, detail });
+    }
+
+    /// Check a predicate: pass silently or record a violation.
+    pub fn check(&mut self, invariant: Invariant, ok: bool, detail: impl FnOnce() -> String) {
+        if ok {
+            self.passed(1);
+        } else {
+            self.violate(invariant, detail());
+        }
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.checks += other.checks;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// Audit one fault-injected execution against the plan it ran.
+///
+/// `partitions`/`sizes` are the LP plan's initial assignment, `strata[r]`
+/// is record `r`'s stratum, `outcome` is what
+/// [`execute_with_recovery`](crate::recovery::execute_with_recovery)
+/// produced under `faults`, and `num_nodes` is the cluster size.
+pub fn audit_fault_run(
+    faults: &FaultPlan,
+    partitions: &[Vec<usize>],
+    sizes: &[usize],
+    strata: &[u32],
+    outcome: &RecoveryOutcome,
+    num_nodes: usize,
+) -> AuditReport {
+    let mut report = AuditReport::new();
+    let rec = &outcome.recovery;
+    let n = rec.items_total;
+
+    // --- SizeConservation: partitions are a permutation matching sizes. --
+    let mut seen = vec![0u32; n];
+    let mut out_of_range = 0usize;
+    for part in partitions {
+        for &item in part {
+            match seen.get_mut(item) {
+                Some(slot) => *slot += 1,
+                None => out_of_range += 1,
+            }
+        }
+    }
+    report.check(Invariant::SizeConservation, out_of_range == 0, || {
+        format!("{out_of_range} partitioned item(s) outside 0..{n}")
+    });
+    let dupes = seen.iter().filter(|&&c| c > 1).count();
+    let missing = seen.iter().filter(|&&c| c == 0).count();
+    report.check(Invariant::SizeConservation, dupes == 0 && missing == 0, || {
+        format!("initial partitions are not a permutation: {dupes} duplicated, {missing} missing")
+    });
+    report.check(
+        Invariant::SizeConservation,
+        sizes.len() == partitions.len()
+            && sizes.iter().zip(partitions).all(|(&s, p)| s == p.len()),
+        || {
+            format!(
+                "LP sizes {:?} disagree with materialized partitions {:?}",
+                sizes,
+                partitions.iter().map(Vec::len).collect::<Vec<_>>()
+            )
+        },
+    );
+    report.check(
+        Invariant::SizeConservation,
+        sizes.iter().sum::<usize>() == n,
+        || format!("LP sizes sum {} != items_total {n}", sizes.iter().sum::<usize>()),
+    );
+
+    // --- ExactlyOnce: total completion whenever anyone survived. --------
+    let survivors = num_nodes.saturating_sub(rec.crashed_nodes.len());
+    let completed = outcome.completed_by.iter().filter(|c| c.is_some()).count();
+    if survivors > 0 {
+        report.check(Invariant::ExactlyOnce, completed == n, || {
+            format!("{survivors} survivor(s) but only {completed}/{n} items completed")
+        });
+        report.check(Invariant::ExactlyOnce, rec.exactly_once, || {
+            "report.exactly_once is false despite surviving nodes".into()
+        });
+    } else {
+        // Total cluster loss: completion must be partial, never invented.
+        report.check(Invariant::ExactlyOnce, completed <= n, || {
+            format!("{completed} completions exceed {n} items")
+        });
+    }
+    let bad_completer = outcome
+        .completed_by
+        .iter()
+        .flatten()
+        .filter(|&&node| node >= num_nodes)
+        .count();
+    report.check(Invariant::ExactlyOnce, bad_completer == 0, || {
+        format!("{bad_completer} item(s) completed by nonexistent nodes")
+    });
+
+    // --- StratumConservation: per-stratum completion matches population. -
+    if survivors > 0 {
+        let max_stratum = strata.iter().copied().max().unwrap_or(0) as usize;
+        let mut population = vec![0usize; max_stratum + 1];
+        let mut done = vec![0usize; max_stratum + 1];
+        for (item, &s) in strata.iter().enumerate().take(n) {
+            population[s as usize] += 1;
+            if outcome.completed_by.get(item).copied().flatten().is_some() {
+                done[s as usize] += 1;
+            }
+        }
+        for (s, (&pop, &got)) in population.iter().zip(&done).enumerate() {
+            report.check(Invariant::StratumConservation, pop == got, || {
+                format!("stratum {s}: {got}/{pop} items completed")
+            });
+        }
+    }
+
+    // --- TimeMonotone: finite, non-negative, no time travel. ------------
+    report.check(
+        Invariant::TimeMonotone,
+        rec.makespan_s.is_finite() && rec.makespan_s >= 0.0,
+        || format!("makespan {} is not a finite non-negative time", rec.makespan_s),
+    );
+    report.check(
+        Invariant::TimeMonotone,
+        rec.fault_free_makespan_s.is_finite() && rec.fault_free_makespan_s >= 0.0,
+        || format!("fault-free makespan {} invalid", rec.fault_free_makespan_s),
+    );
+    // When no work moved off its planned node, faults only ever add cost
+    // (retries, backoff, slowdowns), so a *completed* run can never beat
+    // its own baseline (tolerance for f64 summation order). Two legitimate
+    // escapes are carved out: a lost job stops early, and a run that
+    // rebalanced — reassignment, steals, or an LP replan — may land a
+    // better schedule than the static fault-free assignment.
+    let work_moved = rec.items_reassigned > 0
+        || rec.items_stolen > 0
+        || rec.speculative_steals > 0
+        || rec.replans > 0;
+    if completed == n && !work_moved {
+        report.check(
+            Invariant::TimeMonotone,
+            rec.makespan_s >= rec.fault_free_makespan_s - 1e-9,
+            || {
+                format!(
+                    "faulty run ({}s) finished before its fault-free baseline ({}s)",
+                    rec.makespan_s, rec.fault_free_makespan_s
+                )
+            },
+        );
+    }
+
+    // --- ReportConsistency: aggregates agree with per-item evidence. -----
+    report.check(
+        Invariant::ReportConsistency,
+        rec.items_completed == completed,
+        || format!("items_completed {} != observed {completed}", rec.items_completed),
+    );
+    report.check(
+        Invariant::ReportConsistency,
+        rec.exactly_once == (completed == n),
+        || "exactly_once flag disagrees with completion count".into(),
+    );
+    report.check(
+        Invariant::ReportConsistency,
+        rec.faults_injected == faults.len(),
+        || format!("faults_injected {} != plan length {}", rec.faults_injected, faults.len()),
+    );
+    report.check(
+        Invariant::ReportConsistency,
+        rec.items_reassigned == outcome.reassigned_items.len(),
+        || {
+            format!(
+                "items_reassigned {} != reassignment log {}",
+                rec.items_reassigned,
+                outcome.reassigned_items.len()
+            )
+        },
+    );
+    let mut crashed_sorted = rec.crashed_nodes.clone();
+    crashed_sorted.sort_unstable();
+    crashed_sorted.dedup();
+    report.check(
+        Invariant::ReportConsistency,
+        crashed_sorted.len() == rec.crashed_nodes.len()
+            && crashed_sorted.iter().all(|&c| c < num_nodes),
+        || format!("crashed_nodes {:?} has duplicates or unknown ids", rec.crashed_nodes),
+    );
+    // An item may complete on a node that *later* crashed, but a node
+    // that died at sim-time zero (zero busy seconds) can never have
+    // completed anything.
+    let ghost_completions = outcome
+        .completed_by
+        .iter()
+        .flatten()
+        .filter(|&&node| {
+            rec.crashed_nodes.contains(&node)
+                && outcome
+                    .report
+                    .runs
+                    .get(node)
+                    .is_some_and(|r| r.seconds == 0.0)
+        })
+        .count();
+    report.check(Invariant::ReportConsistency, ghost_completions == 0, || {
+        format!("{ghost_completions} item(s) completed by nodes dead from t=0")
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::{execute_with_recovery, RecoveryConfig};
+    use crate::stealing::RecordWork;
+    use pareto_cluster::{Cost, NodeSpec, SimCluster};
+    use pareto_energy::NodeEnergyProfile;
+    use pareto_stats::LinearFit;
+
+    fn fixture(
+        p: usize,
+        n: usize,
+        faults: &FaultPlan,
+    ) -> (Vec<Vec<usize>>, Vec<usize>, Vec<u32>, RecoveryOutcome, usize) {
+        let cl = SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, 3));
+        let work = vec![RecordWork { ops: 1_000_000, bytes: 256 }; n];
+        let mut partitions = vec![Vec::new(); p];
+        for i in 0..n {
+            partitions[i * p / n].push(i);
+        }
+        let sizes: Vec<usize> = partitions.iter().map(Vec::len).collect();
+        let strata: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let fits: Vec<LinearFit> = (0..p)
+            .map(|i| LinearFit {
+                slope: cl.cost_to_seconds(i, &Cost::compute(1_000_000)),
+                intercept: 0.0,
+                r_squared: 1.0,
+                n: 2,
+            })
+            .collect();
+        let profiles: Vec<NodeEnergyProfile> = (0..p)
+            .map(|i| NodeEnergyProfile {
+                draw_watts: 200.0 + 40.0 * i as f64,
+                mean_green_watts: 120.0,
+            })
+            .collect();
+        let outcome = execute_with_recovery(
+            &cl,
+            &work,
+            &partitions,
+            &strata,
+            &fits,
+            &profiles,
+            1.0,
+            faults,
+            &RecoveryConfig::default(),
+        );
+        (partitions, sizes, strata, outcome, p)
+    }
+
+    #[test]
+    fn clean_run_passes_every_invariant() {
+        let faults = FaultPlan::none();
+        let (parts, sizes, strata, outcome, p) = fixture(4, 120, &faults);
+        let report = audit_fault_run(&faults, &parts, &sizes, &strata, &outcome, p);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.checks > 10, "audit must actually check things");
+    }
+
+    #[test]
+    fn crashed_run_still_passes_when_recovery_works() {
+        let faults = FaultPlan::new().with_crash(1, 0.5).with_store_errors(2, 2);
+        let (parts, sizes, strata, outcome, p) = fixture(4, 120, &faults);
+        let report = audit_fault_run(&faults, &parts, &sizes, &strata, &outcome, p);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn total_cluster_loss_is_not_a_violation() {
+        let faults = FaultPlan::new().with_crash(0, 0.001).with_crash(1, 0.001);
+        let (parts, sizes, strata, outcome, p) = fixture(2, 40, &faults);
+        let report = audit_fault_run(&faults, &parts, &sizes, &strata, &outcome, p);
+        // Losing the job to a total cluster loss is the *correct* outcome;
+        // the auditor only flags invented completions.
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn doctored_outcome_trips_exactly_once() {
+        let faults = FaultPlan::none();
+        let (parts, sizes, strata, mut outcome, p) = fixture(3, 60, &faults);
+        // Forge a lost item that the report still claims completed.
+        outcome.completed_by[7] = None;
+        let report = audit_fault_run(&faults, &parts, &sizes, &strata, &outcome, p);
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::ExactlyOnce));
+        // The forged hole also breaks its stratum's conservation and the
+        // aggregate count.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::StratumConservation));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::ReportConsistency));
+    }
+
+    #[test]
+    fn doctored_partitions_trip_size_conservation() {
+        let faults = FaultPlan::none();
+        let (mut parts, sizes, strata, outcome, p) = fixture(3, 60, &faults);
+        let dup = parts[0][0];
+        parts[1].push(dup); // same item in two partitions
+        let report = audit_fault_run(&faults, &parts, &sizes, &strata, &outcome, p);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::SizeConservation));
+    }
+
+    #[test]
+    fn doctored_time_trips_monotonicity() {
+        // A fault-free plan: no work moves, so the baseline bound applies.
+        let faults = FaultPlan::none();
+        let (parts, sizes, strata, mut outcome, p) = fixture(4, 120, &faults);
+        outcome.recovery.makespan_s = outcome.recovery.fault_free_makespan_s * 0.5;
+        let report = audit_fault_run(&faults, &parts, &sizes, &strata, &outcome, p);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::TimeMonotone));
+    }
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let labels: Vec<&str> = Invariant::ALL.iter().map(|i| i.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(Invariant::WalRecovery.to_string(), "wal_recovery");
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = AuditReport::new();
+        a.passed(3);
+        let mut b = AuditReport::new();
+        b.violate(Invariant::WalRecovery, "drill failed".into());
+        a.merge(b);
+        assert_eq!(a.checks, 4);
+        assert_eq!(a.violations.len(), 1);
+        assert!(!a.is_clean());
+        assert_eq!(a.violations[0].to_string(), "[wal_recovery] drill failed");
+    }
+}

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use pareto_cluster::{Cost, FaultPlan, JobCtx, JobReport, SimCluster};
+use pareto_cluster::{entries_to_bytes, Cost, Durability, FaultPlan, JobCtx, JobReport, KvStore, SimCluster};
 use pareto_datagen::{DataItem, Dataset};
 use pareto_energy::NodeEnergyProfile;
 use pareto_stats::LinearFit;
@@ -94,6 +94,12 @@ pub struct FrameworkConfig {
     pub planning_horizon_s: f64,
     /// Master seed for all randomized steps.
     pub seed: u64,
+    /// Durability mode armed on every node's KV store at partition
+    /// placement. `Wal` logs every mutation and verifies bit-identical
+    /// recovery after the run ([`RunOutcome::durability`]);
+    /// `SnapshotOnCheckpoint` verifies a checkpoint round-trip; `None`
+    /// (the default) skips durability entirely — the historical behavior.
+    pub durability: Durability,
     /// Worker threads for the planning pipeline (1 = serial). Copied into
     /// the stratifier's config and the heterogeneity estimator, which
     /// shard sketching, cluster assignment/updates, schedule steps, and
@@ -114,6 +120,7 @@ impl Default for FrameworkConfig {
             pipeline_width: 64,
             planning_horizon_s: 6.0 * 3600.0,
             seed: 0x9A9A,
+            durability: Durability::None,
             threads: 1,
         }
     }
@@ -181,6 +188,43 @@ pub enum Quality {
     },
 }
 
+/// Per-node durability verification result (post-run drill).
+#[derive(Debug, Clone)]
+pub struct NodeDurability {
+    /// Which node.
+    pub node_id: usize,
+    /// Mutations logged to the node's WAL during the run (0 in
+    /// `SnapshotOnCheckpoint` mode).
+    pub wal_records: u64,
+    /// WAL byte volume at verification time.
+    pub wal_bytes: usize,
+    /// Whether recovery reproduced the live store bit-for-bit.
+    pub recovered_ok: bool,
+}
+
+/// Post-run durability verification: for every node, rebuild the store
+/// from `(baseline snapshot, WAL)` — or from a fresh checkpoint in
+/// `SnapshotOnCheckpoint` mode — and compare against the live state.
+#[derive(Debug, Clone)]
+pub struct DurabilityReport {
+    /// The mode that was armed.
+    pub mode: Durability,
+    /// Per-node verification results.
+    pub nodes: Vec<NodeDurability>,
+}
+
+impl DurabilityReport {
+    /// True when every node's recovery was bit-identical.
+    pub fn all_recovered(&self) -> bool {
+        self.nodes.iter().all(|n| n.recovered_ok)
+    }
+
+    /// Total WAL records across the cluster.
+    pub fn total_wal_records(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wal_records).sum()
+    }
+}
+
 /// A full run: the plan plus measured execution.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -190,6 +234,9 @@ pub struct RunOutcome {
     pub report: JobReport,
     /// Workload quality.
     pub quality: Quality,
+    /// Durability verification (`None` when
+    /// [`FrameworkConfig::durability`] is [`Durability::None`]).
+    pub durability: Option<DurabilityReport>,
 }
 
 /// A fault-injected run: the plan plus the recovery outcome.
@@ -296,7 +343,7 @@ impl<'a> Framework<'a> {
         workload: WorkloadKind,
         plan: Plan,
     ) -> RunOutcome {
-        self.place_partitions(dataset, &plan.partitions);
+        let baselines = self.place_partitions(dataset, &plan.partitions);
         let (report, quality) = match workload {
             WorkloadKind::FrequentPatterns { support } => {
                 self.run_mining(dataset, &plan.partitions, support, LocalMiner::Apriori)
@@ -308,10 +355,12 @@ impl<'a> Framework<'a> {
                 self.run_compression(dataset, &plan.partitions, workload)
             }
         };
+        let durability = self.verify_durability(&baselines, plan.partitions.len());
         RunOutcome {
             plan,
             report,
             quality,
+            durability,
         }
     }
 
@@ -346,6 +395,7 @@ impl<'a> Framework<'a> {
         faults: &FaultPlan,
         recovery_cfg: &RecoveryConfig,
     ) -> Result<FaultRunOutcome, PlanError> {
+        recovery_cfg.validate()?;
         let plan = self.try_plan(dataset, workload)?;
         let refs: Vec<&DataItem> = dataset.items.iter().collect();
         let (_, total_ops) = pareto_workloads::run_workload(workload, &refs);
@@ -380,18 +430,94 @@ impl<'a> Framework<'a> {
     /// length-prefixed byte sequence per record, whole partition under one
     /// key). This is the one-time placement; its cost is not part of the
     /// measured job, matching the paper's evaluation.
-    fn place_partitions(&self, dataset: &Dataset, partitions: &[Vec<usize>]) {
+    ///
+    /// When [`FrameworkConfig::durability`] is `Wal`, every store is armed
+    /// *before* placement so the partition write itself is the first
+    /// logged record; the returned per-node baselines are the recovery
+    /// starting points [`Framework::verify_durability`] replays from
+    /// (empty when durability is off).
+    fn place_partitions(&self, dataset: &Dataset, partitions: &[Vec<usize>]) -> Vec<Vec<u8>> {
+        let mut baselines = Vec::with_capacity(partitions.len());
         for (node_id, part) in partitions.iter().enumerate() {
+            let store = self.cluster.store(node_id);
+            match self.cfg.durability {
+                Durability::Wal => baselines.push(store.enable_wal()),
+                other => store.set_durability(other),
+            }
             let records: Vec<Vec<u8>> = part
                 .iter()
                 .map(|&i| dataset.items[i].payload.to_bytes())
                 .collect();
             let blob = pareto_cluster::kvstore::encode_records(&records);
-            self.cluster
-                .store(node_id)
+            store
                 .set("partition:data", blob)
                 .expect("fresh key cannot be WRONGTYPE");
         }
+        baselines
+    }
+
+    /// Post-run durability drill. In `Wal` mode every node's store is
+    /// rebuilt from `(arming baseline, WAL)` and compared bit-for-bit
+    /// against the live export; in `SnapshotOnCheckpoint` mode a fresh
+    /// checkpoint must round-trip. Records the WAL/recovery telemetry
+    /// counters; recording and verification never feed back into any
+    /// decision — the report is purely observational.
+    fn verify_durability(
+        &self,
+        baselines: &[Vec<u8>],
+        num_nodes: usize,
+    ) -> Option<DurabilityReport> {
+        let mode = self.cfg.durability;
+        if mode == Durability::None {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(num_nodes);
+        for node_id in 0..num_nodes {
+            let store = self.cluster.store(node_id);
+            let (recovered_ok, wal_records, wal_bytes) = match mode {
+                Durability::Wal => {
+                    let (entries, wal) = store.export_with_wal();
+                    let stats = store.wal_stats();
+                    for (op, count) in stats.by_op() {
+                        self.telemetry
+                            .counter_add("pareto_wal_records_total", &[("op", op)], count);
+                    }
+                    let ok = match KvStore::recover(baselines.get(node_id).map(Vec::as_slice), &wal)
+                    {
+                        Ok((rebuilt, _)) => {
+                            entries_to_bytes(&rebuilt.export_entries())
+                                == entries_to_bytes(&entries)
+                        }
+                        Err(_) => false,
+                    };
+                    (ok, stats.records, wal.len())
+                }
+                Durability::SnapshotOnCheckpoint => {
+                    let snap = store.checkpoint();
+                    let ok = match KvStore::recover(Some(&snap), &[]) {
+                        Ok((rebuilt, _)) => {
+                            entries_to_bytes(&rebuilt.export_entries())
+                                == entries_to_bytes(&store.export_entries())
+                        }
+                        Err(_) => false,
+                    };
+                    (ok, 0, 0)
+                }
+                Durability::None => unreachable!("early-returned above"),
+            };
+            self.telemetry.counter_add(
+                "pareto_wal_recoveries_total",
+                &[("outcome", if recovered_ok { "ok" } else { "mismatch" })],
+                1,
+            );
+            nodes.push(NodeDurability {
+                node_id,
+                wal_records,
+                wal_bytes,
+                recovered_ok,
+            });
+        }
+        Some(DurabilityReport { mode, nodes })
     }
 
     /// Fetch a partition blob from the node's own store, charging the GET.
@@ -583,7 +709,7 @@ pub fn sequential_report(r1: &JobReport, r2: &JobReport) -> JobReport {
 /// bytes, exactly: each record gets the floor of its share and the
 /// (at most `n − 1`) leftover ops go to the lowest-index records, so the
 /// per-item ops always sum to `total_ops`.
-fn per_item_work(dataset: &Dataset, total_ops: u64) -> Vec<RecordWork> {
+pub(crate) fn per_item_work(dataset: &Dataset, total_ops: u64) -> Vec<RecordWork> {
     let bytes: Vec<u64> = dataset
         .items
         .iter()
@@ -618,7 +744,7 @@ fn per_item_work(dataset: &Dataset, total_ops: u64) -> Vec<RecordWork> {
 /// Speed-derived time models for strategies that do not fit any: one
 /// mean-item slope per node, zero intercept. Only used so recovery can
 /// replan and detect stragglers under baseline strategies.
-fn synthetic_fits(cluster: &SimCluster, work: &[RecordWork]) -> Vec<LinearFit> {
+pub(crate) fn synthetic_fits(cluster: &SimCluster, work: &[RecordWork]) -> Vec<LinearFit> {
     let mean_ops = if work.is_empty() {
         1.0
     } else {
@@ -920,6 +1046,68 @@ mod tests {
         let b = run();
         assert_eq!(a.outcome.recovery, b.outcome.recovery);
         assert_eq!(a.outcome.completed_by, b.outcome.completed_by);
+    }
+
+    #[test]
+    fn wal_durability_verifies_bit_identical_recovery() {
+        let ds = graph_ds();
+        let cl = cluster(4);
+        let mut config = cfg(Strategy::HetAware, PartitionLayout::SimilarTogether);
+        config.durability = pareto_cluster::Durability::Wal;
+        let out = Framework::new(&cl, config).run(&ds, WorkloadKind::WebGraph);
+        let dur = out.durability.expect("durability report in Wal mode");
+        assert_eq!(dur.mode, pareto_cluster::Durability::Wal);
+        assert_eq!(dur.nodes.len(), 4);
+        assert!(dur.all_recovered(), "{dur:?}");
+        // Placement + the compressed write-back are logged on every node.
+        for node in &dur.nodes {
+            assert!(node.wal_records >= 2, "node {}: {:?}", node.node_id, node);
+            assert!(node.wal_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_durability_round_trips_checkpoints() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let mut config = cfg(Strategy::Stratified, PartitionLayout::Representative);
+        config.durability = pareto_cluster::Durability::SnapshotOnCheckpoint;
+        let out = Framework::new(&cl, config)
+            .run(&ds, WorkloadKind::FrequentPatterns { support: 0.2 });
+        let dur = out.durability.expect("durability report in snapshot mode");
+        assert!(dur.all_recovered(), "{dur:?}");
+        assert_eq!(dur.total_wal_records(), 0, "snapshot mode logs nothing");
+    }
+
+    #[test]
+    fn durability_off_reports_nothing_and_changes_nothing() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let base = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative))
+            .run(&ds, WorkloadKind::Lz77);
+        assert!(base.durability.is_none());
+        // Arming WAL must not perturb the measured run (durability is
+        // observational): identical makespan and plan either way.
+        let mut config = cfg(Strategy::HetAware, PartitionLayout::Representative);
+        config.durability = pareto_cluster::Durability::Wal;
+        let walled = Framework::new(&cl, config).run(&ds, WorkloadKind::Lz77);
+        assert_eq!(base.report.makespan_seconds, walled.report.makespan_seconds);
+        assert_eq!(base.plan.sizes, walled.plan.sizes);
+    }
+
+    #[test]
+    fn invalid_recovery_config_surfaces_as_plan_error() {
+        let ds = text_ds();
+        let cl = cluster(4);
+        let fw = Framework::new(&cl, cfg(Strategy::HetAware, PartitionLayout::Representative));
+        let bad = RecoveryConfig {
+            max_retries: 0,
+            ..RecoveryConfig::default()
+        };
+        let err = fw
+            .try_run_with_faults(&ds, WorkloadKind::Lz77, &FaultPlan::none(), &bad)
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Recovery(_)), "got {err}");
     }
 
     #[test]

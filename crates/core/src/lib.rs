@@ -41,7 +41,9 @@
 //! assert!(outcome.report.makespan_seconds > 0.0);
 //! ```
 
+pub mod audit;
 pub mod cache;
+pub mod chaos;
 pub mod estimator;
 pub mod framework;
 pub mod pareto;
@@ -52,16 +54,23 @@ pub mod session;
 pub mod stages;
 pub mod stealing;
 
+pub use audit::{audit_fault_run, AuditReport, Invariant, Violation};
 pub use cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache};
+pub use chaos::{run_chaos, shrink_schedule, ChaosConfig, ChaosReport, ScheduleFailure};
 pub use estimator::{
     AdaptiveReport, AdaptiveSamplingConfig, DriftReport, EnergyEstimator,
     HeterogeneityEstimator, NodeTimeModel, SamplingPlan,
 };
-pub use framework::{FaultRunOutcome, Framework, FrameworkConfig, Plan, PlanTimings, RunOutcome, Strategy};
+pub use framework::{
+    DurabilityReport, FaultRunOutcome, Framework, FrameworkConfig, NodeDurability, Plan,
+    PlanTimings, RunOutcome, Strategy,
+};
 pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
 pub use session::PlanSession;
 pub use stages::{dataset_fingerprint, PlanEngine, PlanError, PlanStage, StageCtx, StageReuse};
-pub use recovery::{execute_with_recovery, RecoveryConfig, RecoveryOutcome, RecoveryReport};
+pub use recovery::{
+    execute_with_recovery, RecoveryConfig, RecoveryConfigError, RecoveryOutcome, RecoveryReport,
+};
 pub use scheduling::{best_start, sweep_start_times, StartTimeOption};
 pub use partitioner::{DataPartitioner, PartitionLayout};
 pub use stealing::{simulate_work_stealing, RecordWork, StealingOutcome};

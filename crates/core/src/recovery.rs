@@ -55,6 +55,91 @@ pub struct RecoveryConfig {
     pub straggler_threshold: f64,
 }
 
+/// Why a [`RecoveryConfig`] was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryConfigError {
+    /// `max_retries` was zero — a single transient error would kill every
+    /// node, turning any store hiccup into a crash storm.
+    ZeroRetries,
+    /// `max_retries` exceeded [`RecoveryConfig::MAX_RETRY_BOUND`] — the
+    /// exponential backoff `base · 2^attempt` overflows f64 long before
+    /// that, so such configs silently degenerate.
+    AbsurdRetries(u32),
+    /// `backoff_base_s` was non-finite or negative.
+    BadBackoff(f64),
+    /// `straggler_threshold` was non-finite or below 1.0 (a node cannot be
+    /// "slower than itself"; thresholds under 1 steal from healthy nodes).
+    BadStragglerThreshold(f64),
+}
+
+impl std::fmt::Display for RecoveryConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryConfigError::ZeroRetries => {
+                write!(f, "max_retries must be >= 1 (0 turns every transient error fatal)")
+            }
+            RecoveryConfigError::AbsurdRetries(n) => write!(
+                f,
+                "max_retries {n} exceeds bound {} (exponential backoff degenerates)",
+                RecoveryConfig::MAX_RETRY_BOUND
+            ),
+            RecoveryConfigError::BadBackoff(v) => {
+                write!(f, "backoff_base_s must be finite and >= 0, got {v}")
+            }
+            RecoveryConfigError::BadStragglerThreshold(v) => {
+                write!(f, "straggler_threshold must be finite and >= 1.0, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryConfigError {}
+
+impl RecoveryConfig {
+    /// Largest accepted `max_retries`. Far beyond anything useful — at
+    /// 1024 doublings the backoff alone exceeds the age of the universe in
+    /// simulated seconds — but small enough to catch `u32::MAX`-style
+    /// sentinel values smuggled in as configuration.
+    pub const MAX_RETRY_BOUND: u32 = 1024;
+
+    /// Validated constructor: the only way to build a config that the
+    /// executor has not vetted is to write the fields directly (kept
+    /// public for struct-update ergonomics; `execute_with_recovery`
+    /// asserts validity in debug builds).
+    pub fn new(
+        max_retries: u32,
+        backoff_base_s: f64,
+        straggler_threshold: f64,
+    ) -> Result<Self, RecoveryConfigError> {
+        let cfg = RecoveryConfig {
+            max_retries,
+            backoff_base_s,
+            straggler_threshold,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Check the invariants [`RecoveryConfig::new`] enforces.
+    pub fn validate(&self) -> Result<(), RecoveryConfigError> {
+        if self.max_retries == 0 {
+            return Err(RecoveryConfigError::ZeroRetries);
+        }
+        if self.max_retries > Self::MAX_RETRY_BOUND {
+            return Err(RecoveryConfigError::AbsurdRetries(self.max_retries));
+        }
+        if !self.backoff_base_s.is_finite() || self.backoff_base_s < 0.0 {
+            return Err(RecoveryConfigError::BadBackoff(self.backoff_base_s));
+        }
+        if !self.straggler_threshold.is_finite() || self.straggler_threshold < 1.0 {
+            return Err(RecoveryConfigError::BadStragglerThreshold(
+                self.straggler_threshold,
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Default for RecoveryConfig {
     fn default() -> Self {
         RecoveryConfig {
@@ -214,6 +299,7 @@ pub fn execute_with_recovery_traced(
     assert_eq!(initial.len(), p, "one initial queue per node");
     assert_eq!(fits.len(), p, "one time model per node");
     assert_eq!(profiles.len(), p, "one energy profile per node");
+    debug_assert!(cfg.validate().is_ok(), "invalid RecoveryConfig: {cfg:?}");
 
     // Spans land after any previously recorded jobs on the shared sim
     // timeline; the cursor only moves when a recorder is attached.
@@ -989,6 +1075,100 @@ mod tests {
         assert_eq!(out.recovery.crashed_nodes, Vec::<usize>::new());
         assert!(out.recovery.exactly_once);
         assert!(out.completed_by.contains(&Some(2)));
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_values() {
+        assert_eq!(
+            RecoveryConfig::new(0, 0.05, 1.5),
+            Err(RecoveryConfigError::ZeroRetries)
+        );
+        assert_eq!(
+            RecoveryConfig::new(u32::MAX, 0.05, 1.5),
+            Err(RecoveryConfigError::AbsurdRetries(u32::MAX))
+        );
+        assert!(matches!(
+            RecoveryConfig::new(3, f64::NAN, 1.5),
+            Err(RecoveryConfigError::BadBackoff(_))
+        ));
+        assert!(matches!(
+            RecoveryConfig::new(3, -0.1, 1.5),
+            Err(RecoveryConfigError::BadBackoff(_))
+        ));
+        assert!(matches!(
+            RecoveryConfig::new(3, 0.05, f64::INFINITY),
+            Err(RecoveryConfigError::BadStragglerThreshold(_))
+        ));
+        assert!(matches!(
+            RecoveryConfig::new(3, 0.05, 0.5),
+            Err(RecoveryConfigError::BadStragglerThreshold(_))
+        ));
+        let ok = RecoveryConfig::new(5, 0.1, 2.0).unwrap();
+        assert_eq!(ok.max_retries, 5);
+        assert!(ok.validate().is_ok());
+        assert!(RecoveryConfig::default().validate().is_ok());
+        // Error messages are self-describing.
+        assert!(RecoveryConfigError::ZeroRetries.to_string().contains("max_retries"));
+        assert!(RecoveryConfigError::BadStragglerThreshold(0.5)
+            .to_string()
+            .contains("1.0"));
+    }
+
+    /// Exhaustion boundary: with `max_retries = k`, exactly `k` errors are
+    /// survivable and `k + 1` is fatal.
+    #[test]
+    fn retry_exhaustion_boundary_is_exact() {
+        let cl = cluster(3);
+        let work = uniform_work(90, 1_000_000);
+        let initial = equal_split(90, 3);
+        let strata: Vec<u32> = (0..work.len()).map(|i| (i % 3) as u32).collect();
+        let fits = truthful_fits(&cl, 1_000_000);
+        let profs = profiles(3);
+        let cfg = RecoveryConfig::new(4, 0.05, 1.5).unwrap();
+        let run_with = |errors: u32| {
+            execute_with_recovery(
+                &cl,
+                &work,
+                &initial,
+                &strata,
+                &fits,
+                &profs,
+                1.0,
+                &FaultPlan::new().with_store_errors(1, errors),
+                &cfg,
+            )
+        };
+        // Exactly at budget: survives, all retries spent on node 1.
+        let at = run_with(4);
+        assert_eq!(at.recovery.crashed_nodes, Vec::<usize>::new());
+        assert_eq!(at.recovery.retries_spent, 4);
+        assert!(at.recovery.exactly_once);
+        assert!(at.completed_by.contains(&Some(1)));
+        // One past budget: node 1 is declared failed and replanned around.
+        let past = run_with(5);
+        assert_eq!(past.recovery.crashed_nodes, vec![1]);
+        assert_eq!(past.recovery.retries_spent, 4, "stops retrying at budget");
+        assert!(past.recovery.replans >= 1);
+        assert!(past.recovery.exactly_once, "survivors absorb the partition");
+        assert!(past.completed_by.iter().all(|c| *c != Some(1)));
+        // Exhaustion costs strictly more wall time than the boundary case.
+        assert!(past.recovery.makespan_overhead >= 0.0);
+    }
+
+    /// Every node exhausting retries is equivalent to total cluster loss.
+    #[test]
+    fn retry_exhaustion_on_all_nodes_loses_the_job() {
+        let cl = cluster(2);
+        let work = uniform_work(40, 1_000_000);
+        let initial = equal_split(40, 2);
+        let plan = FaultPlan::new()
+            .with_store_errors(0, 10)
+            .with_store_errors(1, 10);
+        let out = run(&cl, &work, &initial, &plan);
+        assert_eq!(out.recovery.crashed_nodes.len(), 2);
+        assert!(!out.recovery.exactly_once);
+        assert_eq!(out.recovery.items_completed, 0);
+        assert!(out.completed_by.iter().all(|c| c.is_none()));
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub enum PlanError {
     },
     /// The scalarized LP failed (bad α, degenerate inputs, …).
     Lp(PartitionPlanError),
+    /// The caller supplied an invalid [`RecoveryConfig`]
+    /// (zero/absurd retry bounds, non-finite thresholds).
+    ///
+    /// [`RecoveryConfig`]: crate::recovery::RecoveryConfig
+    Recovery(crate::recovery::RecoveryConfigError),
 }
 
 impl std::fmt::Display for PlanError {
@@ -72,6 +77,7 @@ impl std::fmt::Display for PlanError {
                 "node {node} is not available (cluster has {cluster_size} nodes)"
             ),
             PlanError::Lp(e) => write!(f, "partitioning LP failed: {e}"),
+            PlanError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
         }
     }
 }
@@ -80,6 +86,7 @@ impl std::error::Error for PlanError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PlanError::Lp(e) => Some(e),
+            PlanError::Recovery(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +95,12 @@ impl std::error::Error for PlanError {
 impl From<PartitionPlanError> for PlanError {
     fn from(e: PartitionPlanError) -> Self {
         PlanError::Lp(e)
+    }
+}
+
+impl From<crate::recovery::RecoveryConfigError> for PlanError {
+    fn from(e: crate::recovery::RecoveryConfigError) -> Self {
+        PlanError::Recovery(e)
     }
 }
 

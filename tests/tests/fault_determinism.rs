@@ -96,6 +96,79 @@ fn fault_plans_are_seed_deterministic() {
     assert_ne!(a, c, "different seeds should draw different fault plans");
 }
 
+/// Storage-fault generation rides the same `(seed, node, event)` hash
+/// scheme: regenerating is bit-identical, and enabling the storage kinds
+/// leaves the compute draws untouched (the event-index spaces are
+/// disjoint), so pre-existing seeded plans never shift.
+#[test]
+fn storage_fault_plans_are_seed_deterministic() {
+    let spec = FaultSpec::storage();
+    let a = FaultPlan::generate(42, 8, &spec);
+    let b = FaultPlan::generate(42, 8, &spec);
+    assert_eq!(a, b);
+    // Compute events survive verbatim when storage kinds switch on.
+    let compute_only = FaultPlan::generate(42, 8, &FaultSpec::default());
+    for ev in compute_only.events() {
+        assert!(
+            a.events().contains(ev),
+            "enabling storage faults perturbed compute event {ev:?}"
+        );
+    }
+}
+
+/// Every generated plan — storage kinds included — survives a
+/// `to_spec` → `parse` round trip, so a printed minimal reproducer is
+/// always a valid `--faults` argument.
+#[test]
+fn generated_storage_plans_round_trip_through_the_spec_grammar() {
+    for seed in [7u64, 42, 2017] {
+        let plan = FaultPlan::generate(seed, 4, &FaultSpec::storage());
+        let spec = plan.to_spec();
+        let reparsed = FaultPlan::parse(&spec, 4)
+            .unwrap_or_else(|e| panic!("seed {seed}: {spec:?} failed to parse: {e}"));
+        assert_eq!(reparsed.to_spec(), spec, "seed {seed} round trip");
+    }
+}
+
+/// Storage faults target the durability drills, not the executor: adding
+/// them to a compute plan leaves the simulated run bit-identical. This
+/// pins the disjointness that lets the chaos harness reuse one planned
+/// execution across schedules.
+#[test]
+fn executor_results_ignore_storage_fault_events() {
+    let seed = 11u64;
+    let compute = FaultPlan::generate(seed ^ 0xFA17, 4, &FaultSpec::default());
+    let mut with_storage = compute.clone();
+    with_storage = with_storage
+        .with_torn_write(0, 13)
+        .with_bit_rot(1, 40, 0x08)
+        .with_snapshot_loss(2)
+        .with_recovery_crash(3, 2);
+    assert!(with_storage.events().len() > compute.events().len());
+
+    let base = faulted_run(seed, 1, &compute);
+    let augmented = faulted_run(seed, 1, &with_storage);
+    // Identical except for the injected-event count, which reports the
+    // full plan length.
+    assert_eq!(
+        augmented.outcome.recovery.faults_injected,
+        with_storage.events().len()
+    );
+    assert_eq!(
+        base.outcome.recovery.makespan_s.to_bits(),
+        augmented.outcome.recovery.makespan_s.to_bits(),
+        "storage events must not perturb simulated time"
+    );
+    assert_eq!(
+        base.outcome.completed_by, augmented.outcome.completed_by,
+        "storage events must not perturb item placement"
+    );
+    assert_eq!(
+        base.outcome.recovery.crashed_nodes,
+        augmented.outcome.recovery.crashed_nodes
+    );
+}
+
 /// The issue's acceptance scenario: a single node crashes mid-job. Every
 /// item completes exactly once, the replanned assignment excludes the dead
 /// node, and the whole story is identical at every thread count.
