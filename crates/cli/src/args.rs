@@ -5,6 +5,7 @@ use std::path::PathBuf;
 
 use pareto_cluster::Durability;
 use pareto_core::framework::Strategy;
+use pareto_core::frontier::ObjectiveSet;
 use pareto_core::partitioner::PartitionLayout;
 use pareto_datagen::DataKind;
 use pareto_workloads::WorkloadKind;
@@ -16,7 +17,16 @@ usage:
                 [--scale F] [--seed N] --out FILE
   paretofab partition <common options> --out DIR
   paretofab run       <common options>
-  paretofab frontier  <common options>   (predicted alpha sweep)
+  paretofab frontier  <common options> [--objectives LIST] [--tol T]
+                      [--max-points N] [--out FILE]
+                      (adaptive dominance-based frontier exploration:
+                       coarse alpha grid + bisection of intervals whose
+                       plans differ, through a warm planning session.
+                       LIST is comma-separated from time, energy,
+                       transfer (default time,energy); --tol is the
+                       normalized convergence tolerance (default 1e-3);
+                       --max-points caps LP solves (default 48); --out
+                       writes a deterministic JSON frontier report)
   paretofab plan      <common options> [--sweep A1,A2,...] [--out FILE]
                       (incremental planning session; a sweep reuses the
                        cached sketch/stratify/profile artifacts per alpha
@@ -100,10 +110,18 @@ pub enum Command {
         /// Shared data/cluster/strategy options.
         common: Common,
     },
-    /// Print the predicted Pareto frontier (alpha sweep, no execution).
+    /// Explore the predicted Pareto frontier adaptively (no execution).
     Frontier {
         /// Shared data/cluster/strategy options.
         common: Common,
+        /// Objective axes the dominance filter ranks on.
+        objectives: ObjectiveSet,
+        /// Normalized convergence tolerance for bisection.
+        tol: f64,
+        /// Hard budget on scalarized LP solves.
+        max_points: usize,
+        /// Deterministic JSON frontier report (optional).
+        out: Option<PathBuf>,
     },
     /// Plan through a warm [`pareto_core::PlanSession`], optionally
     /// sweeping α, and print cache reuse statistics.
@@ -230,6 +248,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut append_scale: f64 = 0.0;
     let mut schedules: u32 = 256;
     let mut inject_corruption = false;
+    let mut objectives: Option<ObjectiveSet> = None;
+    let mut tol: f64 = 1e-3;
+    let mut max_points: usize = 48;
 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -331,6 +352,32 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 if sweep.is_empty() {
                     return Err("--sweep needs at least one alpha".into());
                 }
+                // Duplicate alphas would silently re-plan identical
+                // points; keep the first occurrence of each.
+                let mut seen = std::collections::BTreeSet::new();
+                sweep.retain(|a| seen.insert(a.to_bits()));
+            }
+            "--objectives" => {
+                objectives = Some(
+                    ObjectiveSet::parse(&value("--objectives")?)
+                        .map_err(|e| format!("bad --objectives: {e}"))?,
+                )
+            }
+            "--tol" => {
+                tol = value("--tol")?
+                    .parse()
+                    .map_err(|e| format!("bad --tol: {e}"))?;
+                if !tol.is_finite() || tol <= 0.0 {
+                    return Err(format!("--tol must be finite and > 0, got {tol}"));
+                }
+            }
+            "--max-points" => {
+                max_points = value("--max-points")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-points: {e}"))?;
+                if max_points < 2 {
+                    return Err("--max-points must be >= 2".into());
+                }
             }
             "--drop-node" => {
                 drop_node = Some(
@@ -428,7 +475,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "frontier" => {
             validate_data_source(&common)?;
-            Ok(Command::Frontier { common })
+            Ok(Command::Frontier {
+                common,
+                objectives: objectives.unwrap_or_else(ObjectiveSet::time_energy),
+                tol,
+                max_points,
+                out,
+            })
         }
         "plan" => {
             validate_data_source(&common)?;
@@ -550,7 +603,66 @@ mod tests {
     #[test]
     fn parses_frontier() {
         let cmd = parse(&argv("frontier --preset rcv1 --nodes 4")).unwrap();
-        assert!(matches!(cmd, Command::Frontier { .. }));
+        match cmd {
+            Command::Frontier {
+                objectives,
+                tol,
+                max_points,
+                out,
+                ..
+            } => {
+                assert_eq!(objectives, ObjectiveSet::time_energy());
+                assert_eq!(tol, 1e-3);
+                assert_eq!(max_points, 48);
+                assert!(out.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_frontier_explorer_flags() {
+        let cmd = parse(&argv(
+            "frontier --preset rcv1 --objectives time,energy,transfer \
+             --tol 1e-4 --max-points 32 --out f.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Frontier {
+                objectives,
+                tol,
+                max_points,
+                out,
+                ..
+            } => {
+                assert_eq!(objectives, ObjectiveSet::full());
+                assert_eq!(tol, 1e-4);
+                assert_eq!(max_points, 32);
+                assert_eq!(out, Some(PathBuf::from("f.json")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Invalid specs are parse errors (nonzero CLI exit).
+        assert!(parse(&argv("frontier --preset rcv1 --objectives frobnicate")).is_err());
+        assert!(parse(&argv("frontier --preset rcv1 --objectives")).is_err());
+        assert!(parse(&argv("frontier --preset rcv1 --tol 0")).is_err());
+        assert!(parse(&argv("frontier --preset rcv1 --tol -1e-3")).is_err());
+        assert!(parse(&argv("frontier --preset rcv1 --tol nan")).is_err());
+        assert!(parse(&argv("frontier --preset rcv1 --tol nope")).is_err());
+        assert!(parse(&argv("frontier --preset rcv1 --max-points 1")).is_err());
+        assert!(parse(&argv("frontier --preset rcv1 --max-points nope")).is_err());
+    }
+
+    #[test]
+    fn sweep_deduplicates_alphas() {
+        let cmd = parse(&argv(
+            "plan --preset rcv1 --sweep 1.0,0.999,1.0,0.995,0.999",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan { sweep, .. } => assert_eq!(sweep, vec![1.0, 0.999, 0.995]),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -6,11 +6,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use pareto_cluster::{Durability, FaultPlan, FaultSpec, NodeSpec, SimCluster};
-use pareto_core::estimator::{EnergyEstimator, HeterogeneityEstimator, SamplingPlan};
 use pareto_core::framework::{DurabilityReport, Framework, FrameworkConfig, Quality};
-use pareto_core::pareto::ParetoModeler;
+use pareto_core::frontier::{FrontierConfig, FrontierResult, ObjectiveSet};
 use pareto_core::{run_chaos, ChaosConfig, RecoveryConfig};
-use pareto_core::{PlanSession, Stratifier, StratifierConfig};
+use pareto_core::PlanSession;
 use pareto_datagen::{loaders, writers, DataKind, Dataset};
 use pareto_telemetry::{event, export, json, report, CaptureSink, StderrSink, TeeSink, Telemetry};
 
@@ -27,7 +26,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
         } => gen(&preset, scale, seed, &out),
         Command::Partition { common, out } => partition(&common, &out),
         Command::Run { common } => execute(&common),
-        Command::Frontier { common } => frontier(&common),
+        Command::Frontier {
+            common,
+            objectives,
+            tol,
+            max_points,
+            out,
+        } => frontier(&common, objectives, tol, max_points, out.as_deref()),
         Command::Report { input, trace } => report_cmd(&input, trace.as_deref()),
         Command::Plan { common, sweep, out } => plan_cmd(&common, &sweep, out.as_deref()),
         Command::Replan {
@@ -267,38 +272,140 @@ fn partition(common: &Common, out: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn frontier(common: &Common) -> Result<(), String> {
+/// `frontier`: adaptive dominance-based frontier exploration through a
+/// warm [`PlanSession`] — a coarse α grid refined by bisecting only
+/// intervals whose plans differ, replacing the historical hand-rolled
+/// fixed sweep. With `--out` the frontier is written as deterministic
+/// JSON (byte-identical across runs and thread counts).
+fn frontier(
+    common: &Common,
+    objectives: ObjectiveSet,
+    tol: f64,
+    max_points: usize,
+    out: Option<&Path>,
+) -> Result<(), String> {
+    let tel = TelemetrySession::start(common);
     let dataset = load_dataset(common)?;
-    let (_, cluster, _) = build_framework_parts(common, None);
-    let strat = Stratifier::new(StratifierConfig {
-        threads: common.threads,
-        ..StratifierConfig::default()
-    })
-    .stratify(&dataset);
-    let (models, _) = HeterogeneityEstimator::new(&cluster, SamplingPlan::default(), common.seed)
-        .with_threads(common.threads)
-        .estimate(&dataset, &strat, common.workload);
-    let profiles = EnergyEstimator::profiles(&cluster, 0.0, 6.0 * 3600.0);
-    let modeler = ParetoModeler::new(models.iter().map(|m| m.fit).collect(), profiles)
-        .map_err(|e| e.to_string())?;
+    let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&tel));
+    let mut session = PlanSession::new(&cluster, cfg, dataset, common.workload);
+    if let Some(rec) = TelemetrySession::recorder(&tel) {
+        session = session.with_telemetry(rec);
+    }
+    let fcfg = FrontierConfig {
+        objectives,
+        tol,
+        max_points,
+        ..FrontierConfig::default()
+    };
+    let outcome = session.explore_frontier(&fcfg).map_err(|e| e.to_string())?;
+    let result = &outcome.result;
+    let report = result.report();
+
     println!(
-        "predicted Pareto frontier for {} on {} nodes:",
-        dataset.name, common.nodes
+        "adaptive Pareto frontier for {} on {} nodes (objectives {}):",
+        session.dataset().name,
+        common.nodes,
+        result.objectives
     );
-    println!("{:>10} {:>12} {:>14}  sizes", "alpha", "time_s", "dirty_kJ");
-    for alpha in [1.0, 0.9999, 0.999, 0.995, 0.99, 0.95, 0.9, 0.5, 0.0] {
-        let point = modeler
-            .solve(dataset.len(), alpha)
-            .map_err(|e| e.to_string())?;
+    println!(
+        "{:>12} {:>12} {:>14} {:>14}  sizes",
+        "alpha", "time_s", "dirty_kJ", "transfer_kB"
+    );
+    for point in &result.points {
         println!(
-            "{:>10} {:>12.2} {:>14.2}  {:?}",
-            alpha,
-            point.predicted_makespan,
-            point.predicted_dirty_joules / 1000.0,
+            "{:>12.6} {:>12.2} {:>14.2} {:>14.2}  {:?}",
+            point.alpha,
+            point.makespan_s,
+            point.dirty_joules / 1000.0,
+            point.transfer_bytes / 1000.0,
             point.sizes
         );
     }
+    println!(
+        "frontier           {} point(s) kept, {} dominated candidate(s) filtered",
+        report.points_kept, report.dominated_candidates
+    );
+    println!(
+        "refinement         {} LP solve(s), {} bisection(s), finest alpha gap {:.3e}",
+        report.lp_solves, report.bisections, report.finest_gap
+    );
+    println!(
+        "knee               alpha={:.6} time={:.2}s dirty={:.2}kJ",
+        report.knee_alpha,
+        report.knee_time_s,
+        report.knee_dirty_joules / 1000.0
+    );
+    println!(
+        "hypervolume        {:.4e} vs equal-split baseline (time {:.2}s, dirty {:.2}kJ)",
+        report.hypervolume_vs_baseline,
+        result.baseline.0,
+        result.baseline.1 / 1000.0
+    );
+    println!(
+        "frontier cache     {}",
+        if outcome.cache_hit { "hit" } else { "miss" }
+    );
+    print_cache_stats(session.cache_stats());
+
+    if let Some(path) = out {
+        write_text(path, &frontier_json(result))?;
+        event::info("cli", format!("wrote frontier JSON to {}", path.display()));
+    }
+    if let Some(tel) = &tel {
+        tel.finish()?;
+    }
     Ok(())
+}
+
+/// Serialize a frontier deterministically: fixed key order, `{}` float
+/// formatting (shortest round-trip representation), no timings — so two
+/// runs over the same inputs produce byte-identical files at any thread
+/// count.
+fn frontier_json(result: &FrontierResult) -> String {
+    use std::fmt::Write as _;
+    let report = result.report();
+    let mut s = String::new();
+    s.push_str("{\n  \"objectives\": [");
+    for (i, o) in result.objectives.objectives().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{}\"", o.label());
+    }
+    s.push_str("],\n");
+    let _ = writeln!(
+        s,
+        "  \"baseline\": {{\"time_s\": {}, \"dirty_joules\": {}}},",
+        result.baseline.0, result.baseline.1
+    );
+    let _ = writeln!(
+        s,
+        "  \"report\": {{\"points_kept\": {}, \"dominated_candidates\": {}, \
+         \"lp_solves\": {}, \"bisections\": {}, \"finest_gap\": {}, \
+         \"knee_alpha\": {}, \"knee_time_s\": {}, \"knee_dirty_joules\": {}, \
+         \"hypervolume_vs_baseline\": {}}},",
+        report.points_kept,
+        report.dominated_candidates,
+        report.lp_solves,
+        report.bisections,
+        report.finest_gap,
+        report.knee_alpha,
+        report.knee_time_s,
+        report.knee_dirty_joules,
+        report.hypervolume_vs_baseline
+    );
+    s.push_str("  \"points\": [\n");
+    for (i, p) in result.points.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"alpha\": {}, \"time_s\": {}, \"dirty_joules\": {}, \
+             \"transfer_bytes\": {}, \"sizes\": {:?}}}",
+            p.alpha, p.makespan_s, p.dirty_joules, p.transfer_bytes, p.sizes
+        );
+        s.push_str(if i + 1 < result.points.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 fn execute(common: &Common) -> Result<(), String> {

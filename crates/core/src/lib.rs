@@ -46,6 +46,7 @@ pub mod cache;
 pub mod chaos;
 pub mod estimator;
 pub mod framework;
+pub mod frontier;
 pub mod pareto;
 pub mod partitioner;
 pub mod recovery;
@@ -65,8 +66,12 @@ pub use framework::{
     DurabilityReport, FaultRunOutcome, Framework, FrameworkConfig, NodeDurability, Plan,
     PlanTimings, RunOutcome, Strategy,
 };
+pub use frontier::{
+    dominates, explore, pareto_frontier, AlphaSolver, FrontierConfig, FrontierPoint,
+    FrontierReport, FrontierResult, ModelerSolver, Objective, ObjectiveSet,
+};
 pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
-pub use session::PlanSession;
+pub use session::{FrontierOutcome, PlanSession};
 pub use stages::{dataset_fingerprint, PlanEngine, PlanError, PlanStage, StageCtx, StageReuse};
 pub use recovery::{
     execute_with_recovery, RecoveryConfig, RecoveryConfigError, RecoveryOutcome, RecoveryReport,

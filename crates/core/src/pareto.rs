@@ -271,12 +271,42 @@ impl ParetoModeler {
     }
 
     /// Sweep `α` values to trace the Pareto frontier (the paper's Fig. 5).
+    ///
+    /// A fixed grid is *not* guaranteed to produce a clean frontier: two
+    /// grid points can map to plans where one dominates the other. The
+    /// sweep still returns every point (callers may want the raw curve),
+    /// but each dominated point now emits a structured warning event
+    /// (target `pareto`) instead of passing silently; use
+    /// [`crate::frontier::explore`] when a dominated-free frontier is
+    /// required.
     pub fn frontier(
         &self,
         n: usize,
         alphas: &[f64],
     ) -> Result<Vec<ParetoPoint>, PartitionPlanError> {
-        alphas.iter().map(|&a| self.solve(n, a)).collect()
+        let points: Vec<ParetoPoint> = alphas
+            .iter()
+            .map(|&a| self.solve(n, a))
+            .collect::<Result<_, _>>()?;
+        let pairs: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.predicted_makespan, p.predicted_dirty_joules))
+            .collect();
+        let keep = Self::pareto_filter(&pairs);
+        for (i, p) in points.iter().enumerate() {
+            if !keep.contains(&i) {
+                pareto_telemetry::event::warn(
+                    "pareto",
+                    format!(
+                        "swept point alpha={} is dominated within its own sweep \
+                         (time {:.6} s, dirty {:.3} J); the fixed grid is not a \
+                         frontier — use the adaptive explorer (`frontier` command)",
+                        p.alpha, p.predicted_makespan, p.predicted_dirty_joules
+                    ),
+                );
+            }
+        }
+        Ok(points)
     }
 
     /// Scale-free scalarization — the normalization the paper proposes as

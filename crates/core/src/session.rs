@@ -17,12 +17,21 @@ use std::sync::Arc;
 
 use pareto_cluster::SimCluster;
 use pareto_datagen::{DataItem, Dataset};
-use pareto_telemetry::Telemetry;
+use pareto_energy::NodeEnergyProfile;
+use pareto_stats::LinearFit;
+use pareto_telemetry::{metrics, Telemetry};
 use pareto_workloads::WorkloadKind;
 
-use crate::cache::{CacheStats, Fingerprint};
+use crate::cache::{CacheStats, Fingerprint, FingerprintBuilder};
 use crate::framework::{FrameworkConfig, Plan, Strategy};
-use crate::stages::{extend_dataset_fingerprint, PlanEngine, PlanError, StageReuse};
+use crate::frontier::{
+    explore, AlphaSolver, FrontierConfig, FrontierPoint, FrontierResult,
+};
+use crate::pareto::{ParetoModeler, PartitionPlanError};
+use crate::partitioner::DataPartitioner;
+use crate::stages::{
+    extend_dataset_fingerprint, workload_fingerprint, PlanEngine, PlanError, StageReuse,
+};
 
 /// A replanning session over one dataset/workload pair.
 pub struct PlanSession<'a> {
@@ -167,5 +176,208 @@ impl<'a> PlanSession<'a> {
     /// Which stages of the last plan were served from the cache.
     pub fn last_reuse(&self) -> StageReuse {
         self.engine.last_reuse()
+    }
+
+    /// Run the adaptive frontier explorer ([`crate::frontier::explore`])
+    /// through this warm session. Each per-α solve is a full
+    /// [`plan`](Self::plan), so sketch/stratify/profile artifacts are
+    /// reused across every bisection (only the LP + partitioning rerun),
+    /// and the whole [`FrontierResult`] is itself a fingerprinted cache
+    /// artifact (stage name `frontier`): re-exploring with unchanged
+    /// inputs is a single cache hit with zero LP solves.
+    ///
+    /// The session's strategy is forced to
+    /// [`Strategy::HetEnergyAware`] for the duration (the explorer owns
+    /// α) and restored afterwards.
+    pub fn explore_frontier(
+        &mut self,
+        cfg: &FrontierConfig,
+    ) -> Result<FrontierOutcome, PlanError> {
+        cfg.validate().map_err(PlanError::Frontier)?;
+        let fp = self.frontier_fingerprint(cfg);
+        let telemetry = self.engine.telemetry().clone();
+        if let Some(found) = self.engine.cache_mut().get::<FrontierResult>("frontier", fp) {
+            telemetry.counter_add(
+                metrics::PLAN_CACHE_EVENTS_TOTAL,
+                &[("event", "hit"), ("stage", "frontier")],
+                1,
+            );
+            return Ok(FrontierOutcome {
+                result: found,
+                cache_hit: true,
+            });
+        }
+        telemetry.counter_add(
+            metrics::PLAN_CACHE_EVENTS_TOTAL,
+            &[("event", "miss"), ("stage", "frontier")],
+            1,
+        );
+        let saved_strategy = self.engine.config().strategy;
+        let explored = {
+            let mut solver = SessionSolver::new(self);
+            explore(&mut solver, cfg, &telemetry)
+        };
+        self.engine.config_mut().strategy = saved_strategy;
+        let result = Arc::new(explored?);
+        for victim in self.engine.cache_mut().insert("frontier", fp, result.clone()) {
+            telemetry.counter_add(
+                metrics::PLAN_CACHE_EVENTS_TOTAL,
+                &[("event", "evict"), ("stage", victim)],
+                1,
+            );
+        }
+        Ok(FrontierOutcome {
+            result,
+            cache_hit: false,
+        })
+    }
+
+    /// Digest of every input the frontier artifact depends on: dataset
+    /// content, roster state, workload, stratifier + sampling config,
+    /// seed/horizon/layout, and the explorer's own knobs. `threads` is
+    /// excluded (results are bit-identical at any thread count), as is the
+    /// session's current strategy (the explorer forces its own).
+    fn frontier_fingerprint(&self, cfg: &FrontierConfig) -> Fingerprint {
+        let ecfg = self.engine.config();
+        let roster_fp = Fingerprint(
+            self.engine
+                .cluster()
+                .roster_fingerprint(self.engine.roster()),
+        );
+        let mut b = FingerprintBuilder::new("frontier")
+            .mix_fp(self.dataset_fp)
+            .mix_fp(roster_fp)
+            .mix_fp(workload_fingerprint(self.workload))
+            .mix_usize(ecfg.stratifier.sketch_size)
+            .mix_u64(ecfg.stratifier.seed)
+            .mix_usize(ecfg.stratifier.num_strata)
+            .mix_usize(ecfg.stratifier.l)
+            .mix_usize(ecfg.stratifier.max_iters)
+            .mix_f64(ecfg.sampling.lo_frac)
+            .mix_f64(ecfg.sampling.hi_frac)
+            .mix_usize(ecfg.sampling.steps)
+            .mix_usize(ecfg.sampling.min_records)
+            .mix_u64(ecfg.seed)
+            .mix_f64(ecfg.planning_horizon_s)
+            .mix_u64(ecfg.layout as u64)
+            .mix_f64(cfg.tol)
+            .mix_usize(cfg.max_points);
+        for o in cfg.objectives.objectives() {
+            b = b.mix_u64(*o as u64);
+        }
+        for &alpha in &cfg.coarse {
+            b = b.mix_f64(alpha);
+        }
+        b.finish()
+    }
+}
+
+/// Result of [`PlanSession::explore_frontier`]: the frontier artifact and
+/// whether it was served from the session cache.
+#[derive(Debug, Clone)]
+pub struct FrontierOutcome {
+    /// The explored (or cached) frontier.
+    pub result: Arc<FrontierResult>,
+    /// True when the whole artifact came from the cache (no LP solved).
+    pub cache_hit: bool,
+}
+
+/// [`AlphaSolver`] backend over a warm session: each α becomes one full
+/// `plan()` (warm stages reused), and transfer bytes are measured against
+/// the content-hash home placement.
+struct SessionSolver<'s, 'a> {
+    session: &'s mut PlanSession<'a>,
+    /// Record ids, for the hash-home placement.
+    ids: Vec<u64>,
+    /// Per-record payload bytes.
+    payload_bytes: Vec<f64>,
+    /// record index → home partition, lazily built once the partition
+    /// count is known (constant within one exploration).
+    home: Option<Vec<usize>>,
+    /// Time models + energy profiles captured from the last solve, for
+    /// the equal-split baseline.
+    captured: Option<(Vec<LinearFit>, Vec<NodeEnergyProfile>)>,
+}
+
+impl<'s, 'a> SessionSolver<'s, 'a> {
+    fn new(session: &'s mut PlanSession<'a>) -> Self {
+        let items = &session.dataset.items;
+        let ids: Vec<u64> = items.iter().map(|i| i.id).collect();
+        let payload_bytes: Vec<f64> = items
+            .iter()
+            .map(|i| i.payload.to_bytes().len() as f64)
+            .collect();
+        SessionSolver {
+            session,
+            ids,
+            payload_bytes,
+            home: None,
+            captured: None,
+        }
+    }
+
+    /// Bytes that must move relative to the hash-home placement.
+    fn transfer_bytes(&mut self, partitions: &[Vec<usize>]) -> f64 {
+        let p = partitions.len();
+        let home = self.home.get_or_insert_with(|| {
+            let slots = DataPartitioner::hash_slots(&self.ids, p);
+            let mut home = vec![0usize; self.ids.len()];
+            for (slot, members) in slots.iter().enumerate() {
+                for &i in members {
+                    home[i] = slot;
+                }
+            }
+            home
+        });
+        let mut moved = 0.0;
+        for (slot, members) in partitions.iter().enumerate() {
+            for &i in members {
+                if home[i] != slot {
+                    moved += self.payload_bytes[i];
+                }
+            }
+        }
+        moved
+    }
+}
+
+impl AlphaSolver for SessionSolver<'_, '_> {
+    fn solve_alpha(&mut self, alpha: f64) -> Result<FrontierPoint, PlanError> {
+        self.session
+            .set_strategy(Strategy::HetEnergyAware { alpha });
+        let plan = self.session.plan()?;
+        let point = plan.pareto.as_ref().ok_or(PlanError::Lp(
+            PartitionPlanError::Degenerate("energy-aware plan produced no LP point"),
+        ))?;
+        if let Some(models) = &plan.time_models {
+            self.captured = Some((
+                models.iter().map(|m| m.fit).collect(),
+                plan.energy_profiles.clone(),
+            ));
+        }
+        let transfer_bytes = self.transfer_bytes(&plan.partitions);
+        Ok(FrontierPoint {
+            alpha,
+            makespan_s: point.predicted_makespan,
+            dirty_joules: point.predicted_dirty_joules,
+            transfer_bytes,
+            sizes: plan.sizes.clone(),
+        })
+    }
+
+    fn baseline(&mut self) -> Result<(f64, f64), PlanError> {
+        let (fits, profiles) = self.captured.clone().ok_or(PlanError::Lp(
+            PartitionPlanError::Degenerate("baseline requested before any solve"),
+        ))?;
+        let n = self.session.dataset.len();
+        let p = fits.len();
+        let modeler = ParetoModeler::new(fits, profiles)?;
+        let equal = vec![n as f64 / p as f64; p];
+        let t = modeler
+            .predicted_times(&equal)
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        Ok((t, modeler.predicted_dirty(&equal)))
     }
 }

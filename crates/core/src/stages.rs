@@ -60,6 +60,11 @@ pub enum PlanError {
     },
     /// The scalarized LP failed (bad α, degenerate inputs, …).
     Lp(PartitionPlanError),
+    /// An invalid [`FrontierConfig`] (bad tolerance, malformed coarse
+    /// grid, budget below the grid size).
+    ///
+    /// [`FrontierConfig`]: crate::frontier::FrontierConfig
+    Frontier(String),
     /// The caller supplied an invalid [`RecoveryConfig`]
     /// (zero/absurd retry bounds, non-finite thresholds).
     ///
@@ -77,6 +82,7 @@ impl std::fmt::Display for PlanError {
                 "node {node} is not available (cluster has {cluster_size} nodes)"
             ),
             PlanError::Lp(e) => write!(f, "partitioning LP failed: {e}"),
+            PlanError::Frontier(m) => write!(f, "invalid frontier config: {m}"),
             PlanError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
         }
     }
@@ -190,7 +196,7 @@ fn strategy_fingerprint(strategy: &Strategy) -> FingerprintBuilder {
     }
 }
 
-fn workload_fingerprint(workload: WorkloadKind) -> Fingerprint {
+pub(crate) fn workload_fingerprint(workload: WorkloadKind) -> Fingerprint {
     let b = FingerprintBuilder::new("workload");
     match workload {
         WorkloadKind::FrequentPatterns { support } => b.mix_u64(0).mix_f64(support),
@@ -629,6 +635,17 @@ impl<'a> PlanEngine<'a> {
     /// Cache hit/miss/evict counters.
     pub fn cache_stats(&self) -> &CacheStats {
         self.cache.stats()
+    }
+
+    /// Direct cache access for same-crate composite artifacts (the
+    /// frontier stage stores its whole result under one fingerprint).
+    pub(crate) fn cache_mut(&mut self) -> &mut PlanCache {
+        &mut self.cache
+    }
+
+    /// The attached telemetry recorder.
+    pub(crate) fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Which stages of the last successful plan came from the cache.

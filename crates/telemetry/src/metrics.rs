@@ -86,6 +86,15 @@ pub const SIZE_BOUNDS: &[f64] = &[
 /// subcommand to assert that warm α sweeps actually reuse artifacts.
 pub const PLAN_CACHE_EVENTS_TOTAL: &str = "pareto_plan_cache_events_total";
 
+/// Counter of frontier-explorer candidate points, labelled
+/// `{outcome=kept|dominated}` — kept points form the reported frontier,
+/// dominated ones were solved but filtered out.
+pub const FRONTIER_POINTS_TOTAL: &str = "pareto_frontier_points_total";
+
+/// Counter of scalarized LP solves spent by the frontier explorer
+/// (coarse grid + adaptive bisections).
+pub const FRONTIER_LP_SOLVES_TOTAL: &str = "pareto_frontier_lp_solves_total";
+
 /// The registry proper.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
