@@ -32,18 +32,29 @@ usage:
                        cached sketch/stratify/profile artifacts per alpha
                        and prints cache hit/miss statistics; --out writes
                        a deterministic plan summary for diffing)
-  paretofab replan    <common options> [--drop-node N] [--realpha A]
-                      [--append-scale F]
+  paretofab replan    <common options> [--drop-node N] [--restore-node N]
+                      [--realpha A] [--append-scale F]
                       (plan cold, apply the deltas, replan warm; prints
                        which stages were reused vs recomputed)
   paretofab report    --input DUMP.json [--trace TRACE.json]
                       (validate + summarize telemetry artifacts)
   paretofab chaos     <common options> [--schedules N] [--inject-corruption]
+                      [--with-elastic]
                       (sweep N seeded fault schedules through the invariant
                        auditor and shrink any violation to a minimal
                        reproducing --faults spec; exits nonzero on
                        violations. --inject-corruption adds a known-bad
-                       schedule that must be caught and shrunk)
+                       schedule that must be caught and shrunk;
+                       --with-elastic composes a seeded elastic roster
+                       plan — joins, drains, preemptions — into every
+                       schedule and shrinks over both event kinds)
+  paretofab elastic   <common options> [--candidate N] [--out FILE]
+                      (autoscaling advisor: plan the full roster, drop the
+                       candidate node and replan warm, then decide whether
+                       re-admitting it pays for its data-migration cost
+                       using the fitted f_i models and transfer-cost
+                       accounting; --out writes a deterministic JSON
+                       advice report. Default candidate: highest node id)
 
 common options:
   --input FILE            dataset in loader text format
@@ -74,6 +85,12 @@ common options:
                             snaploss:NODE      NODE loses its checkpoint snapshot
                             recrash:NODE@R     crash NODE mid-recovery after R records
                             seeded:SEED        deterministic generated plan
+  --elastic SPEC          planned roster transitions for `run`, executed
+                          alongside any --faults. SPEC is comma-separated:
+                            join:NODE@T        NODE joins the roster at second T
+                            drain:NODE@T       NODE finishes/hands off, then leaves
+                            preempt:NODE@T@G   preemption notice at T, grace G s
+                            eseeded:SEED       deterministic generated plan
 
 telemetry options (partition / run / frontier / plan / replan):
   --trace-out FILE        write a chrome-trace (trace_event JSON) loadable
@@ -140,6 +157,9 @@ pub enum Command {
         common: Common,
         /// Drop this node from the roster before replanning.
         drop_node: Option<usize>,
+        /// Return this node to the roster before replanning (applied
+        /// after any drop).
+        restore_node: Option<usize>,
         /// Change the scalarization weight before replanning.
         realpha: Option<f64>,
         /// Append a synthetic tail of this scale before replanning
@@ -162,6 +182,18 @@ pub enum Command {
         schedules: u32,
         /// Plant a known-bad corrupted schedule that must be caught.
         inject_corruption: bool,
+        /// Compose a seeded elastic roster plan into every schedule.
+        with_elastic: bool,
+    },
+    /// Autoscaling advisor: decide whether re-admitting a candidate node
+    /// pays for its migration cost, through a warm planning session.
+    Elastic {
+        /// Shared data/cluster/strategy options.
+        common: Common,
+        /// Candidate node to evaluate (default: highest node id).
+        candidate: Option<usize>,
+        /// Deterministic JSON advice report (optional).
+        out: Option<PathBuf>,
     },
 }
 
@@ -192,6 +224,9 @@ pub struct Common {
     /// Fault-injection spec (`run` only; see `--faults` in [`USAGE`]).
     /// Parsed against the cluster size at execution time.
     pub faults: Option<String>,
+    /// Elastic roster spec (`run` only; see `--elastic` in [`USAGE`]).
+    /// Parsed against the cluster size at execution time.
+    pub elastic: Option<String>,
     /// KV durability mode (`run` only; WAL arms every node's store and
     /// verifies bit-identical recovery after the workload).
     pub durability: Durability,
@@ -217,6 +252,7 @@ impl Default for Common {
             seed: 2017,
             threads: 1,
             faults: None,
+            elastic: None,
             durability: Durability::None,
             trace_out: None,
             metrics_out: None,
@@ -244,10 +280,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut strategy_name: Option<String> = None;
     let mut sweep: Vec<f64> = Vec::new();
     let mut drop_node: Option<usize> = None;
+    let mut restore_node: Option<usize> = None;
     let mut realpha: Option<f64> = None;
     let mut append_scale: f64 = 0.0;
     let mut schedules: u32 = 256;
     let mut inject_corruption = false;
+    let mut with_elastic = false;
+    let mut candidate: Option<usize> = None;
     let mut objectives: Option<ObjectiveSet> = None;
     let mut tol: f64 = 1e-3;
     let mut max_points: usize = 48;
@@ -326,6 +365,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
             }
             "--faults" => common.faults = Some(value("--faults")?),
+            "--elastic" => common.elastic = Some(value("--elastic")?),
             "--durability" => {
                 common.durability = match value("--durability")?.as_str() {
                     "none" => Durability::None,
@@ -343,6 +383,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 }
             }
             "--inject-corruption" => inject_corruption = true,
+            "--with-elastic" => with_elastic = true,
+            "--candidate" => {
+                candidate = Some(
+                    value("--candidate")?
+                        .parse()
+                        .map_err(|e| format!("bad --candidate: {e}"))?,
+                )
+            }
             "--sweep" => {
                 sweep = value("--sweep")?
                     .split(',')
@@ -384,6 +432,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     value("--drop-node")?
                         .parse()
                         .map_err(|e| format!("bad --drop-node: {e}"))?,
+                )
+            }
+            "--restore-node" => {
+                restore_node = Some(
+                    value("--restore-node")?
+                        .parse()
+                        .map_err(|e| format!("bad --restore-node: {e}"))?,
                 )
             }
             "--realpha" => {
@@ -489,15 +544,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }
         "replan" => {
             validate_data_source(&common)?;
-            if drop_node.is_none() && realpha.is_none() && append_scale == 0.0 {
-                return Err(
-                    "replan needs at least one delta: --drop-node, --realpha, or --append-scale"
-                        .into(),
-                );
+            if drop_node.is_none()
+                && restore_node.is_none()
+                && realpha.is_none()
+                && append_scale == 0.0
+            {
+                return Err("replan needs at least one delta: --drop-node, --restore-node, \
+                     --realpha, or --append-scale"
+                    .into());
             }
             Ok(Command::Replan {
                 common,
                 drop_node,
+                restore_node,
                 realpha,
                 append_scale,
             })
@@ -512,6 +571,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 common,
                 schedules,
                 inject_corruption,
+                with_elastic,
+            })
+        }
+        "elastic" => {
+            validate_data_source(&common)?;
+            if let Some(c) = candidate {
+                if c >= common.nodes {
+                    return Err(format!(
+                        "--candidate {c} is out of range (cluster has {} nodes)",
+                        common.nodes
+                    ));
+                }
+            }
+            Ok(Command::Elastic {
+                common,
+                candidate,
+                out,
             })
         }
         other => Err(format!("unknown subcommand {other:?}")),
@@ -797,6 +873,88 @@ mod tests {
     }
 
     #[test]
+    fn restore_node_is_a_replan_delta() {
+        let cmd = parse(&argv("replan --preset rcv1 --nodes 4 --restore-node 2")).unwrap();
+        match cmd {
+            Command::Replan {
+                drop_node,
+                restore_node,
+                ..
+            } => {
+                assert_eq!(drop_node, None);
+                assert_eq!(restore_node, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Drop + restore compose in one invocation.
+        let cmd = parse(&argv(
+            "replan --preset rcv1 --nodes 4 --drop-node 1 --restore-node 1",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Replan {
+                drop_node: Some(1),
+                restore_node: Some(1),
+                ..
+            }
+        ));
+        assert!(parse(&argv("replan --preset rcv1 --restore-node nope")).is_err());
+        assert!(parse(&argv("replan --preset rcv1 --restore-node")).is_err());
+    }
+
+    #[test]
+    fn parses_elastic_spec_and_chaos_flag() {
+        let spec = "join:3@20,drain:1@40,preempt:2@60@15,eseeded:7";
+        let cmd =
+            parse(&argv(&format!("run --preset rcv1 --nodes 4 --elastic {spec}"))).unwrap();
+        match cmd {
+            Command::Run { common } => assert_eq!(common.elastic.as_deref(), Some(spec)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default: no elastic plan.
+        let cmd = parse(&argv("run --preset rcv1")).unwrap();
+        match cmd {
+            Command::Run { common } => assert!(common.elastic.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --preset rcv1 --elastic")).is_err());
+        let cmd = parse(&argv("chaos --preset rcv1 --with-elastic")).unwrap();
+        assert!(matches!(cmd, Command::Chaos { with_elastic: true, .. }));
+        let cmd = parse(&argv("chaos --preset rcv1")).unwrap();
+        assert!(matches!(cmd, Command::Chaos { with_elastic: false, .. }));
+    }
+
+    #[test]
+    fn parses_elastic_subcommand() {
+        let cmd = parse(&argv(
+            "elastic --preset rcv1 --nodes 4 --candidate 3 --out advice.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Elastic {
+                common,
+                candidate,
+                out,
+            } => {
+                assert_eq!(common.nodes, 4);
+                assert_eq!(candidate, Some(3));
+                assert_eq!(out, Some(PathBuf::from("advice.json")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Candidate defaults at execution time; out is optional.
+        let cmd = parse(&argv("elastic --preset rcv1")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Elastic { candidate: None, out: None, .. }
+        ));
+        assert!(parse(&argv("elastic")).is_err()); // no data source
+        assert!(parse(&argv("elastic --preset rcv1 --nodes 4 --candidate 4")).is_err());
+        assert!(parse(&argv("elastic --preset rcv1 --candidate nope")).is_err());
+    }
+
+    #[test]
     fn parses_durability_modes() {
         for (name, mode) in [
             ("none", Durability::None),
@@ -830,10 +988,12 @@ mod tests {
                 common,
                 schedules,
                 inject_corruption,
+                with_elastic,
             } => {
                 assert_eq!(common.nodes, 4);
                 assert_eq!(schedules, 64);
                 assert!(inject_corruption);
+                assert!(!with_elastic);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -6,9 +6,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use pareto_cluster::{Durability, FaultPlan, FaultSpec, NodeSpec, SimCluster};
-use pareto_core::framework::{DurabilityReport, Framework, FrameworkConfig, Quality};
+use pareto_core::framework::{DurabilityReport, Framework, FrameworkConfig, Quality, Strategy};
 use pareto_core::frontier::{FrontierConfig, FrontierResult, ObjectiveSet};
-use pareto_core::{run_chaos, ChaosConfig, RecoveryConfig};
+use pareto_core::{
+    advise_join, run_chaos, ChaosConfig, ElasticPlan, ElasticSpec, JoinAdvice, RecoveryConfig,
+};
 use pareto_core::PlanSession;
 use pareto_datagen::{loaders, writers, DataKind, Dataset};
 use pareto_telemetry::{event, export, json, report, CaptureSink, StderrSink, TeeSink, Telemetry};
@@ -38,14 +40,21 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Replan {
             common,
             drop_node,
+            restore_node,
             realpha,
             append_scale,
-        } => replan_cmd(&common, drop_node, realpha, append_scale),
+        } => replan_cmd(&common, drop_node, restore_node, realpha, append_scale),
         Command::Chaos {
             common,
             schedules,
             inject_corruption,
-        } => chaos_cmd(&common, schedules, inject_corruption),
+            with_elastic,
+        } => chaos_cmd(&common, schedules, inject_corruption, with_elastic),
+        Command::Elastic {
+            common,
+            candidate,
+            out,
+        } => elastic_cmd(&common, candidate, out.as_deref()),
     }
 }
 
@@ -416,9 +425,16 @@ fn execute(common: &Common) -> Result<(), String> {
     if let Some(tel) = TelemetrySession::recorder(&session) {
         fw = fw.with_telemetry(tel);
     }
-    if let Some(spec) = &common.faults {
-        let faults = FaultPlan::parse(spec, common.nodes).map_err(|e| e.to_string())?;
-        let result = execute_with_faults(&fw, &dataset, common, &faults);
+    if common.faults.is_some() || common.elastic.is_some() {
+        let faults = match &common.faults {
+            Some(spec) => FaultPlan::parse(spec, common.nodes).map_err(|e| e.to_string())?,
+            None => FaultPlan::none(),
+        };
+        let elastic = match &common.elastic {
+            Some(spec) => ElasticPlan::parse(spec, common.nodes).map_err(|e| e.to_string())?,
+            None => ElasticPlan::none(),
+        };
+        let result = execute_with_faults(&fw, &dataset, common, &faults, &elastic);
         if let Some(session) = &session {
             session.finish()?;
         }
@@ -613,11 +629,13 @@ fn plan_cmd(common: &Common, sweep: &[f64], out: Option<&Path>) -> Result<(), St
     Ok(())
 }
 
-/// `replan`: plan cold, apply the requested deltas (append records, drop a
-/// node, change α), replan warm, and print which stages were recomputed.
+/// `replan`: plan cold, apply the requested deltas (append records, drop
+/// or restore a node, change α), replan warm, and print which stages were
+/// recomputed.
 fn replan_cmd(
     common: &Common,
     drop_node: Option<usize>,
+    restore_node: Option<usize>,
     realpha: Option<f64>,
     append_scale: f64,
 ) -> Result<(), String> {
@@ -657,6 +675,13 @@ fn replan_cmd(
             session.roster()
         );
     }
+    if let Some(node) = restore_node {
+        session.restore_node(node).map_err(|e| e.to_string())?;
+        println!(
+            "delta              restored node {node} (roster now {:?})",
+            session.roster()
+        );
+    }
     if let Some(alpha) = realpha {
         session.set_alpha(alpha);
         println!("delta              alpha -> {alpha}");
@@ -676,15 +701,25 @@ fn replan_cmd(
     Ok(())
 }
 
-/// `run --faults`: execute through the fault-tolerant path and print the
-/// structured recovery report next to the usual plan summary.
+/// `run --faults` / `run --elastic`: execute through the fault-tolerant
+/// path (with any planned roster transitions) and print the structured
+/// recovery report next to the usual plan summary.
 fn execute_with_faults(
     fw: &Framework,
     dataset: &Dataset,
     common: &Common,
     faults: &FaultPlan,
+    elastic: &ElasticPlan,
 ) -> Result<(), String> {
-    let out = fw.run_with_faults(dataset, common.workload, faults, &RecoveryConfig::default());
+    let out = fw
+        .try_run_with_elastic(
+            dataset,
+            common.workload,
+            faults,
+            elastic,
+            &RecoveryConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
     let rec = &out.outcome.recovery;
     println!(
         "dataset            {} ({} records)",
@@ -696,6 +731,20 @@ fn execute_with_faults(
     println!("faults injected    {}", rec.faults_injected);
     for ev in faults.events() {
         println!("                   node {} <- {:?}", ev.node_id, ev.kind);
+    }
+    if !elastic.is_empty() {
+        println!("roster events      {}", elastic.len());
+        for ev in elastic.events() {
+            println!("                   node {} <- {:?}", ev.node_id, ev.kind);
+        }
+        println!(
+            "elastic            {} join(s), {} drain(s), {} preempt(s); left nodes {:?}",
+            rec.joins_applied, rec.drains_applied, rec.preempts_applied, rec.left_nodes
+        );
+        println!(
+            "handoffs           {} record(s) covering {} item(s), {} store retry(ies)",
+            rec.handoff_records, rec.items_handed_off, rec.handoff_retries
+        );
     }
     println!(
         "crashed nodes      {:?} ({} replans, {} retries, {} speculative steals)",
@@ -741,7 +790,12 @@ fn execute_with_faults(
 /// fails — unless `--inject-corruption` planted one on purpose, in which
 /// case *catching* it is the success condition and the stable
 /// `minimal-spec:` line is printed for diffing across runs.
-fn chaos_cmd(common: &Common, schedules: u32, inject_corruption: bool) -> Result<(), String> {
+fn chaos_cmd(
+    common: &Common,
+    schedules: u32,
+    inject_corruption: bool,
+    with_elastic: bool,
+) -> Result<(), String> {
     let session = TelemetrySession::start(common);
     let dataset = load_dataset(common)?;
     let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&session));
@@ -752,6 +806,7 @@ fn chaos_cmd(common: &Common, schedules: u32, inject_corruption: bool) -> Result
         spec: FaultSpec::storage(),
         recovery: RecoveryConfig::default(),
         inject_corruption,
+        elastic: with_elastic.then(ElasticSpec::default),
     };
     let report = run_chaos(&cluster, &dataset, common.workload, &cfg, &chaos, &tel)
         .map_err(|e| e.to_string())?;
@@ -762,8 +817,15 @@ fn chaos_cmd(common: &Common, schedules: u32, inject_corruption: bool) -> Result
         dataset.len()
     );
     println!(
-        "chaos              {} schedule(s) from seed {}, {} invariant checks",
-        report.schedules_run, common.seed, report.checks
+        "chaos              {} schedule(s) from seed {}, {} invariant checks{}",
+        report.schedules_run,
+        common.seed,
+        report.checks,
+        if with_elastic {
+            " (elastic roster churn composed)"
+        } else {
+            ""
+        }
     );
     for failure in &report.failures {
         println!("violation          schedule seed {}", failure.schedule_seed);
@@ -799,4 +861,136 @@ fn chaos_cmd(common: &Common, schedules: u32, inject_corruption: bool) -> Result
     }
     println!("result             all schedules clean");
     Ok(())
+}
+
+/// `elastic`: the autoscaling advisor. Plan the full roster once (cold),
+/// drop the candidate and replan warm (the printed stage cache shows the
+/// sketch/stratify/profile artifacts surviving the roster change), then
+/// ask [`advise_join`] whether re-admitting the candidate pays for the
+/// data migration its LP share would cost, and restore the roster warm.
+fn elastic_cmd(
+    common: &Common,
+    candidate: Option<usize>,
+    out: Option<&Path>,
+) -> Result<(), String> {
+    let tel = TelemetrySession::start(common);
+    let dataset = load_dataset(common)?;
+    let (_, cluster, cfg) = build_framework_parts(common, TelemetrySession::recorder(&tel));
+    let candidate = candidate.unwrap_or(common.nodes.saturating_sub(1));
+    let backlog_items = dataset.len();
+    let total_bytes: u64 = dataset
+        .items
+        .iter()
+        .map(|i| i.payload.to_bytes().len() as u64)
+        .sum();
+    let bytes_per_item = if backlog_items == 0 {
+        0
+    } else {
+        total_bytes / backlog_items as u64
+    };
+    let mut session = PlanSession::new(&cluster, cfg, dataset, common.workload);
+    if let Some(rec) = TelemetrySession::recorder(&tel) {
+        session = session.with_telemetry(rec);
+    }
+
+    let cold = session.plan().map_err(|e| e.to_string())?;
+    println!(
+        "cold plan          {}  [{:.4}s]",
+        plan_line(&cold),
+        cold.timings.total_s
+    );
+    let models = cold.time_models.as_ref().ok_or_else(|| {
+        format!(
+            "strategy {} fits no per-node time models; the advisor needs \
+             het-aware or an energy-aware strategy",
+            common.strategy.label()
+        )
+    })?;
+    let fits: Vec<_> = models.iter().map(|m| m.fit).collect();
+    let profiles = cold.energy_profiles.clone();
+    let alpha = match common.strategy {
+        Strategy::HetEnergyAware { alpha } => alpha,
+        Strategy::HetEnergyAwareNormalized { alpha } => alpha,
+        _ => 1.0,
+    };
+
+    session.drop_node(candidate).map_err(|e| e.to_string())?;
+    let without = session.plan().map_err(|e| e.to_string())?;
+    println!(
+        "without candidate  {}  [{}]",
+        plan_line(&without),
+        reuse_line(session.last_reuse())
+    );
+
+    let advice = advise_join(
+        &cluster,
+        &fits,
+        &profiles,
+        session.roster(),
+        candidate,
+        backlog_items,
+        bytes_per_item,
+        alpha,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "advisor            candidate {} over roster {:?} ({} backlog items)",
+        advice.candidate, advice.roster, advice.backlog_items
+    );
+    println!(
+        "makespan           {:.4} s current -> {:.4} s joined (payoff {:+.4} s)",
+        advice.current_makespan_s, advice.joined_makespan_s, advice.payoff_s
+    );
+    println!(
+        "migration          {} item(s), {} byte(s), {:.4} s before the candidate contributes",
+        advice.migration_items, advice.migration_bytes, advice.migration_seconds
+    );
+    println!(
+        "verdict            {}",
+        if advice.worthwhile {
+            "join: the makespan win pays for the migration"
+        } else {
+            "stay: migration costs more than the join saves"
+        }
+    );
+
+    session.restore_node(candidate).map_err(|e| e.to_string())?;
+    let restored = session.plan().map_err(|e| e.to_string())?;
+    println!(
+        "restored roster    {}  [{}]",
+        plan_line(&restored),
+        reuse_line(session.last_reuse())
+    );
+    print_cache_stats(session.cache_stats());
+
+    if let Some(path) = out {
+        write_text(path, &advice_json(&advice))?;
+        event::info("cli", format!("wrote elastic advice to {}", path.display()));
+    }
+    if let Some(tel) = &tel {
+        tel.finish()?;
+    }
+    Ok(())
+}
+
+/// Serialize a [`JoinAdvice`] deterministically: fixed key order and `{}`
+/// float formatting (shortest round-trip representation), so two runs
+/// over the same inputs produce byte-identical files at any thread count.
+fn advice_json(a: &JoinAdvice) -> String {
+    format!(
+        "{{\n  \"candidate\": {},\n  \"roster\": {:?},\n  \"backlog_items\": {},\n  \
+         \"current_makespan_s\": {},\n  \"joined_makespan_s\": {},\n  \
+         \"migration_items\": {},\n  \"migration_bytes\": {},\n  \
+         \"migration_seconds\": {},\n  \"payoff_s\": {},\n  \"worthwhile\": {}\n}}\n",
+        a.candidate,
+        a.roster,
+        a.backlog_items,
+        a.current_makespan_s,
+        a.joined_makespan_s,
+        a.migration_items,
+        a.migration_bytes,
+        a.migration_seconds,
+        a.payoff_s,
+        a.worthwhile
+    )
 }

@@ -168,7 +168,7 @@ pub struct FaultPlan {
 }
 
 /// SplitMix64 finalizer: one bijective avalanche round.
-fn mix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -176,7 +176,12 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 /// Uniform draw in `[0, 1)` from `(seed, node_id, event_index)`.
-fn unit_draw(seed: u64, node_id: usize, event_index: u64) -> f64 {
+///
+/// Event indices are partitioned by family so enabling one family never
+/// perturbs another's draws: compute faults use `0..=7`, storage faults
+/// `8..=15`, and elastic roster events (`core::elastic`) `16..=22`. New
+/// seeded event kinds must claim fresh indices.
+pub fn unit_draw(seed: u64, node_id: usize, event_index: u64) -> f64 {
     let h = raw_draw(seed, node_id, event_index);
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
@@ -184,7 +189,7 @@ fn unit_draw(seed: u64, node_id: usize, event_index: u64) -> f64 {
 /// Full-width hash from `(seed, node_id, event_index)` — the integer
 /// sibling of [`unit_draw`], used where a draw needs all 64 bits (bit-rot
 /// offsets).
-fn raw_draw(seed: u64, node_id: usize, event_index: u64) -> u64 {
+pub fn raw_draw(seed: u64, node_id: usize, event_index: u64) -> u64 {
     mix64(mix64(seed ^ mix64(node_id as u64)) ^ event_index)
 }
 

@@ -15,6 +15,7 @@
 
 use pareto_cluster::FaultPlan;
 
+use crate::elastic::ElasticPlan;
 use crate::recovery::RecoveryOutcome;
 
 /// The invariants the auditor enforces.
@@ -41,6 +42,19 @@ pub enum Invariant {
     /// torn writes recover the longest complete prefix, bit-rot is either
     /// detected or harmless, recovery restarts are idempotent).
     WalRecovery,
+    /// Every item moved through a drain handoff record completes exactly
+    /// once (never on the node that handed it off, and always somewhere
+    /// whenever a node remains available), and the handoff aggregates
+    /// agree with the per-item handoff log.
+    HandoffExactlyOnce,
+    /// No work executes outside a node's membership window: nothing
+    /// completes on a node after its leave epoch or before its join
+    /// epoch, leaves are disjoint from crashes, and epochs are ordered.
+    LeaveEpochRespected,
+    /// Conservation across join/leave boundaries: elastic transition
+    /// counts agree with the plan and with per-node epochs, and a run
+    /// with an available node at the end never strands items.
+    ElasticConservation,
 }
 
 impl Invariant {
@@ -53,17 +67,23 @@ impl Invariant {
             Invariant::TimeMonotone => "time_monotone",
             Invariant::ReportConsistency => "report_consistency",
             Invariant::WalRecovery => "wal_recovery",
+            Invariant::HandoffExactlyOnce => "handoff_exactly_once",
+            Invariant::LeaveEpochRespected => "leave_epoch",
+            Invariant::ElasticConservation => "elastic_conservation",
         }
     }
 
     /// Every invariant, in audit order.
-    pub const ALL: [Invariant; 6] = [
+    pub const ALL: [Invariant; 9] = [
         Invariant::ExactlyOnce,
         Invariant::StratumConservation,
         Invariant::SizeConservation,
         Invariant::TimeMonotone,
         Invariant::ReportConsistency,
         Invariant::WalRecovery,
+        Invariant::HandoffExactlyOnce,
+        Invariant::LeaveEpochRespected,
+        Invariant::ElasticConservation,
     ];
 }
 
@@ -150,6 +170,36 @@ pub fn audit_fault_run(
     outcome: &RecoveryOutcome,
     num_nodes: usize,
 ) -> AuditReport {
+    audit_elastic_run(
+        faults,
+        &ElasticPlan::none(),
+        partitions,
+        sizes,
+        strata,
+        outcome,
+        num_nodes,
+    )
+}
+
+/// Audit one execution that ran under both a fault plan and an elastic
+/// roster plan.
+///
+/// This is the full auditor: [`audit_fault_run`] is a thin wrapper that
+/// passes an empty [`ElasticPlan`]. Beyond the six fault invariants it
+/// checks the elastic-transition promises — exactly-once across drain
+/// handoffs, no work executed outside a node's membership window, and
+/// conservation of items and transition counts across join/leave
+/// boundaries.
+#[allow(clippy::too_many_arguments)]
+pub fn audit_elastic_run(
+    faults: &FaultPlan,
+    elastic: &ElasticPlan,
+    partitions: &[Vec<usize>],
+    sizes: &[usize],
+    strata: &[u32],
+    outcome: &RecoveryOutcome,
+    num_nodes: usize,
+) -> AuditReport {
     let mut report = AuditReport::new();
     let rec = &outcome.recovery;
     let n = rec.items_total;
@@ -192,7 +242,18 @@ pub fn audit_fault_run(
     );
 
     // --- ExactlyOnce: total completion whenever anyone survived. --------
-    let survivors = num_nodes.saturating_sub(rec.crashed_nodes.len());
+    // A node counts as *available* at end-of-run when it neither crashed
+    // nor gracefully left, and — if the plan scheduled it as a joiner —
+    // it actually activated (a joiner killed before its join time never
+    // contributes capacity, so its absence is not a violation).
+    let never_activated = |i: usize| {
+        elastic.join_time(i).is_some() && outcome.join_epochs.get(i).copied().flatten().is_none()
+    };
+    let survivors = (0..num_nodes)
+        .filter(|&i| {
+            !rec.crashed_nodes.contains(&i) && !rec.left_nodes.contains(&i) && !never_activated(i)
+        })
+        .count();
     let completed = outcome.completed_by.iter().filter(|c| c.is_some()).count();
     if survivors > 0 {
         report.check(Invariant::ExactlyOnce, completed == n, || {
@@ -255,7 +316,8 @@ pub fn audit_fault_run(
     let work_moved = rec.items_reassigned > 0
         || rec.items_stolen > 0
         || rec.speculative_steals > 0
-        || rec.replans > 0;
+        || rec.replans > 0
+        || rec.elastic_events > 0;
     if completed == n && !work_moved {
         report.check(
             Invariant::TimeMonotone,
@@ -324,22 +386,189 @@ pub fn audit_fault_run(
     report.check(Invariant::ReportConsistency, ghost_completions == 0, || {
         format!("{ghost_completions} item(s) completed by nodes dead from t=0")
     });
+
+    // --- HandoffExactlyOnce: drained work is never lost or duplicated. ---
+    report.check(
+        Invariant::HandoffExactlyOnce,
+        rec.items_handed_off == outcome.handed_off_items.len(),
+        || {
+            format!(
+                "items_handed_off {} != handoff log {}",
+                rec.items_handed_off,
+                outcome.handed_off_items.len()
+            )
+        },
+    );
+    report.check(
+        Invariant::HandoffExactlyOnce,
+        rec.handoff_records as usize <= rec.left_nodes.len(),
+        || {
+            format!(
+                "{} handoff record(s) but only {} node(s) ever left",
+                rec.handoff_records,
+                rec.left_nodes.len()
+            )
+        },
+    );
+    let out_of_range_handoffs = outcome
+        .handed_off_items
+        .iter()
+        .filter(|&&r| r >= n)
+        .count();
+    report.check(Invariant::HandoffExactlyOnce, out_of_range_handoffs == 0, || {
+        format!("{out_of_range_handoffs} handed-off item(s) outside 0..{n}")
+    });
+    if survivors > 0 {
+        // With capacity left at end-of-run, every item that rode a handoff
+        // record must have landed and completed — never on the node that
+        // handed it off.
+        let lost_handoffs = outcome
+            .handed_off_items
+            .iter()
+            .filter(|&&r| outcome.completed_by.get(r).copied().flatten().is_none())
+            .count();
+        report.check(Invariant::HandoffExactlyOnce, lost_handoffs == 0, || {
+            format!("{lost_handoffs} handed-off item(s) never completed despite survivors")
+        });
+        let reassigned: std::collections::HashSet<usize> =
+            outcome.reassigned_items.iter().copied().collect();
+        let untracked = outcome
+            .handed_off_items
+            .iter()
+            .filter(|r| !reassigned.contains(r))
+            .count();
+        report.check(Invariant::HandoffExactlyOnce, untracked == 0, || {
+            format!("{untracked} handed-off item(s) missing from the reassignment log")
+        });
+    }
+    // --- LeaveEpochRespected: membership windows bound all execution. ----
+    let mut left_sorted = rec.left_nodes.clone();
+    left_sorted.sort_unstable();
+    left_sorted.dedup();
+    report.check(
+        Invariant::LeaveEpochRespected,
+        left_sorted.len() == rec.left_nodes.len() && left_sorted.iter().all(|&l| l < num_nodes),
+        || format!("left_nodes {:?} has duplicates or unknown ids", rec.left_nodes),
+    );
+    report.check(
+        Invariant::LeaveEpochRespected,
+        rec.left_nodes.iter().all(|l| !rec.crashed_nodes.contains(l)),
+        || {
+            format!(
+                "left_nodes {:?} overlaps crashed_nodes {:?}",
+                rec.left_nodes, rec.crashed_nodes
+            )
+        },
+    );
+    let bad_epochs = (0..num_nodes)
+        .filter(|&i| {
+            let join = outcome.join_epochs.get(i).copied().flatten();
+            let leave = outcome.leave_epochs.get(i).copied().flatten();
+            let invalid = |t: f64| !t.is_finite() || t < 0.0;
+            join.is_some_and(invalid)
+                || leave.is_some_and(invalid)
+                || matches!((join, leave), (Some(j), Some(l)) if j > l + 1e-9)
+        })
+        .count();
+    report.check(Invariant::LeaveEpochRespected, bad_epochs == 0, || {
+        format!("{bad_epochs} node(s) have non-finite, negative, or inverted join/leave epochs")
+    });
+    let outside_window = outcome
+        .completed_by
+        .iter()
+        .zip(&outcome.completed_at_s)
+        .filter(|(node, at)| match (node, at) {
+            (Some(node), Some(t)) => {
+                let after_leave = outcome
+                    .leave_epochs
+                    .get(*node)
+                    .copied()
+                    .flatten()
+                    .is_some_and(|l| *t > l + 1e-9);
+                let before_join = outcome
+                    .join_epochs
+                    .get(*node)
+                    .copied()
+                    .flatten()
+                    .is_some_and(|j| *t < j - 1e-9);
+                after_leave || before_join
+            }
+            _ => false,
+        })
+        .count();
+    report.check(Invariant::LeaveEpochRespected, outside_window == 0, || {
+        format!("{outside_window} item(s) completed outside their node's membership window")
+    });
+
+    // --- ElasticConservation: transitions conserve items and counts. -----
+    let mismatched_evidence = outcome
+        .completed_by
+        .iter()
+        .zip(&outcome.completed_at_s)
+        .filter(|(node, at)| node.is_some() != at.is_some())
+        .count();
+    report.check(Invariant::ElasticConservation, mismatched_evidence == 0, || {
+        format!("{mismatched_evidence} item(s) have a completer without a completion time (or vice versa)")
+    });
+    report.check(
+        Invariant::ElasticConservation,
+        rec.elastic_events == elastic.len(),
+        || format!("elastic_events {} != plan length {}", rec.elastic_events, elastic.len()),
+    );
+    let applied =
+        rec.joins_applied as usize + rec.drains_applied as usize + rec.preempts_applied as usize;
+    report.check(Invariant::ElasticConservation, applied <= elastic.len(), || {
+        format!("{applied} transition(s) applied from a plan of {}", elastic.len())
+    });
+    let join_epoch_count = outcome.join_epochs.iter().flatten().count();
+    report.check(
+        Invariant::ElasticConservation,
+        rec.joins_applied as usize == join_epoch_count,
+        || format!("joins_applied {} != {join_epoch_count} recorded join epoch(s)", rec.joins_applied),
+    );
+    let leave_epoch_count = outcome.leave_epochs.iter().flatten().count();
+    report.check(
+        Invariant::ElasticConservation,
+        rec.left_nodes.len() == leave_epoch_count,
+        || {
+            format!(
+                "{} left node(s) but {leave_epoch_count} recorded leave epoch(s)",
+                rec.left_nodes.len()
+            )
+        },
+    );
+    if elastic.is_empty() {
+        report.check(
+            Invariant::ElasticConservation,
+            rec.joins_applied == 0
+                && rec.drains_applied == 0
+                && rec.preempts_applied == 0
+                && rec.handoff_records == 0
+                && rec.handoff_retries == 0
+                && rec.items_handed_off == 0
+                && rec.left_nodes.is_empty()
+                && outcome.handed_off_items.is_empty(),
+            || "elastic activity reported under an empty elastic plan".into(),
+        );
+    }
+
     report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::recovery::{execute_with_recovery, RecoveryConfig};
+    use crate::recovery::{execute_with_recovery_elastic, RecoveryConfig};
     use crate::stealing::RecordWork;
     use pareto_cluster::{Cost, NodeSpec, SimCluster};
     use pareto_energy::NodeEnergyProfile;
     use pareto_stats::LinearFit;
 
-    fn fixture(
+    fn elastic_fixture(
         p: usize,
         n: usize,
         faults: &FaultPlan,
+        elastic: &ElasticPlan,
     ) -> (Vec<Vec<usize>>, Vec<usize>, Vec<u32>, RecoveryOutcome, usize) {
         let cl = SimCluster::new(NodeSpec::paper_cluster(p, 400.0, 2, 9, 3));
         let work = vec![RecordWork { ops: 1_000_000, bytes: 256 }; n];
@@ -363,7 +592,7 @@ mod tests {
                 mean_green_watts: 120.0,
             })
             .collect();
-        let outcome = execute_with_recovery(
+        let outcome = execute_with_recovery_elastic(
             &cl,
             &work,
             &partitions,
@@ -372,9 +601,18 @@ mod tests {
             &profiles,
             1.0,
             faults,
+            elastic,
             &RecoveryConfig::default(),
         );
         (partitions, sizes, strata, outcome, p)
+    }
+
+    fn fixture(
+        p: usize,
+        n: usize,
+        faults: &FaultPlan,
+    ) -> (Vec<Vec<usize>>, Vec<usize>, Vec<u32>, RecoveryOutcome, usize) {
+        elastic_fixture(p, n, faults, &ElasticPlan::none())
     }
 
     #[test]
@@ -452,6 +690,75 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.invariant == Invariant::TimeMonotone));
+    }
+
+    #[test]
+    fn clean_elastic_run_passes_all_nine_invariants() {
+        let faults = FaultPlan::none();
+        // Calibrate transition times off the fault-free makespan so the
+        // drain lands mid-run with work still queued.
+        let (_, _, _, base, _) = elastic_fixture(4, 120, &faults, &ElasticPlan::none());
+        let t = base.recovery.makespan_s * 0.3;
+        let elastic = ElasticPlan::new()
+            .with_join(3, t * 0.5)
+            .with_drain(1, t)
+            .with_preempt(2, t * 1.4, base.recovery.makespan_s * 10.0);
+        let (parts, sizes, strata, outcome, p) = elastic_fixture(4, 120, &faults, &elastic);
+        let report = audit_elastic_run(&faults, &elastic, &parts, &sizes, &strata, &outcome, p);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.checks > 20, "elastic audit must check things");
+        let labels: std::collections::HashSet<&str> =
+            Invariant::ALL.iter().map(Invariant::label).collect();
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn doctored_completion_after_leave_trips_leave_epoch() {
+        let faults = FaultPlan::none();
+        let (_, _, _, base, _) = elastic_fixture(4, 120, &faults, &ElasticPlan::none());
+        let elastic = ElasticPlan::new().with_drain(1, base.recovery.makespan_s * 0.3);
+        let (parts, sizes, strata, mut outcome, p) = elastic_fixture(4, 120, &faults, &elastic);
+        let leave = outcome.leave_epochs[1].expect("node 1 drained and left");
+        let victim = outcome
+            .completed_by
+            .iter()
+            .position(|&by| by == Some(1))
+            .expect("node 1 completed something before draining");
+        // Forge an execution on the drained node after its leave epoch.
+        outcome.completed_at_s[victim] = Some(leave + 100.0);
+        let report = audit_elastic_run(&faults, &elastic, &parts, &sizes, &strata, &outcome, p);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::LeaveEpochRespected));
+    }
+
+    #[test]
+    fn doctored_handoff_aggregates_trip_handoff_exactly_once() {
+        let faults = FaultPlan::none();
+        let (_, _, _, base, _) = elastic_fixture(4, 120, &faults, &ElasticPlan::none());
+        let elastic = ElasticPlan::new().with_drain(1, base.recovery.makespan_s * 0.3);
+        let (parts, sizes, strata, mut outcome, p) = elastic_fixture(4, 120, &faults, &elastic);
+        assert!(outcome.recovery.items_handed_off > 0, "drain must hand off");
+        // Claim one more handed-off item than the per-item log records.
+        outcome.recovery.items_handed_off += 1;
+        let report = audit_elastic_run(&faults, &elastic, &parts, &sizes, &strata, &outcome, p);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::HandoffExactlyOnce));
+    }
+
+    #[test]
+    fn elastic_activity_under_empty_plan_is_flagged() {
+        let faults = FaultPlan::none();
+        let (parts, sizes, strata, mut outcome, p) = fixture(4, 120, &faults);
+        outcome.recovery.joins_applied = 1;
+        let report = audit_fault_run(&faults, &parts, &sizes, &strata, &outcome, p);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == Invariant::ElasticConservation));
     }
 
     #[test]

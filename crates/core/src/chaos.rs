@@ -25,9 +25,10 @@ use pareto_stats::LinearFit;
 use pareto_telemetry::Telemetry;
 use pareto_workloads::WorkloadKind;
 
-use crate::audit::{audit_fault_run, AuditReport, Invariant, Violation};
+use crate::audit::{audit_elastic_run, AuditReport, Invariant, Violation};
+use crate::elastic::{ElasticPlan, ElasticSpec};
 use crate::framework::{per_item_work, synthetic_fits, Framework, FrameworkConfig, Plan, Strategy};
-use crate::recovery::{execute_with_recovery, RecoveryConfig};
+use crate::recovery::{execute_with_recovery_elastic, RecoveryConfig};
 use crate::stages::PlanError;
 use crate::stealing::RecordWork;
 
@@ -49,6 +50,11 @@ pub struct ChaosConfig {
     /// payload-corrupting bit-rot event, proving the auditor catches
     /// silent corruption and the shrinker isolates it.
     pub inject_corruption: bool,
+    /// When set, every schedule additionally draws a seeded
+    /// [`ElasticPlan`] from this spec (same per-schedule seed, disjoint
+    /// draw indices), composing roster churn with the fault mix. `None`
+    /// (the default) keeps the sweep bit-identical to a fault-only run.
+    pub elastic: Option<ElasticSpec>,
 }
 
 impl Default for ChaosConfig {
@@ -59,6 +65,7 @@ impl Default for ChaosConfig {
             spec: FaultSpec::storage(),
             recovery: RecoveryConfig::default(),
             inject_corruption: false,
+            elastic: None,
         }
     }
 }
@@ -69,14 +76,31 @@ pub struct ScheduleFailure {
     /// The schedule's seed (`cfg.seed + index`; the injected-corruption
     /// schedule reuses `cfg.seed`).
     pub schedule_seed: u64,
-    /// The full offending plan as a `--faults` spec string.
+    /// The full offending schedule as a one-line spec (fault grammar,
+    /// plus an ` // elastic: …` suffix when roster churn was composed).
     pub spec: String,
     /// Violations the full plan produced.
     pub violations: Vec<Violation>,
-    /// The greedily shrunk minimal plan.
+    /// The greedily shrunk minimal fault plan.
     pub minimal: FaultPlan,
-    /// `minimal` as a `--faults` spec string — the one-line reproducer.
+    /// The greedily shrunk minimal elastic plan (empty when the sweep ran
+    /// without elasticity or the roster events were all noise).
+    pub minimal_elastic: ElasticPlan,
+    /// The combined minimal schedule as a one-line spec — the reproducer.
     pub minimal_spec: String,
+}
+
+/// One-line spec for a combined fault + elastic schedule. Stays a single
+/// line so `grep '^minimal-spec:'` pipelines keep working; the elastic
+/// half round-trips through [`ElasticPlan::parse`].
+fn combined_spec(faults: &FaultPlan, elastic: &ElasticPlan) -> String {
+    if elastic.is_empty() {
+        faults.to_spec()
+    } else if faults.is_empty() {
+        format!("elastic: {}", elastic.to_spec())
+    } else {
+        format!("{} // elastic: {}", faults.to_spec(), elastic.to_spec())
+    }
 }
 
 /// Aggregate result of a chaos sweep.
@@ -333,8 +357,13 @@ impl ChaosContext<'_> {
     /// audit, and the per-node storage drills. `verify_checksums = false`
     /// is used only for the planted `--inject-corruption` schedule — the
     /// regular sweep always drills the real (verifying) recovery path.
-    fn evaluate(&self, faults: &FaultPlan, verify_checksums: bool) -> AuditReport {
-        let outcome = execute_with_recovery(
+    fn evaluate(
+        &self,
+        faults: &FaultPlan,
+        elastic: &ElasticPlan,
+        verify_checksums: bool,
+    ) -> AuditReport {
+        let outcome = execute_with_recovery_elastic(
             self.cluster,
             &self.work,
             &self.plan.partitions,
@@ -343,10 +372,12 @@ impl ChaosContext<'_> {
             &self.plan.energy_profiles,
             self.alpha,
             faults,
+            elastic,
             &self.recovery,
         );
-        let mut audit = audit_fault_run(
+        let mut audit = audit_elastic_run(
             faults,
+            elastic,
             &self.plan.partitions,
             &self.plan.sizes,
             &self.plan.stratification.assignments,
@@ -382,6 +413,45 @@ pub fn shrink_schedule(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bo
         }
         if !progressed {
             return current;
+        }
+    }
+}
+
+/// Delta-debug a combined fault + elastic schedule: alternate one-event-
+/// at-a-time passes over the fault plan (elastic held fixed) and the
+/// elastic plan (faults held fixed) until a whole round removes nothing.
+/// Deterministic for a deterministic `fails`, like [`shrink_schedule`].
+pub fn shrink_combined_schedule(
+    faults: &FaultPlan,
+    elastic: &ElasticPlan,
+    mut fails: impl FnMut(&FaultPlan, &ElasticPlan) -> bool,
+) -> (FaultPlan, ElasticPlan) {
+    let mut cf = faults.clone();
+    let mut ce = elastic.clone();
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cf.len() {
+            let candidate = cf.without_event(i);
+            if fails(&candidate, &ce) {
+                cf = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut j = 0;
+        while j < ce.len() {
+            let candidate = ce.without_event(j);
+            if fails(&cf, &candidate) {
+                ce = candidate;
+                progressed = true;
+            } else {
+                j += 1;
+            }
+        }
+        if !progressed {
+            return (cf, ce);
         }
     }
 }
@@ -440,36 +510,44 @@ pub fn run_chaos(
     };
 
     let mut report = ChaosReport::default();
-    // (seed, plan, verify) triples: the sweep always drills the real
-    // verifying recovery path; --inject-corruption adds one planted
-    // schedule evaluated with checksum verification off.
-    let mut runs: Vec<(u64, FaultPlan, bool)> = (0..chaos.schedules)
+    // (seed, faults, elastic, verify) tuples: the sweep always drills the
+    // real verifying recovery path; --inject-corruption adds one planted
+    // schedule evaluated with checksum verification off. Roster churn is
+    // drawn from the same per-schedule seed through disjoint draw
+    // indices, so composing it never perturbs the fault draws.
+    let mut runs: Vec<(u64, FaultPlan, ElasticPlan, bool)> = (0..chaos.schedules)
         .map(|i| {
             let seed = chaos.seed.wrapping_add(i as u64);
-            (seed, FaultPlan::generate(seed, p, &chaos.spec), true)
+            let elastic = match &chaos.elastic {
+                Some(spec) => ElasticPlan::generate(seed, p, spec),
+                None => ElasticPlan::none(),
+            };
+            (seed, FaultPlan::generate(seed, p, &chaos.spec), elastic, true)
         })
         .collect();
     if chaos.inject_corruption {
         let planted = known_bad_schedule(chaos.seed, p, &chaos.spec, &ctx.fixtures[0]);
-        runs.push((chaos.seed, planted, false));
+        runs.push((chaos.seed, planted, ElasticPlan::none(), false));
     }
 
-    for (schedule_seed, faults, verify) in runs {
+    for (schedule_seed, faults, elastic, verify) in runs {
         report.schedules_run += 1;
-        let audit = ctx.evaluate(&faults, verify);
+        let audit = ctx.evaluate(&faults, &elastic, verify);
         report.checks += audit.checks;
         record_schedule_telemetry(telemetry, &audit);
         if audit.is_clean() {
             continue;
         }
-        let minimal =
-            shrink_schedule(&faults, |candidate| !ctx.evaluate(candidate, verify).is_clean());
+        let (minimal, minimal_elastic) = shrink_combined_schedule(&faults, &elastic, |f, e| {
+            !ctx.evaluate(f, e, verify).is_clean()
+        });
         report.failures.push(ScheduleFailure {
             schedule_seed,
-            spec: faults.to_spec(),
+            spec: combined_spec(&faults, &elastic),
             violations: audit.violations,
-            minimal_spec: minimal.to_spec(),
+            minimal_spec: combined_spec(&minimal, &minimal_elastic),
             minimal,
+            minimal_elastic,
         });
     }
     telemetry.gauge_set("pareto_chaos_schedules", &[], f64::from(report.schedules_run));
@@ -594,6 +672,63 @@ mod tests {
             a.failures[0].minimal_spec, b.failures[0].minimal_spec,
             "shrinking must be deterministic"
         );
+    }
+
+    #[test]
+    fn elastic_sweep_is_clean_and_deterministic() {
+        let (cluster, dataset, cfg) = small_setup();
+        let chaos = ChaosConfig {
+            schedules: 12,
+            seed: 2017,
+            elastic: Some(ElasticSpec::default()),
+            ..ChaosConfig::default()
+        };
+        let run = || {
+            run_chaos(
+                &cluster,
+                &dataset,
+                WorkloadKind::Lz77,
+                &cfg,
+                &chaos,
+                &Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a.schedules_run, 12);
+        assert!(a.is_clean(), "failures: {:?}", a.failures);
+        // Roster churn actually happened somewhere in the sweep: at least
+        // one schedule seed draws a non-empty elastic plan.
+        let churned = (0..12u64)
+            .any(|i| !ElasticPlan::generate(2017 + i, 4, &ElasticSpec::default()).is_empty());
+        assert!(churned, "default spec must produce churn in 12 schedules");
+        let b = run();
+        assert_eq!(a.checks, b.checks, "elastic sweep must be deterministic");
+    }
+
+    #[test]
+    fn combined_shrinker_isolates_the_elastic_culprit() {
+        // Failure requires the drain on node 1; the crash, straggler, and
+        // join are noise the combined shrinker must strip from both plans.
+        let faults = FaultPlan::new().with_crash(0, 5.0).with_straggler(2, 2.0);
+        let elastic = ElasticPlan::new().with_join(3, 20.0).with_drain(1, 40.0);
+        let (min_f, min_e) =
+            shrink_combined_schedule(&faults, &elastic, |_, e| e.drain_time(1).is_some());
+        assert_eq!(min_f.len(), 0, "fault noise must vanish: {}", min_f.to_spec());
+        assert_eq!(min_e.len(), 1, "elastic noise must vanish: {}", min_e.to_spec());
+        assert_eq!(combined_spec(&min_f, &min_e), "elastic: drain:1@40");
+    }
+
+    #[test]
+    fn combined_spec_is_one_line_and_round_trips() {
+        let faults = FaultPlan::new().with_crash(0, 5.0);
+        let elastic = ElasticPlan::new().with_drain(1, 40.0);
+        let spec = combined_spec(&faults, &elastic);
+        assert!(!spec.contains('\n'));
+        let (fault_part, elastic_part) = spec.split_once(" // elastic: ").unwrap();
+        assert_eq!(FaultPlan::parse(fault_part, 4).unwrap(), faults);
+        assert_eq!(ElasticPlan::parse(elastic_part, 4).unwrap(), elastic);
+        assert_eq!(combined_spec(&faults, &ElasticPlan::none()), faults.to_spec());
     }
 
     #[test]

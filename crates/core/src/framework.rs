@@ -27,7 +27,8 @@ use pareto_workloads::{
 use crate::estimator::{NodeTimeModel, SamplingPlan};
 use crate::pareto::ParetoPoint;
 use crate::partitioner::PartitionLayout;
-use crate::recovery::{execute_with_recovery_traced, RecoveryConfig, RecoveryOutcome};
+use crate::elastic::ElasticPlan;
+use crate::recovery::{execute_with_recovery_elastic_traced, RecoveryConfig, RecoveryOutcome};
 use crate::stages::{PlanEngine, PlanError};
 use crate::stealing::RecordWork;
 
@@ -395,6 +396,21 @@ impl<'a> Framework<'a> {
         faults: &FaultPlan,
         recovery_cfg: &RecoveryConfig,
     ) -> Result<FaultRunOutcome, PlanError> {
+        self.try_run_with_elastic(dataset, workload, faults, &ElasticPlan::none(), recovery_cfg)
+    }
+
+    /// Like [`Framework::try_run_with_faults`], additionally executing a
+    /// planned [`ElasticPlan`] of roster transitions — scheduled joins,
+    /// drain-then-leave departures, and preemptions — alongside the fault
+    /// plan (see [`crate::elastic`] for the roster model).
+    pub fn try_run_with_elastic(
+        &self,
+        dataset: &Dataset,
+        workload: WorkloadKind,
+        faults: &FaultPlan,
+        elastic: &ElasticPlan,
+        recovery_cfg: &RecoveryConfig,
+    ) -> Result<FaultRunOutcome, PlanError> {
         recovery_cfg.validate()?;
         let plan = self.try_plan(dataset, workload)?;
         let refs: Vec<&DataItem> = dataset.items.iter().collect();
@@ -411,7 +427,7 @@ impl<'a> Framework<'a> {
             Strategy::HetEnergyAwareNormalized { alpha } => alpha,
             _ => 1.0,
         };
-        let outcome = execute_with_recovery_traced(
+        let outcome = execute_with_recovery_elastic_traced(
             self.cluster,
             &work,
             &plan.partitions,
@@ -420,6 +436,7 @@ impl<'a> Framework<'a> {
             &plan.energy_profiles,
             alpha,
             faults,
+            elastic,
             recovery_cfg,
             &self.telemetry,
         );

@@ -44,6 +44,7 @@
 pub mod audit;
 pub mod cache;
 pub mod chaos;
+pub mod elastic;
 pub mod estimator;
 pub mod framework;
 pub mod frontier;
@@ -55,9 +56,16 @@ pub mod session;
 pub mod stages;
 pub mod stealing;
 
-pub use audit::{audit_fault_run, AuditReport, Invariant, Violation};
+pub use audit::{audit_elastic_run, audit_fault_run, AuditReport, Invariant, Violation};
 pub use cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache};
-pub use chaos::{run_chaos, shrink_schedule, ChaosConfig, ChaosReport, ScheduleFailure};
+pub use chaos::{
+    run_chaos, shrink_combined_schedule, shrink_schedule, ChaosConfig, ChaosReport,
+    ScheduleFailure,
+};
+pub use elastic::{
+    advise_join, ElasticEvent, ElasticEventKind, ElasticPlan, ElasticSpec, ElasticSpecError,
+    JoinAdvice,
+};
 pub use estimator::{
     AdaptiveReport, AdaptiveSamplingConfig, DriftReport, EnergyEstimator,
     HeterogeneityEstimator, NodeTimeModel, SamplingPlan,
@@ -74,7 +82,8 @@ pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
 pub use session::{FrontierOutcome, PlanSession};
 pub use stages::{dataset_fingerprint, PlanEngine, PlanError, PlanStage, StageCtx, StageReuse};
 pub use recovery::{
-    execute_with_recovery, RecoveryConfig, RecoveryConfigError, RecoveryOutcome, RecoveryReport,
+    execute_with_recovery, execute_with_recovery_elastic, RecoveryConfig, RecoveryConfigError,
+    RecoveryOutcome, RecoveryReport,
 };
 pub use scheduling::{best_start, sweep_start_times, StartTimeOption};
 pub use partitioner::{DataPartitioner, PartitionLayout};

@@ -25,6 +25,17 @@
 //!   same deque steal as `stealing.rs`), transfer paid by the thief.
 //! * **Network degradation** — windows from the plan stretch every
 //!   transfer a node performs while they are active.
+//! * **Planned elasticity** — an [`ElasticPlan`] schedules roster
+//!   transitions alongside the fault plan: a *draining* node stops taking
+//!   work at its notice, writes a KV-backed handoff record for its queue
+//!   (with the same retry + exponential backoff the fetch path uses — the
+//!   node's transient store-error count applies to the handoff write too)
+//!   and leaves gracefully; a *preempted* node gets a drain notice plus a
+//!   hard kill after its grace window (the crash path); a *joining* node
+//!   starts absent, activates when simulated time reaches its join time,
+//!   and triggers an LP-shaped rebalance that migrates queued backlog onto
+//!   it (receivers pay the transfer). Work orphaned while no node is
+//!   available parks in a lost pool that a later joiner rescues.
 //!
 //! The simulation is serial and event-driven (always advance the
 //! smallest-clock node, ties broken by node id), so for a fixed fault plan
@@ -39,6 +50,7 @@ use pareto_energy::NodeEnergyProfile;
 use pareto_stats::LinearFit;
 use pareto_telemetry::{ClockDomain, SpanId, Telemetry, Track};
 
+use crate::elastic::ElasticPlan;
 use crate::pareto::ParetoModeler;
 use crate::stealing::{steal_back_half, RecordWork};
 
@@ -189,6 +201,27 @@ pub struct RecoveryReport {
     /// `dirty − fault_free_dirty` in joules (absolute, since dirty energy
     /// can legitimately sit near zero under green surplus).
     pub dirty_overhead_j: f64,
+    /// Events in the injected elastic plan.
+    pub elastic_events: usize,
+    /// Joins that actually activated (a scheduled join whose node was
+    /// killed before its join time never activates).
+    pub joins_applied: u32,
+    /// Drain notices that fired from `DrainThenLeave` events.
+    pub drains_applied: u32,
+    /// Drain notices that fired from `Preempt` events.
+    pub preempts_applied: u32,
+    /// Nodes that left the roster gracefully, in leave order. Disjoint
+    /// from `crashed_nodes`: a preempted node that misses its grace window
+    /// is counted as crashed, not left.
+    pub left_nodes: Vec<usize>,
+    /// Successful KV handoff-record writes by draining nodes.
+    pub handoff_records: u32,
+    /// Transient-error retries spent on handoff writes. Counted
+    /// separately from `retries_spent`, which covers only partition
+    /// fetches.
+    pub handoff_retries: u32,
+    /// Items moved through successful handoff records.
+    pub items_handed_off: usize,
 }
 
 /// Full outcome: standard job accounting plus the recovery story.
@@ -205,6 +238,17 @@ pub struct RecoveryOutcome {
     pub completed_by: Vec<Option<usize>>,
     /// Items that were redistributed by a replan, in reassignment order.
     pub reassigned_items: Vec<usize>,
+    /// For each item, the simulated clock at which it completed (`None`
+    /// = lost). The auditor uses this to check membership windows.
+    pub completed_at_s: Vec<Option<f64>>,
+    /// Per node: the simulated time it activated, for nodes that joined
+    /// mid-job (`None` = present from the start, or never activated).
+    pub join_epochs: Vec<Option<f64>>,
+    /// Per node: the simulated time it left the roster gracefully
+    /// (`None` = never left; crashes are not leaves).
+    pub leave_epochs: Vec<Option<f64>>,
+    /// Items moved through successful drain handoffs, in handoff order.
+    pub handed_off_items: Vec<usize>,
 }
 
 /// What one simulation pass produces (before baseline comparison).
@@ -218,6 +262,16 @@ struct SimPass {
     items_stolen: usize,
     reassigned_items: Vec<usize>,
     completed_by: Vec<Option<usize>>,
+    completed_at_s: Vec<Option<f64>>,
+    joins_applied: u32,
+    drains_applied: u32,
+    preempts_applied: u32,
+    left_nodes: Vec<usize>,
+    handoff_records: u32,
+    handoff_retries: u32,
+    handed_off_items: Vec<usize>,
+    join_epochs: Vec<Option<f64>>,
+    leave_epochs: Vec<Option<f64>>,
 }
 
 /// Order orphans stratum-aware: stable-group by stratum, then round-robin
@@ -262,7 +316,7 @@ pub fn execute_with_recovery(
     faults: &FaultPlan,
     cfg: &RecoveryConfig,
 ) -> RecoveryOutcome {
-    execute_with_recovery_traced(
+    execute_with_recovery_elastic_traced(
         cluster,
         work,
         initial,
@@ -271,6 +325,38 @@ pub fn execute_with_recovery(
         profiles,
         alpha,
         faults,
+        &ElasticPlan::none(),
+        cfg,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`execute_with_recovery`] with a planned [`ElasticPlan`] consumed
+/// alongside the fault plan: joins, drains and preemptions are applied as
+/// described in the module docs.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_recovery_elastic(
+    cluster: &SimCluster,
+    work: &[RecordWork],
+    initial: &[Vec<usize>],
+    strata: &[u32],
+    fits: &[LinearFit],
+    profiles: &[NodeEnergyProfile],
+    alpha: f64,
+    faults: &FaultPlan,
+    elastic: &ElasticPlan,
+    cfg: &RecoveryConfig,
+) -> RecoveryOutcome {
+    execute_with_recovery_elastic_traced(
+        cluster,
+        work,
+        initial,
+        strata,
+        fits,
+        profiles,
+        alpha,
+        faults,
+        elastic,
         cfg,
         &Telemetry::disabled(),
     )
@@ -295,6 +381,39 @@ pub fn execute_with_recovery_traced(
     cfg: &RecoveryConfig,
     telemetry: &Arc<Telemetry>,
 ) -> RecoveryOutcome {
+    execute_with_recovery_elastic_traced(
+        cluster,
+        work,
+        initial,
+        strata,
+        fits,
+        profiles,
+        alpha,
+        faults,
+        &ElasticPlan::none(),
+        cfg,
+        telemetry,
+    )
+}
+
+/// [`execute_with_recovery_elastic`] with a telemetry recorder attached.
+/// Elastic transitions record inert per-transition instants/spans plus the
+/// `pareto_elastic_events_total{kind}` and
+/// `pareto_handoff_records_total{outcome}` counters.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_recovery_elastic_traced(
+    cluster: &SimCluster,
+    work: &[RecordWork],
+    initial: &[Vec<usize>],
+    strata: &[u32],
+    fits: &[LinearFit],
+    profiles: &[NodeEnergyProfile],
+    alpha: f64,
+    faults: &FaultPlan,
+    elastic: &ElasticPlan,
+    cfg: &RecoveryConfig,
+    telemetry: &Arc<Telemetry>,
+) -> RecoveryOutcome {
     let p = cluster.num_nodes();
     assert_eq!(initial.len(), p, "one initial queue per node");
     assert_eq!(fits.len(), p, "one time model per node");
@@ -309,12 +428,13 @@ pub fn execute_with_recovery_traced(
         0.0
     };
     let faulty = simulate(
-        cluster, work, initial, strata, fits, profiles, alpha, faults, cfg, telemetry, epoch,
+        cluster, work, initial, strata, fits, profiles, alpha, faults, elastic, cfg, telemetry,
+        epoch,
     );
     if telemetry.is_enabled() {
         cluster.advance_sim_epoch(faulty.wall_makespan_s);
     }
-    let (ff_makespan, ff_dirty) = if faults.is_empty() {
+    let (ff_makespan, ff_dirty) = if faults.is_empty() && elastic.is_empty() {
         let dirty: f64 = faulty.runs.iter().map(|r| r.dirty_joules_linear).sum();
         (faulty.wall_makespan_s, dirty)
     } else {
@@ -328,6 +448,7 @@ pub fn execute_with_recovery_traced(
             profiles,
             alpha,
             &FaultPlan::none(),
+            &ElasticPlan::none(),
             cfg,
             &Telemetry::disabled(),
             0.0,
@@ -359,6 +480,14 @@ pub fn execute_with_recovery_traced(
         dirty_linear_j,
         fault_free_dirty_linear_j: ff_dirty,
         dirty_overhead_j: dirty_linear_j - ff_dirty,
+        elastic_events: elastic.len(),
+        joins_applied: faulty.joins_applied,
+        drains_applied: faulty.drains_applied,
+        preempts_applied: faulty.preempts_applied,
+        left_nodes: faulty.left_nodes.clone(),
+        handoff_records: faulty.handoff_records,
+        handoff_retries: faulty.handoff_retries,
+        items_handed_off: faulty.handed_off_items.len(),
     };
     record_recovery_telemetry(telemetry, &recovery, epoch);
     RecoveryOutcome {
@@ -366,6 +495,10 @@ pub fn execute_with_recovery_traced(
         recovery,
         completed_by: faulty.completed_by,
         reassigned_items: faulty.reassigned_items,
+        completed_at_s: faulty.completed_at_s,
+        join_epochs: faulty.join_epochs,
+        leave_epochs: faulty.leave_epochs,
+        handed_off_items: faulty.handed_off_items,
     }
 }
 
@@ -432,8 +565,20 @@ struct NodeState {
     pending_kind: &'static str,
     alive: bool,
     retired: bool,
+    /// A scheduled joiner that has not reached its join time yet: not
+    /// selectable, not a steal victim, not a replan receiver.
+    absent: bool,
+    /// Left the roster gracefully after a drain; never selectable again.
+    left: bool,
     /// Items currently assigned (for `f_i(x_i)` straggler prediction).
     assigned: usize,
+}
+
+impl NodeState {
+    /// Can this node still be scheduled or receive work?
+    fn active(&self) -> bool {
+        self.alive && !self.left && !self.absent
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -446,6 +591,7 @@ fn simulate(
     profiles: &[NodeEnergyProfile],
     alpha: f64,
     faults: &FaultPlan,
+    elastic: &ElasticPlan,
     cfg: &RecoveryConfig,
     tel: &Telemetry,
     epoch: f64,
@@ -453,11 +599,39 @@ fn simulate(
     let p = cluster.num_nodes();
     let modeler = ParetoModeler::new(fits.to_vec(), profiles.to_vec())
         .expect("node-aligned fits and profiles");
-    let crash_at: Vec<Option<f64>> = (0..p).map(|i| faults.crash_time(i)).collect();
+    // A preemption's hard kill rides the crash machinery: the node's
+    // effective kill time is the earlier of its scheduled crash and its
+    // preempt notice plus grace.
+    let kill_at: Vec<Option<f64>> = (0..p)
+        .map(|i| {
+            let crash = faults.crash_time(i);
+            let preempt_kill = elastic.preempt(i).map(|(t, g)| t + g);
+            match (crash, preempt_kill) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, None) => a,
+                (None, b) => b,
+            }
+        })
+        .collect();
+    let join_at: Vec<Option<f64>> = (0..p).map(|i| elastic.join_time(i)).collect();
+    // Earliest drain trigger per node and whether it came from a
+    // preemption (ties prefer the graceful drain).
+    let drain_notice: Vec<Option<(f64, bool)>> = (0..p)
+        .map(|i| {
+            let drain = elastic.drain_time(i).map(|t| (t, false));
+            let preempt = elastic.preempt(i).map(|(t, _)| (t, true));
+            match (drain, preempt) {
+                (Some(d), Some(pr)) => Some(if d.0 <= pr.0 { d } else { pr }),
+                (d, None) => d,
+                (None, pr) => pr,
+            }
+        })
+        .collect();
 
     let mut nodes: Vec<NodeState> = initial
         .iter()
-        .map(|q| NodeState {
+        .enumerate()
+        .map(|(i, q)| NodeState {
             queue: q.iter().copied().collect(),
             clock: 0.0,
             busy: 0.0,
@@ -466,16 +640,31 @@ fn simulate(
             pending_kind: "fetch",
             alive: true,
             retired: false,
+            absent: join_at[i].is_some(),
+            left: false,
             assigned: q.len(),
         })
         .collect();
     let mut completed_by: Vec<Option<usize>> = vec![None; work.len()];
+    let mut completed_at_s: Vec<Option<f64>> = vec![None; work.len()];
     let mut crashed_nodes = Vec::new();
     let mut replans = 0u32;
     let mut retries_spent = 0u32;
     let mut speculative_steals = 0u32;
     let mut items_stolen = 0usize;
     let mut reassigned_items = Vec::new();
+    let mut joins_applied = 0u32;
+    let mut drains_applied = 0u32;
+    let mut preempts_applied = 0u32;
+    let mut left_nodes = Vec::new();
+    let mut handoff_records = 0u32;
+    let mut handoff_retries = 0u32;
+    let mut handed_off_items = Vec::new();
+    let mut join_epochs: Vec<Option<f64>> = vec![None; p];
+    let mut leave_epochs: Vec<Option<f64>> = vec![None; p];
+    // Orphans stranded while no node was active; a later joiner rescues
+    // them (conservation across join/leave boundaries).
+    let mut lost_pool: Vec<usize> = Vec::new();
 
     // Seconds one event takes on `node` starting at `now`: cost converted
     // through the node's speed and the (possibly degraded) network, then
@@ -486,11 +675,12 @@ fn simulate(
             * faults.straggler_factor(node)
     };
 
-    // Advance `node` by `dt` busy seconds, unless its scheduled crash
-    // lands inside the event; returns false if the node died (clock
-    // pinned at the crash instant, the event's work lost).
+    // Advance `node` by `dt` busy seconds, unless its scheduled kill
+    // (crash or preempt-grace expiry) lands inside the event; returns
+    // false if the node died (clock pinned at the kill instant, the
+    // event's work lost).
     let advance = |state: &mut NodeState, node: usize, dt: f64| -> bool {
-        if let Some(tc) = crash_at[node] {
+        if let Some(tc) = kill_at[node] {
             if state.clock + dt > tc {
                 let burned = (tc - state.clock).max(0.0);
                 state.clock = tc;
@@ -509,6 +699,31 @@ fn simulate(
     let predicted = |node: usize, assigned: usize| -> f64 {
         fits[node].predict(assigned as f64).max(1e-9)
     };
+
+    // --- Phase -1: scheduled joiners are absent at job start; the
+    // coordinator reassigns their initial partitions to the present
+    // nodes before anyone fetches.
+    for i in 0..p {
+        if nodes[i].absent && !nodes[i].queue.is_empty() {
+            let orphans: Vec<usize> = nodes[i].queue.drain(..).collect();
+            nodes[i].assigned -= orphans.len();
+            replan(
+                work,
+                strata,
+                fits,
+                &modeler,
+                alpha,
+                &mut nodes,
+                orphans,
+                &mut replans,
+                &mut reassigned_items,
+                &mut lost_pool,
+                tel,
+                epoch,
+                0.0,
+            );
+        }
+    }
 
     // --- Phase 0: partition fetch, with transient-error retries. ---
     for (i, node) in nodes.iter_mut().enumerate() {
@@ -560,6 +775,7 @@ fn simulate(
                 bytes,
                 round_trips: 1,
             };
+            node.pending_kind = "fetch";
         }
     }
     // Nodes lost during fetch orphan their whole partition.
@@ -580,6 +796,7 @@ fn simulate(
                 orphans,
                 &mut replans,
                 &mut reassigned_items,
+                &mut lost_pool,
                 tel,
                 epoch,
                 now,
@@ -592,12 +809,82 @@ fn simulate(
 
     // --- Main loop: event-driven min-clock execution. ---
     loop {
+        let has_work = |s: &NodeState| !s.queue.is_empty() || s.pending != Cost::ZERO;
+
+        // Activate scheduled joiners whose time has come: simulated time
+        // is the minimum clock over selectable nodes, and a joiner whose
+        // join time is at or before it enters the roster (earliest join
+        // first, ties to the lowest id). When no node is selectable but
+        // orphans are stranded in the lost pool, the next joiner is
+        // activated unconditionally to rescue them. A joiner whose kill
+        // time precedes its join time never activates.
+        let now_min = (0..p)
+            .filter(|&i| nodes[i].active() && !nodes[i].retired)
+            .map(|i| nodes[i].clock)
+            .fold(f64::INFINITY, f64::min);
+        let rescue = !now_min.is_finite() && !lost_pool.is_empty();
+        let due = (0..p)
+            .filter(|&j| nodes[j].absent && nodes[j].alive)
+            .filter_map(|j| join_at[j].map(|t| (j, t)))
+            .filter(|&(j, t)| kill_at[j].is_none_or(|k| k > t) && (t <= now_min || rescue))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        if let Some((joiner, t_join)) = due {
+            nodes[joiner].absent = false;
+            nodes[joiner].clock = t_join;
+            join_epochs[joiner] = Some(t_join);
+            joins_applied += 1;
+            if tel.is_enabled() {
+                tel.instant(
+                    Track::Node(joiner),
+                    "join",
+                    ClockDomain::Sim,
+                    epoch + t_join,
+                    vec![],
+                );
+                tel.counter_add("pareto_elastic_events_total", &[("kind", "join")], 1);
+            }
+            // Rescue any stranded orphans first, then pull an LP share of
+            // the queued backlog onto the joiner.
+            if !lost_pool.is_empty() {
+                let orphans = std::mem::take(&mut lost_pool);
+                replan(
+                    work,
+                    strata,
+                    fits,
+                    &modeler,
+                    alpha,
+                    &mut nodes,
+                    orphans,
+                    &mut replans,
+                    &mut reassigned_items,
+                    &mut lost_pool,
+                    tel,
+                    epoch,
+                    t_join,
+                );
+            }
+            rebalance_on_join(
+                work,
+                strata,
+                fits,
+                &modeler,
+                alpha,
+                &mut nodes,
+                joiner,
+                &mut replans,
+                &mut reassigned_items,
+                tel,
+                epoch,
+                t_join,
+            );
+            continue;
+        }
+
         // Among active nodes, pick the smallest clock; on ties a node
         // with work beats an idle one (so idle waits strictly advance),
         // then the lowest id wins. f64 total_cmp keeps this deterministic.
-        let has_work = |s: &NodeState| !s.queue.is_empty() || s.pending != Cost::ZERO;
         let Some(node) = (0..p)
-            .filter(|&i| nodes[i].alive && !nodes[i].retired)
+            .filter(|&i| nodes[i].active() && !nodes[i].retired)
             .min_by(|&a, &b| {
                 nodes[a]
                     .clock
@@ -608,6 +895,139 @@ fn simulate(
         else {
             break;
         };
+
+        // A node at or past its drain notice stops taking work: it hands
+        // its queue off through a KV-backed handoff record (same retry +
+        // backoff discipline as the fetch path — the node's transient
+        // store-error count applies here too) and leaves gracefully. A
+        // failed handoff (retry exhaustion or the preempt kill landing
+        // mid-write) falls back to the crash path.
+        if let Some((notice, from_preempt)) = drain_notice[node] {
+            if !nodes[node].left && nodes[node].clock >= notice {
+                if from_preempt {
+                    preempts_applied += 1;
+                } else {
+                    drains_applied += 1;
+                }
+                if tel.is_enabled() {
+                    let kind = if from_preempt { "preempt" } else { "drain" };
+                    tel.counter_add("pareto_elastic_events_total", &[("kind", kind)], 1);
+                }
+                let orphans: Vec<usize> = nodes[node].queue.drain(..).collect();
+                nodes[node].assigned -= orphans.len();
+                nodes[node].pending = Cost::ZERO;
+                let mut handoff_ok = true;
+                if !orphans.is_empty() {
+                    // Handoff write, with the node's transient-error
+                    // budget applied a second time (store flakiness is a
+                    // property of the node's path, not a one-shot count).
+                    let mut errors = faults.store_error_count(node);
+                    let mut attempt = 0u32;
+                    while errors > 0 && nodes[node].alive {
+                        errors -= 1;
+                        attempt += 1;
+                        if attempt > cfg.max_retries {
+                            nodes[node].alive = false;
+                            break;
+                        }
+                        handoff_retries += 1;
+                        let failed = Cost {
+                            compute_ops: 0,
+                            bytes: 0,
+                            round_trips: 1,
+                        };
+                        let dt = event_seconds(node, &failed, nodes[node].clock)
+                            + cfg.backoff_base_s * f64::powi(2.0, (attempt - 1) as i32);
+                        nodes[node].cost.add(failed);
+                        let before = nodes[node].clock;
+                        let survived = advance(&mut nodes[node], node, dt);
+                        if tel.is_enabled() {
+                            tel.span(
+                                Track::Node(node),
+                                "handoff-retry",
+                                ClockDomain::Sim,
+                                epoch + before,
+                                epoch + nodes[node].clock,
+                                SpanId::NONE,
+                                vec![("attempt".into(), attempt.to_string())],
+                            );
+                        }
+                        if !survived {
+                            break;
+                        }
+                    }
+                    if nodes[node].alive {
+                        let bytes: u64 = orphans.iter().map(|&r| work[r].bytes).sum();
+                        let record = Cost {
+                            compute_ops: 0,
+                            bytes,
+                            round_trips: 1,
+                        };
+                        let dt = event_seconds(node, &record, nodes[node].clock);
+                        nodes[node].cost.add(record);
+                        let before = nodes[node].clock;
+                        let survived = advance(&mut nodes[node], node, dt);
+                        record_transfer(
+                            tel,
+                            epoch,
+                            node,
+                            before,
+                            nodes[node].clock,
+                            "handoff",
+                            bytes,
+                        );
+                        handoff_ok = survived;
+                    } else {
+                        handoff_ok = false;
+                    }
+                    if tel.is_enabled() {
+                        let outcome = if handoff_ok { "ok" } else { "failed" };
+                        tel.counter_add(
+                            "pareto_handoff_records_total",
+                            &[("outcome", outcome)],
+                            1,
+                        );
+                    }
+                }
+                let now = nodes[node].clock;
+                if handoff_ok {
+                    handoff_records += u32::from(!orphans.is_empty());
+                    handed_off_items.extend(orphans.iter().copied());
+                    nodes[node].left = true;
+                    leave_epochs[node] = Some(now);
+                    left_nodes.push(node);
+                    if tel.is_enabled() {
+                        tel.instant(
+                            Track::Node(node),
+                            "leave",
+                            ClockDomain::Sim,
+                            epoch + now,
+                            vec![("items_handed_off".into(), orphans.len().to_string())],
+                        );
+                    }
+                } else {
+                    nodes[node].alive = false;
+                    crashed_nodes.push(node);
+                    record_crash(tel, epoch, node, now, "handoff");
+                }
+                replan(
+                    work,
+                    strata,
+                    fits,
+                    &modeler,
+                    alpha,
+                    &mut nodes,
+                    orphans,
+                    &mut replans,
+                    &mut reassigned_items,
+                    &mut lost_pool,
+                    tel,
+                    epoch,
+                    now,
+                );
+                continue;
+            }
+        }
 
         // Pay any pending transfer (fetch or received reassignment) first.
         if nodes[node].pending != Cost::ZERO {
@@ -635,6 +1055,7 @@ fn simulate(
                     orphans,
                     &mut replans,
                     &mut reassigned_items,
+                    &mut lost_pool,
                     tel,
                     epoch,
                     now,
@@ -650,6 +1071,7 @@ fn simulate(
             if advance(&mut nodes[node], node, dt) {
                 nodes[node].cost.add(cost);
                 completed_by[r] = Some(node);
+                completed_at_s[r] = Some(nodes[node].clock);
                 if tel.is_enabled() {
                     tel.span(
                         Track::Node(node),
@@ -680,6 +1102,7 @@ fn simulate(
                     orphans,
                     &mut replans,
                     &mut reassigned_items,
+                    &mut lost_pool,
                     tel,
                     epoch,
                     now,
@@ -691,7 +1114,7 @@ fn simulate(
         // Idle: speculative re-execution — steal the back half of the
         // most-behind straggler (projected finish > threshold × f_v(x_v)).
         let victim = (0..p)
-            .filter(|&v| v != node && nodes[v].alive && !nodes[v].queue.is_empty())
+            .filter(|&v| v != node && nodes[v].active() && !nodes[v].queue.is_empty())
             .map(|v| {
                 let remaining: f64 = nodes[v]
                     .queue
@@ -753,6 +1176,7 @@ fn simulate(
                     stolen,
                     &mut replans,
                     &mut reassigned_items,
+                    &mut lost_pool,
                     tel,
                     epoch,
                     now,
@@ -765,7 +1189,7 @@ fn simulate(
         // wall clock without charging busy time) until the earliest
         // working node's clock; otherwise retire.
         let next_work_clock = (0..p)
-            .filter(|&j| j != node && nodes[j].alive && has_work(&nodes[j]))
+            .filter(|&j| j != node && nodes[j].active() && has_work(&nodes[j]))
             .map(|j| nodes[j].clock)
             .fold(f64::INFINITY, f64::min);
         if next_work_clock.is_finite() {
@@ -793,6 +1217,16 @@ fn simulate(
         items_stolen,
         reassigned_items,
         completed_by,
+        completed_at_s,
+        joins_applied,
+        drains_applied,
+        preempts_applied,
+        left_nodes,
+        handoff_records,
+        handoff_retries,
+        handed_off_items,
+        join_epochs,
+        leave_epochs,
     }
 }
 
@@ -844,6 +1278,8 @@ fn record_transfer(
 /// stratum-aware. Receivers get the items appended to their queue plus a
 /// pending transfer cost; their time-intercept offsets carry current clock
 /// and backlog so completed fractions are subtracted from the solve.
+/// Survivors are nodes that are alive, present, and have not left; when
+/// none exist the orphans park in `lost_pool` for a future joiner.
 #[allow(clippy::too_many_arguments)]
 fn replan(
     work: &[RecordWork],
@@ -855,6 +1291,7 @@ fn replan(
     orphans: Vec<usize>,
     replans: &mut u32,
     reassigned_items: &mut Vec<usize>,
+    lost_pool: &mut Vec<usize>,
     tel: &Telemetry,
     epoch: f64,
     now: f64,
@@ -862,9 +1299,10 @@ fn replan(
     if orphans.is_empty() {
         return;
     }
-    let survivors: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
+    let survivors: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].active()).collect();
     if survivors.is_empty() {
-        // Total cluster loss: the orphans stay unprocessed.
+        // No node can take the work right now: park it for a joiner.
+        lost_pool.extend(orphans);
         return;
     }
     *replans += 1;
@@ -942,6 +1380,116 @@ fn replan(
         nodes[receiver].queue.extend(slice.iter().copied());
         nodes[receiver].assigned += slice.len();
         nodes[receiver].retired = false;
+    }
+}
+
+/// Rebalance queued (not in-flight) backlog when `joiner` activates:
+/// re-solve the LP over every active node for the total queued count,
+/// trim each overloaded queue back to its LP share (from the back, so
+/// imminent work stays put), and hand the pooled excess to the
+/// underloaded nodes — in practice, mostly the joiner. Only moved items
+/// pay a transfer; items that keep their node are untouched.
+#[allow(clippy::too_many_arguments)]
+fn rebalance_on_join(
+    work: &[RecordWork],
+    strata: &[u32],
+    _fits: &[LinearFit],
+    modeler: &ParetoModeler,
+    alpha: f64,
+    nodes: &mut [NodeState],
+    joiner: usize,
+    replans: &mut u32,
+    reassigned_items: &mut Vec<usize>,
+    tel: &Telemetry,
+    epoch: f64,
+    now: f64,
+) {
+    let eligible: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].active()).collect();
+    let total_queued: usize = eligible.iter().map(|&i| nodes[i].queue.len()).sum();
+    if total_queued == 0 || eligible.len() < 2 {
+        return;
+    }
+    // The whole queued backlog is up for re-assignment, so offsets carry
+    // only each node's clock (no backlog term).
+    let offsets: Vec<f64> = eligible.iter().map(|&j| nodes[j].clock).collect();
+    let sizes = match modeler.restrict_with_offsets(&eligible, &offsets) {
+        Ok(sub) => {
+            let point = if alpha >= 1.0 {
+                sub.solve_het_aware(total_queued)
+            } else {
+                sub.solve(total_queued, alpha)
+                    .unwrap_or_else(|_| sub.solve_het_aware(total_queued))
+            };
+            point.sizes
+        }
+        Err(_) => {
+            let base = total_queued / eligible.len();
+            let extra = total_queued % eligible.len();
+            (0..eligible.len())
+                .map(|k| base + usize::from(k < extra))
+                .collect()
+        }
+    };
+    // Trim excess from the back of each overloaded queue.
+    let mut pool: Vec<usize> = Vec::new();
+    for (k, &i) in eligible.iter().enumerate() {
+        if nodes[i].queue.len() > sizes[k] {
+            let tail = nodes[i].queue.split_off(sizes[k]);
+            nodes[i].assigned -= tail.len();
+            pool.extend(tail);
+        }
+    }
+    if pool.is_empty() {
+        return;
+    }
+    *replans += 1;
+    if tel.is_enabled() {
+        tel.instant(
+            Track::Coordinator,
+            "rebalance",
+            ClockDomain::Sim,
+            epoch + now,
+            vec![
+                ("joiner".into(), joiner.to_string()),
+                ("moved".into(), pool.len().to_string()),
+            ],
+        );
+    }
+    let ordered = stratum_interleave(pool, strata);
+    reassigned_items.extend(&ordered);
+    let mut cursor = 0usize;
+    for (k, &receiver) in eligible.iter().enumerate() {
+        let deficit = sizes[k].saturating_sub(nodes[receiver].queue.len());
+        let take = deficit.min(ordered.len() - cursor);
+        if take == 0 {
+            continue;
+        }
+        let slice = &ordered[cursor..cursor + take];
+        cursor += take;
+        let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        nodes[receiver].pending.add(Cost {
+            compute_ops: 0,
+            bytes,
+            round_trips: 1,
+        });
+        nodes[receiver].pending_kind = "rebalance";
+        nodes[receiver].queue.extend(slice.iter().copied());
+        nodes[receiver].assigned += take;
+        nodes[receiver].retired = false;
+    }
+    // Integer-rounding slack lands on the joiner.
+    if cursor < ordered.len() {
+        let slice = &ordered[cursor..];
+        let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        nodes[joiner].pending.add(Cost {
+            compute_ops: 0,
+            bytes,
+            round_trips: 1,
+        });
+        nodes[joiner].pending_kind = "rebalance";
+        nodes[joiner].queue.extend(slice.iter().copied());
+        nodes[joiner].assigned += slice.len();
+        nodes[joiner].retired = false;
     }
 }
 
@@ -1222,6 +1770,274 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2], "prefix mixes strata: {ordered:?}");
         assert_eq!(ordered.len(), 9);
+    }
+
+    fn run_elastic(
+        cl: &SimCluster,
+        work: &[RecordWork],
+        initial: &[Vec<usize>],
+        faults: &FaultPlan,
+        elastic: &ElasticPlan,
+        cfg: &RecoveryConfig,
+    ) -> RecoveryOutcome {
+        let strata: Vec<u32> = (0..work.len()).map(|i| (i % 3) as u32).collect();
+        let fits = truthful_fits(cl, work.first().map_or(1, |w| w.ops));
+        let profs = profiles(cl.num_nodes());
+        execute_with_recovery_elastic(
+            cl, work, initial, &strata, &fits, &profs, 1.0, faults, elastic, cfg,
+        )
+    }
+
+    #[test]
+    fn empty_elastic_plan_changes_nothing() {
+        let cl = cluster(4);
+        let work = uniform_work(120, 1_000_000);
+        let initial = equal_split(120, 4);
+        let plan = FaultPlan::generate(0xFA17, 4, &pareto_cluster::FaultSpec::default());
+        let base = run(&cl, &work, &initial, &plan);
+        let with_none = run_elastic(
+            &cl,
+            &work,
+            &initial,
+            &plan,
+            &ElasticPlan::none(),
+            &RecoveryConfig::default(),
+        );
+        assert_eq!(base.recovery, with_none.recovery);
+        assert_eq!(base.completed_by, with_none.completed_by);
+    }
+
+    #[test]
+    fn drain_hands_off_queue_and_leaves_gracefully() {
+        let cl = cluster(4);
+        let work = uniform_work(200, 2_000_000);
+        let initial = equal_split(200, 4);
+        let baseline = run(&cl, &work, &initial, &FaultPlan::none());
+        let t = baseline.recovery.makespan_s * 0.3;
+        let elastic = ElasticPlan::new().with_drain(1, t);
+        let out = run_elastic(
+            &cl,
+            &work,
+            &initial,
+            &FaultPlan::none(),
+            &elastic,
+            &RecoveryConfig::default(),
+        );
+        assert_eq!(out.recovery.drains_applied, 1);
+        assert_eq!(out.recovery.left_nodes, vec![1]);
+        assert_eq!(out.recovery.crashed_nodes, Vec::<usize>::new());
+        assert_eq!(out.recovery.handoff_records, 1);
+        assert!(out.recovery.items_handed_off > 0);
+        assert!(out.recovery.exactly_once, "handoff must lose nothing");
+        let leave = out.leave_epochs[1].expect("node 1 left");
+        assert!(leave >= t);
+        // No item completes on the drained node after its leave epoch,
+        // and every handed-off item completes elsewhere.
+        for (r, &by) in out.completed_by.iter().enumerate() {
+            if by == Some(1) {
+                assert!(out.completed_at_s[r].unwrap() <= leave + 1e-9);
+            }
+        }
+        for &r in &out.handed_off_items {
+            assert_ne!(out.completed_by[r], Some(1), "item {r} stayed on leaver");
+        }
+    }
+
+    #[test]
+    fn preempt_with_generous_grace_leaves_gracefully() {
+        let cl = cluster(4);
+        let work = uniform_work(120, 1_000_000);
+        let initial = equal_split(120, 4);
+        let baseline = run(&cl, &work, &initial, &FaultPlan::none());
+        let t = baseline.recovery.makespan_s * 0.3;
+        // Grace long enough to cover the handoff write comfortably.
+        let elastic = ElasticPlan::new().with_preempt(2, t, baseline.recovery.makespan_s);
+        let out = run_elastic(
+            &cl,
+            &work,
+            &initial,
+            &FaultPlan::none(),
+            &elastic,
+            &RecoveryConfig::default(),
+        );
+        assert_eq!(out.recovery.preempts_applied, 1);
+        assert_eq!(out.recovery.left_nodes, vec![2]);
+        assert_eq!(out.recovery.crashed_nodes, Vec::<usize>::new());
+        assert!(out.recovery.exactly_once);
+    }
+
+    #[test]
+    fn preempt_with_zero_grace_falls_back_to_crash_path() {
+        let cl = cluster(4);
+        let work = uniform_work(200, 2_000_000);
+        let initial = equal_split(200, 4);
+        let baseline = run(&cl, &work, &initial, &FaultPlan::none());
+        let t = baseline.recovery.makespan_s * 0.3;
+        let elastic = ElasticPlan::new().with_preempt(2, t, 0.0);
+        let out = run_elastic(
+            &cl,
+            &work,
+            &initial,
+            &FaultPlan::none(),
+            &elastic,
+            &RecoveryConfig::default(),
+        );
+        // The kill lands at the notice: the node dies mid-work or during
+        // the handoff, never gracefully.
+        assert_eq!(out.recovery.left_nodes, Vec::<usize>::new());
+        assert_eq!(out.recovery.crashed_nodes, vec![2]);
+        assert_eq!(out.recovery.handoff_records, 0);
+        assert!(out.recovery.exactly_once, "survivors absorb the orphans");
+        assert_eq!(out.leave_epochs[2], None);
+    }
+
+    #[test]
+    fn join_rebalances_backlog_onto_the_new_node() {
+        let cl = cluster(4);
+        let work = uniform_work(240, 2_000_000);
+        // Node 3 starts absent: its would-be share spread over 0..=2.
+        let initial = equal_split(240, 4);
+        let baseline = run(&cl, &work, &initial, &FaultPlan::none());
+        let elastic = ElasticPlan::new().with_join(3, baseline.recovery.makespan_s * 0.2);
+        let out = run_elastic(
+            &cl,
+            &work,
+            &initial,
+            &FaultPlan::none(),
+            &elastic,
+            &RecoveryConfig::default(),
+        );
+        assert_eq!(out.recovery.joins_applied, 1);
+        assert!(out.recovery.exactly_once);
+        assert!(out.join_epochs[3].is_some());
+        let t_join = out.join_epochs[3].unwrap();
+        // The joiner actually worked, and only after joining.
+        let done_by_3 = out
+            .completed_by
+            .iter()
+            .enumerate()
+            .filter(|(_, by)| **by == Some(3))
+            .count();
+        assert!(done_by_3 > 0, "joiner must receive rebalanced work");
+        for (r, &by) in out.completed_by.iter().enumerate() {
+            if by == Some(3) {
+                assert!(
+                    out.completed_at_s[r].unwrap() >= t_join,
+                    "item {r} completed on node 3 before it joined"
+                );
+            }
+        }
+        // Initial items of the absent node were reassigned at t=0.
+        assert!(out.recovery.items_reassigned > 0);
+    }
+
+    #[test]
+    fn late_joiner_rescues_orphans_after_total_loss() {
+        let cl = cluster(2);
+        let work = uniform_work(40, 1_000_000);
+        let initial = equal_split(40, 2);
+        let faults = FaultPlan::new().with_crash(0, 0.001).with_crash(1, 0.001);
+        // Without a joiner the job is lost...
+        let lost = run_elastic(
+            &cl,
+            &work,
+            &initial,
+            &faults,
+            &ElasticPlan::none(),
+            &RecoveryConfig::default(),
+        );
+        assert!(!lost.recovery.exactly_once);
+        // ...but a cluster with a third node joining later rescues it.
+        let cl3 = cluster(3);
+        let mut initial3 = equal_split(40, 2);
+        initial3.push(Vec::new());
+        let elastic = ElasticPlan::new().with_join(2, 50.0);
+        let rescued = run_elastic(
+            &cl3,
+            &work,
+            &initial3,
+            &faults,
+            &elastic,
+            &RecoveryConfig::default(),
+        );
+        assert!(rescued.recovery.exactly_once, "{:?}", rescued.recovery);
+        assert_eq!(rescued.recovery.joins_applied, 1);
+        assert!(rescued.completed_by.iter().all(|c| *c == Some(2)));
+    }
+
+    /// Satellite: `backoff_base_s = 0.0` is a valid config; a drain
+    /// handoff retry storm under it must terminate with zero added
+    /// backoff time and exact retry accounting.
+    #[test]
+    fn zero_backoff_drain_handoff_retry_storm_is_exact() {
+        let cl = cluster(3);
+        let work = uniform_work(90, 1_000_000);
+        let initial = equal_split(90, 3);
+        let cfg = RecoveryConfig::new(8, 0.0, 1.5).unwrap();
+        let baseline = run(&cl, &work, &initial, &FaultPlan::none());
+        let t = baseline.recovery.makespan_s * 0.3;
+        // 5 store errors: consumed once at fetch, then again by the
+        // drain handoff write.
+        let faults = FaultPlan::new().with_store_errors(1, 5);
+        let elastic = ElasticPlan::new().with_drain(1, t);
+        let out = run_elastic(&cl, &work, &initial, &faults, &elastic, &cfg);
+        assert_eq!(out.recovery.retries_spent, 5, "fetch retries");
+        assert_eq!(out.recovery.handoff_retries, 5, "handoff retries");
+        assert_eq!(out.recovery.handoff_records, 1);
+        assert_eq!(out.recovery.left_nodes, vec![1]);
+        assert!(out.recovery.exactly_once);
+        // Determinism with zero backoff.
+        let again = run_elastic(&cl, &work, &initial, &faults, &elastic, &cfg);
+        assert_eq!(out.recovery, again.recovery);
+    }
+
+    /// Satellite: `max_retries` exactly at the documented doubling bound
+    /// is accepted and behaves; one past it is rejected.
+    #[test]
+    fn max_retries_at_doubling_bound_is_accepted() {
+        let bound = RecoveryConfig::MAX_RETRY_BOUND;
+        let cfg = RecoveryConfig::new(bound, 0.0, 1.5).expect("bound is valid");
+        assert_eq!(
+            RecoveryConfig::new(bound + 1, 0.0, 1.5),
+            Err(RecoveryConfigError::AbsurdRetries(bound + 1))
+        );
+        // With zero backoff the doubling series contributes nothing, so
+        // even a storm near the bound terminates promptly.
+        let cl = cluster(2);
+        let work = uniform_work(40, 1_000_000);
+        let initial = equal_split(40, 2);
+        let faults = FaultPlan::new().with_store_errors(0, 1000);
+        let elastic = ElasticPlan::new().with_drain(0, 1e6);
+        let out = run_elastic(&cl, &work, &initial, &faults, &elastic, &cfg);
+        assert_eq!(out.recovery.retries_spent, 1000);
+        assert_eq!(out.recovery.crashed_nodes, Vec::<usize>::new());
+        assert!(out.recovery.exactly_once);
+    }
+
+    #[test]
+    fn elastic_runs_are_bit_identical() {
+        let cl = cluster(4);
+        let work = uniform_work(150, 1_500_000);
+        let initial = equal_split(150, 4);
+        let faults = FaultPlan::generate(0xFA17, 4, &pareto_cluster::FaultSpec::storage());
+        let elastic = crate::elastic::ElasticPlan::generate(
+            0xFA17,
+            4,
+            &crate::elastic::ElasticSpec::default(),
+        );
+        let cfg = RecoveryConfig::default();
+        let a = run_elastic(&cl, &work, &initial, &faults, &elastic, &cfg);
+        let b = run_elastic(&cl, &work, &initial, &faults, &elastic, &cfg);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.completed_by, b.completed_by);
+        assert_eq!(a.reassigned_items, b.reassigned_items);
+        assert_eq!(a.handed_off_items, b.handed_off_items);
+        let bits = |v: &[Option<f64>]| -> Vec<Option<u64>> {
+            v.iter().map(|o| o.map(f64::to_bits)).collect()
+        };
+        assert_eq!(bits(&a.completed_at_s), bits(&b.completed_at_s));
+        assert_eq!(bits(&a.join_epochs), bits(&b.join_epochs));
+        assert_eq!(bits(&a.leave_epochs), bits(&b.leave_epochs));
     }
 
     #[test]

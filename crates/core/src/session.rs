@@ -111,6 +111,9 @@ impl<'a> PlanSession<'a> {
 
     /// Remove a node from the active roster. Cached measurements survive
     /// (they are node-independent); profile/optimize/partition re-run.
+    /// Dropping the last remaining node is refused with
+    /// [`PlanError::LastRosterNode`] — a session with an empty roster
+    /// could never plan again.
     pub fn drop_node(&mut self, node: usize) -> Result<(), PlanError> {
         let roster = self.engine.roster();
         if !roster.contains(&node) {
@@ -118,6 +121,9 @@ impl<'a> PlanSession<'a> {
                 node,
                 cluster_size: self.engine.cluster().num_nodes(),
             });
+        }
+        if roster == [node] {
+            return Err(PlanError::LastRosterNode { node });
         }
         let next: Vec<usize> = roster.iter().copied().filter(|&id| id != node).collect();
         self.engine.set_roster(next)

@@ -58,6 +58,12 @@ pub enum PlanError {
         /// Cluster size, for the message.
         cluster_size: usize,
     },
+    /// A drop would empty the roster: the named node is the last one
+    /// left, and a session with no nodes can never plan again.
+    LastRosterNode {
+        /// The node whose removal was refused.
+        node: usize,
+    },
     /// The scalarized LP failed (bad α, degenerate inputs, …).
     Lp(PartitionPlanError),
     /// An invalid [`FrontierConfig`] (bad tolerance, malformed coarse
@@ -80,6 +86,10 @@ impl std::fmt::Display for PlanError {
             PlanError::UnknownNode { node, cluster_size } => write!(
                 f,
                 "node {node} is not available (cluster has {cluster_size} nodes)"
+            ),
+            PlanError::LastRosterNode { node } => write!(
+                f,
+                "refusing to drop node {node}: it is the last node on the roster"
             ),
             PlanError::Lp(e) => write!(f, "partitioning LP failed: {e}"),
             PlanError::Frontier(m) => write!(f, "invalid frontier config: {m}"),

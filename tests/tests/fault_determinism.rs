@@ -6,7 +6,7 @@
 
 use pareto_cluster::{FaultPlan, FaultSpec, NodeSpec, SimCluster};
 use pareto_core::framework::{FaultRunOutcome, Framework, FrameworkConfig, Strategy};
-use pareto_core::RecoveryConfig;
+use pareto_core::{ElasticPlan, ElasticSpec, RecoveryConfig};
 use pareto_workloads::WorkloadKind;
 
 /// Thread counts exercised: the local default {1, 4, 8} covers serial,
@@ -27,6 +27,15 @@ fn thread_counts() -> Vec<usize> {
 }
 
 fn faulted_run(seed: u64, threads: usize, faults: &FaultPlan) -> FaultRunOutcome {
+    elastic_run(seed, threads, faults, &ElasticPlan::none())
+}
+
+fn elastic_run(
+    seed: u64,
+    threads: usize,
+    faults: &FaultPlan,
+    elastic: &ElasticPlan,
+) -> FaultRunOutcome {
     let ds = pareto_datagen::rcv1_syn(seed, 0.06);
     let cl = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, seed));
     Framework::new(
@@ -38,12 +47,14 @@ fn faulted_run(seed: u64, threads: usize, faults: &FaultPlan) -> FaultRunOutcome
             ..FrameworkConfig::default()
         },
     )
-    .run_with_faults(
+    .try_run_with_elastic(
         &ds,
         WorkloadKind::FrequentPatterns { support: 0.15 },
         faults,
+        elastic,
         &RecoveryConfig::default(),
     )
+    .expect("elastic run must plan")
 }
 
 /// Compare two fault runs field-for-field; f64s via to_bits.
@@ -167,6 +178,75 @@ fn executor_results_ignore_storage_fault_events() {
         base.outcome.recovery.crashed_nodes,
         augmented.outcome.recovery.crashed_nodes
     );
+}
+
+/// Every generated elastic schedule survives a `to_spec` → `parse` round
+/// trip, so a printed minimal reproducer (including the combined
+/// `// elastic:` suffix the chaos shrinker emits) is always a valid
+/// `--elastic` argument.
+#[test]
+fn generated_elastic_plans_round_trip_through_the_spec_grammar() {
+    let mut non_empty = 0;
+    for seed in [7u64, 42, 2017, 31337] {
+        let plan = ElasticPlan::generate(seed, 4, &ElasticSpec::default());
+        non_empty += usize::from(!plan.is_empty());
+        let spec = plan.to_spec();
+        let reparsed = ElasticPlan::parse(&spec, 4)
+            .unwrap_or_else(|e| panic!("seed {seed}: {spec:?} failed to parse: {e}"));
+        assert_eq!(reparsed.to_spec(), spec, "seed {seed} round trip");
+        assert_eq!(reparsed.events(), plan.events(), "seed {seed} events");
+    }
+    assert!(non_empty > 0, "every test seed drew an empty elastic plan");
+}
+
+/// Hand-written elastic clauses round-trip too, and `eseeded:SEED`
+/// expands to exactly the generated plan — the grammar and the generator
+/// agree on one canonical event list.
+#[test]
+fn elastic_spec_grammar_accepts_explicit_and_seeded_clauses() {
+    let spec = "join:3@12.5, drain:1@40, preempt:2@60@7.25";
+    let plan = ElasticPlan::parse(spec, 4).expect("explicit clauses parse");
+    assert_eq!(plan.to_spec(), spec);
+    assert_eq!(plan.join_time(3), Some(12.5));
+    assert_eq!(plan.drain_time(1), Some(40.0));
+    assert_eq!(plan.preempt(2), Some((60.0, 7.25)));
+
+    let seeded = ElasticPlan::parse("eseeded:42", 4).expect("seeded clause parses");
+    assert_eq!(
+        seeded.events(),
+        ElasticPlan::generate(42, 4, &ElasticSpec::default()).events(),
+        "eseeded:SEED must expand to the generated plan verbatim"
+    );
+
+    // Malformed clauses are typed errors, not silent drops.
+    assert!(ElasticPlan::parse("join:9@5", 4).is_err(), "node range");
+    assert!(ElasticPlan::parse("drain:1@-3", 4).is_err(), "negative time");
+    assert!(ElasticPlan::parse("preempt:1@5", 4).is_err(), "missing grace");
+    assert!(ElasticPlan::parse("vanish:1@5", 4).is_err(), "unknown kind");
+}
+
+/// Composed fault + elastic schedules replay bit-identically at every
+/// thread count — the elastic extension of the CI determinism matrix.
+#[test]
+fn composed_elastic_schedule_identical_across_thread_counts() {
+    let counts = thread_counts();
+    for seed in [11u64, 2017] {
+        let faults = FaultPlan::generate(seed ^ 0xFA17, 4, &FaultSpec::default());
+        let elastic = ElasticPlan::generate(seed ^ 0xE1A5, 4, &ElasticSpec::default());
+        let serial = elastic_run(seed, counts[0], &faults, &elastic);
+        for &threads in &counts[1..] {
+            let par = elastic_run(seed, threads, &faults, &elastic);
+            assert_bit_identical(
+                &serial,
+                &par,
+                &format!("elastic seed {seed}, threads {threads}"),
+            );
+            assert_eq!(
+                serial.outcome.recovery.handoff_records, par.outcome.recovery.handoff_records,
+                "seed {seed}, threads {threads}: handoff counts diverged"
+            );
+        }
+    }
 }
 
 /// The issue's acceptance scenario: a single node crashes mid-job. Every

@@ -279,9 +279,14 @@ fn empty_inputs_are_typed_errors() {
     for node in 0..3 {
         session.drop_node(node).expect("shrinking roster");
     }
-    // Dropping the last node would empty the roster — refused eagerly.
-    let err = session.drop_node(3).expect_err("empty roster must be refused");
-    assert!(err.to_string().contains("empty node roster"), "got: {err}");
+    // Dropping the last node would empty the roster — refused eagerly
+    // with its own typed error, not a downstream infeasible-LP failure.
+    let err = session.drop_node(3).expect_err("last-node drop must be refused");
+    assert!(
+        matches!(err, pareto_core::PlanError::LastRosterNode { node: 3 }),
+        "got: {err}"
+    );
+    assert!(err.to_string().contains("last node on the roster"), "got: {err}");
     assert_eq!(session.roster(), &[3], "failed drop must leave the roster intact");
 }
 
