@@ -38,6 +38,20 @@ usage:
                        which stages were reused vs recomputed)
   paretofab report    --input DUMP.json [--trace TRACE.json]
                       (validate + summarize telemetry artifacts)
+  paretofab report lineage --input DUMP.json --batch N
+                      (reconstruct work-batch N's causal hop chain —
+                       place, redistribute, steal, handoff, rescue — from
+                       a traced run's telemetry dump)
+  paretofab bench     [--record FILE] [--baseline FILE] [--iters N]
+                      [--scale F] [--seed N] [--nodes P]
+                      (perf/energy regression harness: run the fixed
+                       workload matrix — cold plan, warm replan, WAL
+                       recover, frontier explore, faulted run — and emit
+                       named metrics. --record writes BENCH JSON;
+                       --baseline diffs gated metrics against a previous
+                       record and exits nonzero on out-of-tolerance
+                       regressions; --iters controls wall-clock sampling
+                       (default 3))
   paretofab chaos     <common options> [--schedules N] [--inject-corruption]
                       [--with-elastic]
                       (sweep N seeded fault schedules through the invariant
@@ -98,6 +112,10 @@ telemetry options (partition / run / frontier / plan / replan):
   --metrics-out FILE      write the metrics registry in Prometheus text format
   --telemetry-out FILE    write the full structured JSON dump (spans,
                           instants, metrics, captured events)
+  --flight-out FILE       arm the flight recorder: a bounded ring of recent
+                          spans/instants/events dumped as JSON to FILE when
+                          something goes wrong (a plan/run error, an audit
+                          violation, a chaos minimal-spec discovery)
   Telemetry is observational only: results are bit-identical with or
   without these flags.";
 
@@ -172,6 +190,22 @@ pub enum Command {
         input: PathBuf,
         /// Optional chrome-trace file to validate alongside.
         trace: Option<PathBuf>,
+        /// `report lineage --batch N`: reconstruct this work batch's
+        /// causal hop chain instead of printing the summary.
+        lineage_batch: Option<u32>,
+    },
+    /// Perf/energy regression harness over the fixed workload matrix.
+    Bench {
+        /// Shared data/cluster/strategy options (scale/seed/nodes feed
+        /// the matrix; the data source is always the rcv1 preset).
+        common: Common,
+        /// Write the bench record JSON here.
+        record: Option<PathBuf>,
+        /// Diff gated metrics against this previous record; exit nonzero
+        /// on out-of-tolerance regressions.
+        baseline: Option<PathBuf>,
+        /// Wall-clock sampling iterations per workload.
+        iters: u32,
     },
     /// Sweep seeded fault schedules through the invariant auditor and
     /// shrink any violation to a minimal reproducing `--faults` spec.
@@ -236,6 +270,8 @@ pub struct Common {
     pub metrics_out: Option<PathBuf>,
     /// Write the full structured telemetry dump here.
     pub telemetry_out: Option<PathBuf>,
+    /// Arm the flight recorder and dump its ring here on failure.
+    pub flight_out: Option<PathBuf>,
 }
 
 impl Default for Common {
@@ -257,6 +293,7 @@ impl Default for Common {
             trace_out: None,
             metrics_out: None,
             telemetry_out: None,
+            flight_out: None,
         }
     }
 }
@@ -270,8 +307,14 @@ impl Common {
 
 /// Parse an argv (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
-    let mut it = argv.iter();
+    let mut it = argv.iter().peekable();
     let sub = it.next().ok_or("missing subcommand")?.as_str();
+    // `report` takes an optional `lineage` mode token before its flags.
+    let report_lineage =
+        sub == "report" && it.peek().map(|s| s.as_str()) == Some("lineage");
+    if report_lineage {
+        it.next();
+    }
     let mut common = Common::default();
     let mut out: Option<PathBuf> = None;
     let mut trace: Option<PathBuf> = None;
@@ -290,6 +333,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut objectives: Option<ObjectiveSet> = None;
     let mut tol: f64 = 1e-3;
     let mut max_points: usize = 48;
+    let mut batch: Option<u32> = None;
+    let mut record: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut iters: u32 = 3;
 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -464,7 +511,25 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--telemetry-out" => {
                 common.telemetry_out = Some(PathBuf::from(value("--telemetry-out")?))
             }
+            "--flight-out" => common.flight_out = Some(PathBuf::from(value("--flight-out")?)),
             "--trace" => trace = Some(PathBuf::from(value("--trace")?)),
+            "--batch" => {
+                batch = Some(
+                    value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("bad --batch: {e}"))?,
+                )
+            }
+            "--record" => record = Some(PathBuf::from(value("--record")?)),
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--iters" => {
+                iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("bad --iters: {e}"))?;
+                if iters == 0 {
+                    return Err("--iters must be >= 1".into());
+                }
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -564,6 +629,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "report" => Ok(Command::Report {
             input: common.input.ok_or("report requires --input DUMP.json")?,
             trace,
+            lineage_batch: if report_lineage {
+                Some(batch.ok_or("report lineage requires --batch N")?)
+            } else {
+                None
+            },
+        }),
+        "bench" => Ok(Command::Bench {
+            common,
+            record,
+            baseline,
+            iters,
         }),
         "chaos" => {
             validate_data_source(&common)?;
@@ -811,15 +887,100 @@ mod tests {
     fn parses_report() {
         let cmd = parse(&argv("report --input dump.json --trace trace.json")).unwrap();
         match cmd {
-            Command::Report { input, trace } => {
+            Command::Report {
+                input,
+                trace,
+                lineage_batch,
+            } => {
                 assert_eq!(input, PathBuf::from("dump.json"));
                 assert_eq!(trace, Some(PathBuf::from("trace.json")));
+                assert_eq!(lineage_batch, None);
             }
             other => panic!("unexpected {other:?}"),
         }
         let cmd = parse(&argv("report --input dump.json")).unwrap();
         assert!(matches!(cmd, Command::Report { trace: None, .. }));
         assert!(parse(&argv("report")).is_err());
+    }
+
+    #[test]
+    fn parses_report_lineage() {
+        let cmd = parse(&argv("report lineage --input dump.json --batch 3")).unwrap();
+        match cmd {
+            Command::Report {
+                input,
+                lineage_batch,
+                ..
+            } => {
+                assert_eq!(input, PathBuf::from("dump.json"));
+                assert_eq!(lineage_batch, Some(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The lineage mode requires a batch id; plain report ignores it.
+        assert!(parse(&argv("report lineage --input dump.json")).is_err());
+        assert!(parse(&argv("report lineage --batch 3")).is_err()); // no --input
+        assert!(parse(&argv("report lineage --input d.json --batch nope")).is_err());
+    }
+
+    #[test]
+    fn parses_bench() {
+        let cmd = parse(&argv(
+            "bench --record b.json --baseline prev.json --iters 5 --scale 0.02 --seed 9 \
+             --nodes 4",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Bench {
+                common,
+                record,
+                baseline,
+                iters,
+            } => {
+                assert_eq!(record, Some(PathBuf::from("b.json")));
+                assert_eq!(baseline, Some(PathBuf::from("prev.json")));
+                assert_eq!(iters, 5);
+                assert_eq!(common.scale, 0.02);
+                assert_eq!(common.seed, 9);
+                assert_eq!(common.nodes, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Bench needs no data source: the matrix is always the rcv1 preset.
+        let cmd = parse(&argv("bench")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Bench {
+                record: None,
+                baseline: None,
+                iters: 3,
+                ..
+            }
+        ));
+        assert!(parse(&argv("bench --iters 0")).is_err());
+        assert!(parse(&argv("bench --iters nope")).is_err());
+        assert!(parse(&argv("bench --record")).is_err());
+    }
+
+    #[test]
+    fn parses_flight_out() {
+        let cmd = parse(&argv("run --preset rcv1 --flight-out fr.json")).unwrap();
+        match cmd {
+            Command::Run { common } => {
+                assert_eq!(common.flight_out, Some(PathBuf::from("fr.json")));
+                // The flight recorder alone does not imply the full
+                // telemetry outputs…
+                assert!(!common.wants_telemetry());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // …and the default is unarmed.
+        let cmd = parse(&argv("run --preset rcv1")).unwrap();
+        match cmd {
+            Command::Run { common } => assert!(common.flight_out.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("run --preset rcv1 --flight-out")).is_err());
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! `paretofab bench`: the perf/energy regression harness.
+//!
+//! Runs a fixed workload matrix — cold plan, warm replan, WAL recover,
+//! frontier explore, faulted run — and emits named metrics as a
+//! deterministic BENCH JSON record. Metrics come in two kinds:
+//!
+//! - **gated** (`"gate": true`): deterministic outputs of the run
+//!   (predicted makespan, LP solves, cache hit rate, attributed
+//!   green/dirty joules). `--baseline` compares these against a previous
+//!   record within each metric's relative tolerance band and exits
+//!   nonzero on any out-of-band drift — a genuine behavioral regression.
+//! - **ungated** (`"gate": false`): wall-clock samples (p50/p99 over
+//!   `--iters` runs). Recorded for trend dashboards but never compared,
+//!   because CI timing noise would make them flaky gates.
+//!
+//! The matrix is self-contained (always the rcv1 preset, strategy forced
+//! to het-energy-aware α=0.995) so a record is comparable across
+//! branches; `--scale/--seed/--nodes/--iters` are captured in the record
+//! and must match between baseline and current run.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+use pareto_cluster::{FaultPlan, KvStore, NodeSpec, SimCluster};
+use pareto_core::framework::{Framework, FrameworkConfig, Strategy};
+use pareto_core::frontier::FrontierConfig;
+use pareto_core::{ElasticPlan, PlanSession, RecoveryConfig};
+use pareto_telemetry::json::{self, Value};
+use pareto_telemetry::{event, Telemetry};
+use pareto_workloads::WorkloadKind;
+
+use crate::args::Common;
+
+/// Relative tolerance band for gated metrics: the ledger reconciliation
+/// bound from the energy-attribution layer, reused here so "no worse than
+/// the accounting can resolve" is one number everywhere.
+const GATE_TOL_REL: f64 = 1e-3;
+
+/// One named measurement in a bench record.
+struct Metric {
+    name: String,
+    value: f64,
+    /// Compared against the baseline (deterministic run output) vs
+    /// recorded-only (wall-clock sample).
+    gate: bool,
+    tol_rel: f64,
+}
+
+impl Metric {
+    fn gated(name: impl Into<String>, value: f64) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            gate: true,
+            tol_rel: GATE_TOL_REL,
+        }
+    }
+
+    fn wall(name: impl Into<String>, value: f64) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            gate: false,
+            tol_rel: 0.0,
+        }
+    }
+}
+
+/// The fixed matrix parameters captured in (and compared between)
+/// records.
+struct Matrix {
+    preset: &'static str,
+    scale: f64,
+    seed: u64,
+    nodes: usize,
+    iters: u32,
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in [0, 100]).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Push `p50_wall_s` / `p99_wall_s` metrics for one workload's samples.
+fn push_wall(metrics: &mut Vec<Metric>, workload: &str, samples: &[f64]) {
+    metrics.push(Metric::wall(
+        format!("{workload}.p50_wall_s"),
+        percentile(samples, 50.0),
+    ));
+    metrics.push(Metric::wall(
+        format!("{workload}.p99_wall_s"),
+        percentile(samples, 99.0),
+    ));
+}
+
+fn framework_cfg(m: &Matrix) -> FrameworkConfig {
+    FrameworkConfig {
+        strategy: Strategy::HetEnergyAware { alpha: 0.995 },
+        seed: m.seed,
+        ..FrameworkConfig::default()
+    }
+}
+
+fn bench_cluster(m: &Matrix) -> SimCluster {
+    SimCluster::new(NodeSpec::paper_cluster(m.nodes, 400.0, 2, 9, m.seed))
+}
+
+const BENCH_WORKLOAD: WorkloadKind = WorkloadKind::FrequentPatterns { support: 0.1 };
+
+/// Workload 1: cold planning — a fresh session pays the full pipeline
+/// every iteration.
+fn cold_plan(m: &Matrix) -> Result<Vec<Metric>, String> {
+    let mut metrics = Vec::new();
+    let mut walls = Vec::new();
+    let mut last = None;
+    for _ in 0..m.iters {
+        let dataset = pareto_datagen::rcv1_syn(m.seed, m.scale);
+        let cluster = bench_cluster(m);
+        let mut session = PlanSession::new(&cluster, framework_cfg(m), dataset, BENCH_WORKLOAD);
+        let t0 = Instant::now();
+        let plan = session.plan().map_err(|e| e.to_string())?;
+        walls.push(t0.elapsed().as_secs_f64());
+        last = Some(plan);
+    }
+    let plan = last.expect("iters >= 1");
+    let point = plan
+        .pareto
+        .as_ref()
+        .ok_or("bench strategy fits no pareto point")?;
+    metrics.push(Metric::gated("cold_plan.makespan_s", point.predicted_makespan));
+    metrics.push(Metric::gated(
+        "cold_plan.dirty_kj",
+        point.predicted_dirty_joules / 1000.0,
+    ));
+    push_wall(&mut metrics, "cold_plan", &walls);
+    Ok(metrics)
+}
+
+/// Workload 2: warm replanning — one session, alternating α so the
+/// sketch/stratify/profile artifacts are reused while the optimizer
+/// re-solves; the cache hit rate is the gated output.
+fn warm_replan(m: &Matrix) -> Result<Vec<Metric>, String> {
+    let dataset = pareto_datagen::rcv1_syn(m.seed, m.scale);
+    let cluster = bench_cluster(m);
+    let mut session = PlanSession::new(&cluster, framework_cfg(m), dataset, BENCH_WORKLOAD);
+    session.plan().map_err(|e| e.to_string())?; // cold fill
+    let mut walls = Vec::new();
+    for i in 0..m.iters {
+        session.set_alpha(if i % 2 == 0 { 0.999 } else { 0.995 });
+        let t0 = Instant::now();
+        session.plan().map_err(|e| e.to_string())?;
+        walls.push(t0.elapsed().as_secs_f64());
+    }
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for (_, kind, count) in session.cache_stats().events() {
+        match kind {
+            "hit" => hits += count,
+            "miss" => misses += count,
+            _ => {}
+        }
+    }
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    let mut metrics = vec![Metric::gated("warm_replan.cache_hit_rate", rate)];
+    push_wall(&mut metrics, "warm_replan", &walls);
+    Ok(metrics)
+}
+
+/// Workload 3: WAL recovery — replay a fixed log back into a store.
+fn wal_recover(m: &Matrix) -> Result<Vec<Metric>, String> {
+    let store = KvStore::new();
+    store.enable_wal();
+    for i in 0..2000u32 {
+        store
+            .set(&format!("key{i}"), format!("value-{i}").into_bytes())
+            .map_err(|e| format!("bench kv set: {e:?}"))?;
+        store
+            .incr("counter")
+            .map_err(|e| format!("bench kv incr: {e:?}"))?;
+    }
+    let wal = store.wal_bytes();
+    let mut walls = Vec::new();
+    let mut replayed = 0u64;
+    for _ in 0..m.iters {
+        let t0 = Instant::now();
+        let (_, report) = KvStore::recover(None, &wal).map_err(|e| format!("recover: {e:?}"))?;
+        walls.push(t0.elapsed().as_secs_f64());
+        replayed = report.records_replayed;
+    }
+    let mut metrics = vec![Metric::gated("wal_recover.records_replayed", replayed as f64)];
+    push_wall(&mut metrics, "wal_recover", &walls);
+    Ok(metrics)
+}
+
+/// Workload 4: adaptive frontier exploration — a fresh session per
+/// iteration so every run pays the full solve; LP effort and frontier
+/// size are the gated outputs.
+fn frontier_explore(m: &Matrix) -> Result<Vec<Metric>, String> {
+    let fcfg = FrontierConfig {
+        max_points: 24,
+        ..FrontierConfig::default()
+    };
+    let mut walls = Vec::new();
+    let mut last = None;
+    for _ in 0..m.iters {
+        let dataset = pareto_datagen::rcv1_syn(m.seed, m.scale);
+        let cluster = bench_cluster(m);
+        let mut session = PlanSession::new(&cluster, framework_cfg(m), dataset, BENCH_WORKLOAD);
+        let t0 = Instant::now();
+        let outcome = session.explore_frontier(&fcfg).map_err(|e| e.to_string())?;
+        walls.push(t0.elapsed().as_secs_f64());
+        last = Some(outcome.result.report());
+    }
+    let report = last.expect("iters >= 1");
+    let mut metrics = vec![
+        Metric::gated("frontier_explore.lp_solves", report.lp_solves as f64),
+        Metric::gated("frontier_explore.points_kept", report.points_kept as f64),
+    ];
+    push_wall(&mut metrics, "frontier_explore", &walls);
+    Ok(metrics)
+}
+
+/// Workload 5: a fault-injected run with telemetry armed, so the gated
+/// metrics include the energy ledger's attributed green/dirty joules —
+/// the regression gate over the paper's energy objective.
+fn faulted_run(m: &Matrix) -> Result<Vec<Metric>, String> {
+    let spec = "crash:1@0.5,slow:0@3";
+    let faults = FaultPlan::parse(spec, m.nodes).map_err(|e| e.to_string())?;
+    let mut walls = Vec::new();
+    let mut metrics = Vec::new();
+    for iter in 0..m.iters {
+        let tel = Telemetry::enabled();
+        let dataset = pareto_datagen::rcv1_syn(m.seed, m.scale);
+        let cluster = bench_cluster(m).with_telemetry(tel.clone());
+        let fw = Framework::new(&cluster, framework_cfg(m)).with_telemetry(tel.clone());
+        let t0 = Instant::now();
+        let out = fw
+            .try_run_with_elastic(
+                &dataset,
+                BENCH_WORKLOAD,
+                &faults,
+                &ElasticPlan::none(),
+                &RecoveryConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+        walls.push(t0.elapsed().as_secs_f64());
+        if iter + 1 == m.iters {
+            let rows = cluster.attribute_energy(&tel.snapshot().ledger);
+            let energy_j: f64 = rows.iter().map(|r| r.energy_j).sum();
+            let green_j: f64 = rows.iter().map(|r| r.green_j).sum();
+            let rec = &out.outcome.recovery;
+            metrics.push(Metric::gated("faulted_run.makespan_s", rec.makespan_s));
+            metrics.push(Metric::gated("faulted_run.replans", f64::from(rec.replans)));
+            metrics.push(Metric::gated("faulted_run.green_kj", green_j / 1000.0));
+            metrics.push(Metric::gated(
+                "faulted_run.dirty_kj",
+                (energy_j - green_j) / 1000.0,
+            ));
+        }
+    }
+    push_wall(&mut metrics, "faulted_run", &walls);
+    Ok(metrics)
+}
+
+/// Serialize a record deterministically via the telemetry JSON model
+/// (fixed key order; wall metrics vary run to run by nature).
+fn record_json(m: &Matrix, metrics: &[Metric]) -> String {
+    let matrix = Value::obj(vec![
+        ("preset", Value::Str(m.preset.into())),
+        ("scale", Value::Num(m.scale)),
+        ("seed", Value::Num(m.seed as f64)),
+        ("nodes", Value::Num(m.nodes as f64)),
+        ("iters", Value::Num(f64::from(m.iters))),
+    ]);
+    let entries = Value::Arr(
+        metrics
+            .iter()
+            .map(|metric| {
+                Value::obj(vec![
+                    ("name", Value::Str(metric.name.clone())),
+                    ("value", Value::Num(metric.value)),
+                    (
+                        "gate",
+                        if metric.gate {
+                            Value::Num(1.0)
+                        } else {
+                            Value::Num(0.0)
+                        },
+                    ),
+                    ("tol_rel", Value::Num(metric.tol_rel)),
+                ])
+            })
+            .collect(),
+    );
+    Value::obj(vec![
+        ("version", Value::Num(1.0)),
+        ("kind", Value::Str("bench".into())),
+        ("matrix", matrix),
+        ("metrics", entries),
+    ])
+    .to_json()
+}
+
+fn matrix_field(doc: &Value, key: &str) -> Result<f64, String> {
+    doc.get("matrix")
+        .and_then(|m| m.get(key))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("baseline matrix missing {key:?}"))
+}
+
+/// Compare gated metrics against a baseline record. Returns the list of
+/// regression lines (empty = pass).
+fn compare_against(
+    baseline_text: &str,
+    m: &Matrix,
+    metrics: &[Metric],
+) -> Result<Vec<String>, String> {
+    let doc = json::parse(baseline_text).map_err(|e| format!("parse baseline: {e}"))?;
+    if doc.get("kind").and_then(Value::as_str) != Some("bench") {
+        return Err("baseline is not a bench record".into());
+    }
+    let preset = doc
+        .get("matrix")
+        .and_then(|mx| mx.get("preset"))
+        .and_then(Value::as_str)
+        .ok_or("baseline matrix missing preset")?;
+    if preset != m.preset {
+        return Err(format!(
+            "baseline matrix mismatch: preset {preset:?} vs {:?}",
+            m.preset
+        ));
+    }
+    for (key, ours) in [
+        ("scale", m.scale),
+        ("seed", m.seed as f64),
+        ("nodes", m.nodes as f64),
+        ("iters", f64::from(m.iters)),
+    ] {
+        let theirs = matrix_field(&doc, key)?;
+        if theirs != ours {
+            return Err(format!(
+                "baseline matrix mismatch: {key} {theirs} vs {ours} — re-record instead of comparing"
+            ));
+        }
+    }
+    let entries = doc
+        .get("metrics")
+        .and_then(Value::as_arr)
+        .ok_or("baseline missing metrics array")?;
+    let mut regressions = Vec::new();
+    for entry in entries {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("baseline metric missing name")?;
+        let gate = entry.get("gate").and_then(Value::as_f64).unwrap_or(0.0) != 0.0;
+        if !gate {
+            continue;
+        }
+        let base = entry
+            .get("value")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("baseline metric {name:?} missing value"))?;
+        let tol = entry
+            .get("tol_rel")
+            .and_then(Value::as_f64)
+            .unwrap_or(GATE_TOL_REL);
+        let Some(current) = metrics.iter().find(|metric| metric.name == name) else {
+            regressions.push(format!(
+                "bench-regression: {name} missing from current run (baseline {base})"
+            ));
+            continue;
+        };
+        let rel = (current.value - base).abs() / base.abs().max(1e-9);
+        if rel > tol {
+            regressions.push(format!(
+                "bench-regression: {name} baseline={base} current={} rel={rel:.3e} tol={tol:.1e}",
+                current.value
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
+/// `bench`: run the matrix, optionally record, optionally gate against a
+/// baseline.
+pub fn bench_cmd(
+    common: &Common,
+    record: Option<&Path>,
+    baseline: Option<&Path>,
+    iters: u32,
+) -> Result<(), String> {
+    let m = Matrix {
+        preset: "rcv1",
+        scale: common.scale,
+        seed: common.seed,
+        nodes: common.nodes,
+        iters,
+    };
+    println!(
+        "bench matrix       preset={} scale={} seed={} nodes={} iters={}",
+        m.preset, m.scale, m.seed, m.nodes, m.iters
+    );
+    let mut metrics = Vec::new();
+    for (label, run) in [
+        ("cold_plan", cold_plan as fn(&Matrix) -> Result<Vec<Metric>, String>),
+        ("warm_replan", warm_replan),
+        ("wal_recover", wal_recover),
+        ("frontier_explore", frontier_explore),
+        ("faulted_run", faulted_run),
+    ] {
+        let t0 = Instant::now();
+        metrics.extend(run(&m)?);
+        println!(
+            "bench workload     {label} done in {:.3}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    for metric in &metrics {
+        println!(
+            "bench metric       {} = {}{}",
+            metric.name,
+            metric.value,
+            if metric.gate { "  [gated]" } else { "" }
+        );
+    }
+
+    if let Some(path) = record {
+        fs::write(path, record_json(&m, &metrics)).map_err(|e| format!("write {path:?}: {e}"))?;
+        event::info("cli", format!("wrote bench record to {}", path.display()));
+    }
+    if let Some(path) = baseline {
+        let text = fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        let regressions = compare_against(&text, &m, &metrics)?;
+        if regressions.is_empty() {
+            println!(
+                "bench result       all gated metrics within tolerance of {}",
+                path.display()
+            );
+        } else {
+            for line in &regressions {
+                println!("{line}");
+            }
+            return Err(format!(
+                "{} gated metric(s) regressed vs {}",
+                regressions.len(),
+                path.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_matrix() -> Matrix {
+        Matrix {
+            preset: "rcv1",
+            scale: 0.02,
+            seed: 2017,
+            nodes: 4,
+            iters: 1,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_and_compares_clean_against_itself() {
+        let m = tiny_matrix();
+        let metrics = vec![
+            Metric::gated("cold_plan.makespan_s", 12.5),
+            Metric::wall("cold_plan.p50_wall_s", 0.03),
+        ];
+        let text = record_json(&m, &metrics);
+        let regressions = compare_against(&text, &m, &metrics).unwrap();
+        assert!(regressions.is_empty(), "{regressions:?}");
+    }
+
+    #[test]
+    fn gated_drift_is_a_regression_but_wall_drift_is_not() {
+        let m = tiny_matrix();
+        let baseline = record_json(
+            &m,
+            &[
+                Metric::gated("faulted_run.green_kj", 100.0),
+                Metric::wall("faulted_run.p50_wall_s", 0.5),
+            ],
+        );
+        // Wall time tripled: fine. Green joules off by 1%: regression.
+        let current = vec![
+            Metric::gated("faulted_run.green_kj", 101.0),
+            Metric::wall("faulted_run.p50_wall_s", 1.5),
+        ];
+        let regressions = compare_against(&baseline, &m, &current).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("faulted_run.green_kj"));
+    }
+
+    #[test]
+    fn matrix_mismatch_is_an_error_not_a_pass() {
+        let m = tiny_matrix();
+        let baseline = record_json(&m, &[Metric::gated("x", 1.0)]);
+        let other = Matrix {
+            nodes: 8,
+            ..tiny_matrix()
+        };
+        let err = compare_against(&baseline, &other, &[Metric::gated("x", 1.0)]).unwrap_err();
+        assert!(err.contains("matrix mismatch"), "{err}");
+    }
+
+    #[test]
+    fn missing_gated_metric_fails_comparison() {
+        let m = tiny_matrix();
+        let baseline = record_json(&m, &[Metric::gated("frontier_explore.lp_solves", 9.0)]);
+        let regressions = compare_against(&baseline, &m, &[]).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("missing from current run"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&samples, 50.0), 3.0);
+        assert_eq!(percentile(&samples, 99.0), 5.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+}

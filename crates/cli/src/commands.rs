@@ -13,9 +13,12 @@ use pareto_core::{
 };
 use pareto_core::PlanSession;
 use pareto_datagen::{loaders, writers, DataKind, Dataset};
-use pareto_telemetry::{event, export, json, report, CaptureSink, StderrSink, TeeSink, Telemetry};
+use pareto_telemetry::{
+    event, export, json, report, CaptureSink, FlightRecorder, StderrSink, TeeSink, Telemetry,
+};
 
 use crate::args::{Command, Common};
+use crate::bench;
 
 /// Dispatch a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -35,7 +38,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
             max_points,
             out,
         } => frontier(&common, objectives, tol, max_points, out.as_deref()),
-        Command::Report { input, trace } => report_cmd(&input, trace.as_deref()),
+        Command::Report {
+            input,
+            trace,
+            lineage_batch,
+        } => report_cmd(&input, trace.as_deref(), lineage_batch),
+        Command::Bench {
+            common,
+            record,
+            baseline,
+            iters,
+        } => bench::bench_cmd(&common, record.as_deref(), baseline.as_deref(), iters),
         Command::Plan { common, sweep, out } => plan_cmd(&common, &sweep, out.as_deref()),
         Command::Replan {
             common,
@@ -66,24 +79,36 @@ pub fn run(cmd: Command) -> Result<(), String> {
 struct TelemetrySession {
     tel: Arc<Telemetry>,
     capture: Arc<CaptureSink>,
+    flight: Arc<FlightRecorder>,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     telemetry_out: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
 }
+
+/// Frames the flight recorder's ring holds: enough for the interesting
+/// tail of a failing run without unbounded growth.
+const FLIGHT_CAPACITY: usize = 4096;
 
 impl TelemetrySession {
     fn start(common: &Common) -> Option<TelemetrySession> {
-        if !common.wants_telemetry() {
+        if !common.wants_telemetry() && common.flight_out.is_none() {
             return None;
         }
         let capture = Arc::new(CaptureSink::new());
-        event::set_sink(Arc::new(TeeSink(Arc::new(StderrSink), capture.clone())));
+        let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
+        event::set_sink(Arc::new(TeeSink(
+            Arc::new(TeeSink(Arc::new(StderrSink), capture.clone())),
+            flight.clone(),
+        )));
         Some(TelemetrySession {
             tel: Telemetry::enabled(),
             capture,
+            flight,
             trace_out: common.trace_out.clone(),
             metrics_out: common.metrics_out.clone(),
             telemetry_out: common.telemetry_out.clone(),
+            flight_out: common.flight_out.clone(),
         })
     }
 
@@ -114,6 +139,38 @@ impl TelemetrySession {
         }
         Ok(())
     }
+
+    /// Dump the flight recorder's ring to `--flight-out` (no-op without
+    /// the flag). Absorbs the final telemetry snapshot first so the black
+    /// box carries the simulated timeline next to the live event stream.
+    fn dump_flight(&self, reason: &str) {
+        let Some(path) = &self.flight_out else {
+            return;
+        };
+        self.flight.absorb_snapshot(&self.tel.snapshot());
+        match fs::write(path, self.flight.dump_json(reason)) {
+            Ok(()) => event::info(
+                "cli",
+                format!("flight recorder dumped to {} ({reason})", path.display()),
+            ),
+            Err(e) => event::warn("cli", format!("flight dump {path:?} failed: {e}")),
+        }
+    }
+}
+
+/// Pass `result` through; on failure, dump the flight recorder first so
+/// the error leaves a black box behind.
+fn flight_guard<T>(
+    session: &Option<TelemetrySession>,
+    result: Result<T, String>,
+    reason: &str,
+) -> Result<T, String> {
+    if result.is_err() {
+        if let Some(s) = session {
+            s.dump_flight(reason);
+        }
+    }
+    result
 }
 
 fn write_text(path: &Path, contents: &str) -> Result<(), String> {
@@ -121,11 +178,16 @@ fn write_text(path: &Path, contents: &str) -> Result<(), String> {
 }
 
 /// `report`: validate and summarize a `--telemetry-out` dump (and
-/// optionally a `--trace-out` chrome trace).
-fn report_cmd(input: &Path, trace: Option<&Path>) -> Result<(), String> {
+/// optionally a `--trace-out` chrome trace). `report lineage --batch N`
+/// reconstructs one work batch's causal hop chain instead.
+fn report_cmd(input: &Path, trace: Option<&Path>, lineage_batch: Option<u32>) -> Result<(), String> {
     let text = fs::read_to_string(input).map_err(|e| format!("read {input:?}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("parse {input:?}: {e}"))?;
     report::validate_dump(&doc).map_err(|e| format!("invalid dump {input:?}: {e}"))?;
+    if let Some(batch) = lineage_batch {
+        print!("{}", report::lineage_chain(&doc, batch)?);
+        return Ok(());
+    }
     print!("{}", report::summarize_dump(&doc)?);
     if let Some(tpath) = trace {
         let ttext = fs::read_to_string(tpath).map_err(|e| format!("read {tpath:?}: {e}"))?;
@@ -306,7 +368,11 @@ fn frontier(
         max_points,
         ..FrontierConfig::default()
     };
-    let outcome = session.explore_frontier(&fcfg).map_err(|e| e.to_string())?;
+    let outcome = flight_guard(
+        &tel,
+        session.explore_frontier(&fcfg).map_err(|e| e.to_string()),
+        "plan-error",
+    )?;
     let result = &outcome.result;
     let report = result.report();
 
@@ -434,7 +500,11 @@ fn execute(common: &Common) -> Result<(), String> {
             Some(spec) => ElasticPlan::parse(spec, common.nodes).map_err(|e| e.to_string())?,
             None => ElasticPlan::none(),
         };
-        let result = execute_with_faults(&fw, &dataset, common, &faults, &elastic);
+        let result = flight_guard(
+            &session,
+            execute_with_faults(&fw, &dataset, common, &faults, &elastic),
+            "run-error",
+        );
         if let Some(session) = &session {
             session.finish()?;
         }
@@ -587,14 +657,15 @@ fn plan_cmd(common: &Common, sweep: &[f64], out: Option<&Path>) -> Result<(), St
 
     let mut plans = Vec::new();
     if sweep.is_empty() {
-        let plan = session.plan().map_err(|e| e.to_string())?;
+        let plan = flight_guard(&tel, session.plan().map_err(|e| e.to_string()), "plan-error")?;
         println!("plan               {}", plan_line(&plan));
         println!("stage cache        {}", reuse_line(session.last_reuse()));
         plans.push(plan);
     } else {
         for &alpha in sweep {
             session.set_alpha(alpha);
-            let plan = session.plan().map_err(|e| e.to_string())?;
+            let plan =
+                flight_guard(&tel, session.plan().map_err(|e| e.to_string()), "plan-error")?;
             println!(
                 "plan               {}  [{}; {:.4}s]",
                 plan_line(&plan),
@@ -808,8 +879,12 @@ fn chaos_cmd(
         inject_corruption,
         elastic: with_elastic.then(ElasticSpec::default),
     };
-    let report = run_chaos(&cluster, &dataset, common.workload, &cfg, &chaos, &tel)
-        .map_err(|e| e.to_string())?;
+    let report = flight_guard(
+        &session,
+        run_chaos(&cluster, &dataset, common.workload, &cfg, &chaos, &tel)
+            .map_err(|e| e.to_string()),
+        "chaos-error",
+    )?;
 
     println!(
         "dataset            {} ({} records)",
@@ -835,6 +910,11 @@ fn chaos_cmd(
         }
         // Stable one-line reproducer, greppable/diffable by CI.
         println!("minimal-spec: {}", failure.minimal_spec);
+    }
+    if !report.failures.is_empty() {
+        if let Some(session) = &session {
+            session.dump_flight("chaos-violation");
+        }
     }
     if let Some(session) = &session {
         session.finish()?;

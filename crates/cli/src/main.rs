@@ -16,6 +16,7 @@
 //! heterogeneous cluster and prints makespan/dirty-energy/quality.
 
 mod args;
+mod bench;
 mod commands;
 
 use std::process::ExitCode;

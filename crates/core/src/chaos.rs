@@ -22,7 +22,7 @@ use pareto_cluster::{
 };
 use pareto_datagen::{DataItem, Dataset};
 use pareto_stats::LinearFit;
-use pareto_telemetry::Telemetry;
+use pareto_telemetry::{event, Telemetry};
 use pareto_workloads::WorkloadKind;
 
 use crate::audit::{audit_elastic_run, AuditReport, Invariant, Violation};
@@ -541,11 +541,18 @@ pub fn run_chaos(
         let (minimal, minimal_elastic) = shrink_combined_schedule(&faults, &elastic, |f, e| {
             !ctx.evaluate(f, e, verify).is_clean()
         });
+        let minimal_spec = combined_spec(&minimal, &minimal_elastic);
+        // Structured warning so event sinks (stderr, capture, the flight
+        // recorder) see the discovery the moment it is shrunk.
+        event::warn(
+            "chaos",
+            format!("schedule seed {schedule_seed} violated invariants; shrunk to {minimal_spec}"),
+        );
         report.failures.push(ScheduleFailure {
             schedule_seed,
             spec: combined_spec(&faults, &elastic),
             violations: audit.violations,
-            minimal_spec: combined_spec(&minimal, &minimal_elastic),
+            minimal_spec,
             minimal,
             minimal_elastic,
         });

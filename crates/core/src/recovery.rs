@@ -665,6 +665,37 @@ fn simulate(
     // Orphans stranded while no node was active; a later joiner rescues
     // them (conservation across join/leave boundaries).
     let mut lost_pool: Vec<usize> = Vec::new();
+    // Causal trace-context per item: (batch id, hop counter), where the
+    // batch is the node index of the item's initial placement and every
+    // subsequent move bumps the hop. Telemetry-owned (None when
+    // disabled); never read by any scheduling decision.
+    let mut lineage: Option<Vec<(u32, u32)>> = if tel.is_enabled() {
+        let mut lin = vec![(0u32, 0u32); work.len()];
+        for (i, q) in initial.iter().enumerate() {
+            for &r in q {
+                lin[r] = (i as u32, 0);
+            }
+            if !q.is_empty() {
+                tel.instant(
+                    Track::Coordinator,
+                    "lineage",
+                    ClockDomain::Sim,
+                    epoch,
+                    vec![
+                        ("batch".into(), i.to_string()),
+                        ("hop".into(), "0".into()),
+                        ("kind".into(), "place".into()),
+                        ("from".into(), "-".into()),
+                        ("to".into(), format!("node{i}")),
+                        ("items".into(), q.len().to_string()),
+                    ],
+                );
+            }
+        }
+        Some(lin)
+    } else {
+        None
+    };
 
     // Seconds one event takes on `node` starting at `now`: cost converted
     // through the node's speed and the (possibly degraded) network, then
@@ -721,6 +752,9 @@ fn simulate(
                 tel,
                 epoch,
                 0.0,
+                "redistribute",
+                &format!("node{i}"),
+                &mut lineage,
             );
         }
     }
@@ -751,6 +785,7 @@ fn simulate(
                 + cfg.backoff_base_s * f64::powi(2.0, (attempt - 1) as i32);
             node.cost.add(failed);
             let before = node.clock;
+            let busy0 = node.busy;
             let survived = advance(node, i, dt);
             if tel.is_enabled() {
                 tel.span(
@@ -763,6 +798,15 @@ fn simulate(
                     vec![("attempt".into(), attempt.to_string())],
                 );
                 tel.counter_add("pareto_kv_retries_total", &[], 1);
+                tel.ledger_interval(
+                    i,
+                    "kv-retry",
+                    None,
+                    epoch + before,
+                    epoch + node.clock,
+                    busy0,
+                    node.busy,
+                );
             }
             if !survived {
                 break;
@@ -800,6 +844,9 @@ fn simulate(
                 tel,
                 epoch,
                 now,
+                "redistribute",
+                &format!("node{i}"),
+                &mut lineage,
             );
         } else if !nodes[i].alive {
             crashed_nodes.push(i);
@@ -861,6 +908,9 @@ fn simulate(
                     tel,
                     epoch,
                     t_join,
+                    "rescue",
+                    "pool",
+                    &mut lineage,
                 );
             }
             rebalance_on_join(
@@ -876,6 +926,7 @@ fn simulate(
                 tel,
                 epoch,
                 t_join,
+                &mut lineage,
             );
             continue;
         }
@@ -940,6 +991,7 @@ fn simulate(
                             + cfg.backoff_base_s * f64::powi(2.0, (attempt - 1) as i32);
                         nodes[node].cost.add(failed);
                         let before = nodes[node].clock;
+                        let busy0 = nodes[node].busy;
                         let survived = advance(&mut nodes[node], node, dt);
                         if tel.is_enabled() {
                             tel.span(
@@ -950,6 +1002,15 @@ fn simulate(
                                 epoch + nodes[node].clock,
                                 SpanId::NONE,
                                 vec![("attempt".into(), attempt.to_string())],
+                            );
+                            tel.ledger_interval(
+                                node,
+                                "handoff-retry",
+                                None,
+                                epoch + before,
+                                epoch + nodes[node].clock,
+                                busy0,
+                                nodes[node].busy,
                             );
                         }
                         if !survived {
@@ -966,6 +1027,7 @@ fn simulate(
                         let dt = event_seconds(node, &record, nodes[node].clock);
                         nodes[node].cost.add(record);
                         let before = nodes[node].clock;
+                        let busy0 = nodes[node].busy;
                         let survived = advance(&mut nodes[node], node, dt);
                         record_transfer(
                             tel,
@@ -973,6 +1035,8 @@ fn simulate(
                             node,
                             before,
                             nodes[node].clock,
+                            busy0,
+                            nodes[node].busy,
                             "handoff",
                             bytes,
                         );
@@ -1010,6 +1074,7 @@ fn simulate(
                     crashed_nodes.push(node);
                     record_crash(tel, epoch, node, now, "handoff");
                 }
+                let hop_kind = if handoff_ok { "handoff" } else { "redistribute" };
                 replan(
                     work,
                     strata,
@@ -1024,6 +1089,9 @@ fn simulate(
                     tel,
                     epoch,
                     now,
+                    hop_kind,
+                    &format!("node{node}"),
+                    &mut lineage,
                 );
                 continue;
             }
@@ -1037,8 +1105,19 @@ fn simulate(
             let dt = event_seconds(node, &transfer, nodes[node].clock);
             nodes[node].cost.add(transfer);
             let before = nodes[node].clock;
+            let busy0 = nodes[node].busy;
             let survived = advance(&mut nodes[node], node, dt);
-            record_transfer(tel, epoch, node, before, nodes[node].clock, kind, transfer.bytes);
+            record_transfer(
+                tel,
+                epoch,
+                node,
+                before,
+                nodes[node].clock,
+                busy0,
+                nodes[node].busy,
+                kind,
+                transfer.bytes,
+            );
             if !survived {
                 crashed_nodes.push(node);
                 record_crash(tel, epoch, node, nodes[node].clock, "transfer");
@@ -1059,6 +1138,9 @@ fn simulate(
                     tel,
                     epoch,
                     now,
+                    "redistribute",
+                    &format!("node{node}"),
+                    &mut lineage,
                 );
             }
             continue;
@@ -1068,6 +1150,8 @@ fn simulate(
             let cost = Cost::compute(work[r].ops);
             let dt = event_seconds(node, &cost, nodes[node].clock);
             let before = nodes[node].clock;
+            let busy0 = nodes[node].busy;
+            let stratum = Some(strata.get(r).copied().unwrap_or(0));
             if advance(&mut nodes[node], node, dt) {
                 nodes[node].cost.add(cost);
                 completed_by[r] = Some(node);
@@ -1082,12 +1166,31 @@ fn simulate(
                         SpanId::NONE,
                         vec![("item".into(), r.to_string())],
                     );
+                    tel.ledger_interval(
+                        node,
+                        "exec",
+                        stratum,
+                        epoch + before,
+                        epoch + nodes[node].clock,
+                        busy0,
+                        nodes[node].busy,
+                    );
                 }
             } else {
                 // Died mid-item: the in-flight item and the rest of the
-                // queue are orphans.
+                // queue are orphans. The busy time burned before the kill
+                // still draws power, so it gets an exec ledger interval.
                 crashed_nodes.push(node);
                 record_crash(tel, epoch, node, nodes[node].clock, "exec");
+                tel.ledger_interval(
+                    node,
+                    "exec",
+                    stratum,
+                    epoch + before,
+                    epoch + nodes[node].clock,
+                    busy0,
+                    nodes[node].busy,
+                );
                 let mut orphans: Vec<usize> = vec![r];
                 orphans.extend(nodes[node].queue.drain(..));
                 let now = nodes[node].clock;
@@ -1106,6 +1209,9 @@ fn simulate(
                     tel,
                     epoch,
                     now,
+                    "redistribute",
+                    &format!("node{node}"),
+                    &mut lineage,
                 );
             }
             continue;
@@ -1143,8 +1249,29 @@ fn simulate(
             let dt = event_seconds(node, &transfer, nodes[node].clock);
             nodes[node].cost.add(transfer);
             let before = nodes[node].clock;
+            let busy0 = nodes[node].busy;
             let survived = advance(&mut nodes[node], node, dt);
-            record_transfer(tel, epoch, node, before, nodes[node].clock, "steal", bytes);
+            record_transfer(
+                tel,
+                epoch,
+                node,
+                before,
+                nodes[node].clock,
+                busy0,
+                nodes[node].busy,
+                "steal",
+                bytes,
+            );
+            record_lineage_move(
+                tel,
+                epoch,
+                before,
+                &mut lineage,
+                &stolen,
+                "steal",
+                &format!("node{victim}"),
+                &format!("node{node}"),
+            );
             if tel.is_enabled() {
                 tel.instant(
                     Track::Node(node),
@@ -1180,6 +1307,9 @@ fn simulate(
                     tel,
                     epoch,
                     now,
+                    "redistribute",
+                    &format!("node{node}"),
+                    &mut lineage,
                 );
             }
             continue;
@@ -1246,13 +1376,18 @@ fn record_crash(tel: &Telemetry, epoch: f64, node: usize, clock: f64, during: &s
 }
 
 /// Span for a paid data transfer (partition fetch, replan redistribution,
-/// or a speculative steal) on the paying node's sim track.
+/// or a speculative steal) on the paying node's sim track, plus the
+/// matching energy-ledger interval (`busy0..busy1` is the node's
+/// cumulative-busy range over the transfer).
+#[allow(clippy::too_many_arguments)]
 fn record_transfer(
     tel: &Telemetry,
     epoch: f64,
     node: usize,
     start: f64,
     end: f64,
+    busy0: f64,
+    busy1: f64,
     kind: &str,
     bytes: u64,
 ) {
@@ -1271,7 +1406,51 @@ fn record_transfer(
             ("bytes".into(), bytes.to_string()),
         ],
     );
+    tel.ledger_interval(node, kind, None, epoch + start, epoch + end, busy0, busy1);
     tel.counter_add("pareto_transfer_bytes_total", &[("kind", kind)], bytes);
+}
+
+/// Record one group move for causal work-item tracing: bump each moved
+/// item's hop counter and emit one `lineage` instant per `(batch, hop)`
+/// group (BTreeMap order, so recording is deterministic). `lineage` is
+/// `None` exactly when telemetry is disabled — the whole trace-context is
+/// telemetry-owned state and never feeds a decision.
+#[allow(clippy::too_many_arguments)]
+fn record_lineage_move(
+    tel: &Telemetry,
+    epoch: f64,
+    now: f64,
+    lineage: &mut Option<Vec<(u32, u32)>>,
+    items: &[usize],
+    kind: &str,
+    from: &str,
+    to: &str,
+) {
+    let Some(lin) = lineage.as_mut() else {
+        return;
+    };
+    let mut groups: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    for &r in items {
+        let (batch, hop) = lin[r];
+        *groups.entry((batch, hop)).or_insert(0) += 1;
+        lin[r] = (batch, hop + 1);
+    }
+    for ((batch, hop), count) in groups {
+        tel.instant(
+            Track::Coordinator,
+            "lineage",
+            ClockDomain::Sim,
+            epoch + now,
+            vec![
+                ("batch".into(), batch.to_string()),
+                ("hop".into(), (hop + 1).to_string()),
+                ("kind".into(), kind.into()),
+                ("from".into(), from.into()),
+                ("to".into(), to.into()),
+                ("items".into(), count.to_string()),
+            ],
+        );
+    }
 }
 
 /// Re-solve the LP over the survivors and redistribute `orphans`
@@ -1295,6 +1474,9 @@ fn replan(
     tel: &Telemetry,
     epoch: f64,
     now: f64,
+    hop_kind: &str,
+    hop_from: &str,
+    lineage: &mut Option<Vec<(u32, u32)>>,
 ) {
     if orphans.is_empty() {
         return;
@@ -1302,6 +1484,7 @@ fn replan(
     let survivors: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].active()).collect();
     if survivors.is_empty() {
         // No node can take the work right now: park it for a joiner.
+        record_lineage_move(tel, epoch, now, lineage, &orphans, "park", hop_from, "pool");
         lost_pool.extend(orphans);
         return;
     }
@@ -1354,6 +1537,16 @@ fn replan(
         let slice = &ordered[cursor..cursor + take];
         cursor += take;
         let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        record_lineage_move(
+            tel,
+            epoch,
+            now,
+            lineage,
+            slice,
+            hop_kind,
+            hop_from,
+            &format!("node{receiver}"),
+        );
         // The transfer is priced when the receiver reaches it; recording
         // it as pending keeps it subject to the receiver's own crash.
         nodes[receiver].pending.add(Cost {
@@ -1371,6 +1564,16 @@ fn replan(
         let receiver = survivors[0];
         let slice = &ordered[cursor..];
         let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        record_lineage_move(
+            tel,
+            epoch,
+            now,
+            lineage,
+            slice,
+            hop_kind,
+            hop_from,
+            &format!("node{receiver}"),
+        );
         nodes[receiver].pending.add(Cost {
             compute_ops: 0,
             bytes,
@@ -1403,6 +1606,7 @@ fn rebalance_on_join(
     tel: &Telemetry,
     epoch: f64,
     now: f64,
+    lineage: &mut Option<Vec<(u32, u32)>>,
 ) {
     let eligible: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].active()).collect();
     let total_queued: usize = eligible.iter().map(|&i| nodes[i].queue.len()).sum();
@@ -1467,6 +1671,16 @@ fn rebalance_on_join(
         let slice = &ordered[cursor..cursor + take];
         cursor += take;
         let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        record_lineage_move(
+            tel,
+            epoch,
+            now,
+            lineage,
+            slice,
+            "rebalance",
+            "pool",
+            &format!("node{receiver}"),
+        );
         nodes[receiver].pending.add(Cost {
             compute_ops: 0,
             bytes,
@@ -1481,6 +1695,16 @@ fn rebalance_on_join(
     if cursor < ordered.len() {
         let slice = &ordered[cursor..];
         let bytes: u64 = slice.iter().map(|&r| work[r].bytes).sum();
+        record_lineage_move(
+            tel,
+            epoch,
+            now,
+            lineage,
+            slice,
+            "rebalance",
+            "pool",
+            &format!("node{joiner}"),
+        );
         nodes[joiner].pending.add(Cost {
             compute_ops: 0,
             bytes,

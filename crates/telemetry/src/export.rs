@@ -2,9 +2,9 @@
 //! as Prometheus text, a structured JSON dump, or a chrome-trace file.
 
 mod chrome;
-mod json_dump;
+pub(crate) mod json_dump;
 mod prometheus;
 
 pub use chrome::chrome_trace;
 pub use json_dump::json_dump;
-pub use prometheus::prometheus_text;
+pub use prometheus::{prometheus_text, validate_exposition};

@@ -3,6 +3,7 @@
 //! the format `paretofab report` consumes.
 
 use crate::json::Value;
+use crate::ledger::BusyInterval;
 use crate::span::{InstantRecord, SpanRecord};
 use crate::{Event, TelemetrySnapshot};
 
@@ -15,7 +16,7 @@ fn attrs_value(attrs: &[(String, String)]) -> Value {
     )
 }
 
-fn span_value(s: &SpanRecord) -> Value {
+pub(crate) fn span_value(s: &SpanRecord) -> Value {
     Value::obj(vec![
         ("id", Value::Num(s.id as f64)),
         (
@@ -35,13 +36,28 @@ fn span_value(s: &SpanRecord) -> Value {
     ])
 }
 
-fn instant_value(i: &InstantRecord) -> Value {
+pub(crate) fn instant_value(i: &InstantRecord) -> Value {
     Value::obj(vec![
         ("track", Value::Str(i.track.label())),
         ("name", Value::Str(i.name.clone())),
         ("clock", Value::Str(i.domain.label().into())),
         ("ts_s", Value::Num(i.ts_s)),
         ("attrs", attrs_value(&i.attrs)),
+    ])
+}
+
+fn ledger_value(iv: &BusyInterval) -> Value {
+    Value::obj(vec![
+        ("node", Value::Num(iv.node as f64)),
+        ("stage", Value::Str(iv.stage.clone())),
+        (
+            "stratum",
+            iv.stratum.map(|s| Value::Num(s as f64)).unwrap_or(Value::Null),
+        ),
+        ("start_s", Value::Num(iv.start_s)),
+        ("end_s", Value::Num(iv.end_s)),
+        ("busy0_s", Value::Num(iv.busy0_s)),
+        ("busy1_s", Value::Num(iv.busy1_s)),
     ])
 }
 
@@ -132,6 +148,10 @@ pub fn json_dump(snapshot: &TelemetrySnapshot, events: &[Event]) -> String {
         (
             "instants",
             Value::Arr(snapshot.instants.iter().map(instant_value).collect()),
+        ),
+        (
+            "ledger",
+            Value::Arr(snapshot.ledger.iter().map(ledger_value).collect()),
         ),
         (
             "metrics",

@@ -27,7 +27,9 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod report;
 pub mod span;
@@ -38,6 +40,8 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 pub use event::{CaptureSink, Event, EventSink, Severity, StderrSink, TeeSink};
+pub use flight::{FlightFrame, FlightRecorder};
+pub use ledger::{BusyInterval, GreenSource, LedgerRow, ReferenceTotal};
 pub use metrics::{MetricKey, MetricsRegistry, DURATION_BOUNDS_S, SIZE_BOUNDS};
 pub use span::{Attrs, ClockDomain, InstantRecord, SpanId, SpanRecord, Track};
 
@@ -45,6 +49,7 @@ pub use span::{Attrs, ClockDomain, InstantRecord, SpanId, SpanRecord, Track};
 struct Recorder {
     spans: Vec<SpanRecord>,
     instants: Vec<InstantRecord>,
+    ledger: Vec<BusyInterval>,
     metrics: MetricsRegistry,
     next_id: u64,
 }
@@ -57,6 +62,8 @@ pub struct TelemetrySnapshot {
     pub spans: Vec<SpanRecord>,
     /// All instant markers, in recording order.
     pub instants: Vec<InstantRecord>,
+    /// Busy intervals recorded for the energy ledger, in recording order.
+    pub ledger: Vec<BusyInterval>,
     /// The metrics registry.
     pub metrics: MetricsRegistry,
 }
@@ -151,6 +158,37 @@ impl Telemetry {
         });
     }
 
+    /// Record one busy interval for the energy ledger. `start_s..end_s`
+    /// is the simulated-timeline position (display only);
+    /// `busy0_s..busy1_s` is the node's cumulative-busy range, the axis
+    /// attribution integrates on (see [`ledger`]). Serial code only —
+    /// recording order is part of the exported artifact. No-op when
+    /// disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ledger_interval(
+        &self,
+        node: usize,
+        stage: &str,
+        stratum: Option<u32>,
+        start_s: f64,
+        end_s: f64,
+        busy0_s: f64,
+        busy1_s: f64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.lock().ledger.push(BusyInterval {
+            node,
+            stage: stage.to_string(),
+            stratum,
+            start_s,
+            end_s: end_s.max(start_s),
+            busy0_s,
+            busy1_s: busy1_s.max(busy0_s),
+        });
+    }
+
     /// Add to a counter. Safe from parallel sections (increments commute).
     pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
         if !self.enabled {
@@ -190,6 +228,7 @@ impl Telemetry {
         TelemetrySnapshot {
             spans: inner.spans.clone(),
             instants: inner.instants.clone(),
+            ledger: inner.ledger.clone(),
             metrics: inner.metrics.clone(),
         }
     }
@@ -213,12 +252,14 @@ mod tests {
         );
         assert_eq!(id, SpanId::NONE);
         tel.instant(Track::Coordinator, "x", ClockDomain::Sim, 0.0, vec![]);
+        tel.ledger_interval(0, "exec", None, 0.0, 1.0, 0.0, 1.0);
         tel.counter_add("c", &[], 1);
         tel.gauge_set("g", &[], 1.0);
         tel.observe("h", &[], 1.0, DURATION_BOUNDS_S);
         let snap = tel.snapshot();
         assert!(snap.spans.is_empty());
         assert!(snap.instants.is_empty());
+        assert!(snap.ledger.is_empty());
         assert_eq!(snap.metrics.series_count(), 0);
     }
 

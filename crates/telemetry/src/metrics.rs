@@ -68,6 +68,25 @@ impl Histogram {
         self.sum += value;
         self.count += 1;
     }
+
+    /// Fold another histogram into this one (per-bucket count sums plus
+    /// `sum`/`count`). The bucket bounds must match exactly — merging
+    /// differently-bucketed histograms would silently misbin, so it is a
+    /// typed error instead.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds mismatch: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        Ok(())
+    }
 }
 
 /// Default histogram bounds for durations in seconds (log-spaced).
@@ -135,6 +154,30 @@ impl MetricsRegistry {
     pub fn series_count(&self) -> usize {
         self.counters.len() + self.gauges.len() + self.histograms.len()
     }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other side's value (last write wins), histograms merge per-bucket.
+    /// Fails (leaving the overlapping series merged so far) on a
+    /// histogram bounds mismatch.
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), String> {
+        for (key, v) in &other.counters {
+            self.counter_add(key.clone(), *v);
+        }
+        for (key, v) in &other.gauges {
+            self.gauge_set(key.clone(), *v);
+        }
+        for (key, h) in &other.histograms {
+            match self.histograms.get_mut(key) {
+                Some(mine) => mine
+                    .merge(h)
+                    .map_err(|e| format!("{}: {e}", key.name))?,
+                None => {
+                    self.histograms.insert(key.clone(), h.clone());
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +216,87 @@ mod tests {
         assert_eq!(h.counts, vec![1, 2, 1]);
         assert_eq!(h.count, 4);
         assert!((h.sum - 100.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_observations_land_in_edge_buckets() {
+        let mut reg = MetricsRegistry::new();
+        let key = MetricKey::new("h", &[]);
+        // Below every bound -> first bucket; above every bound (and NaN,
+        // for which `v <= b` is false) -> +Inf bucket.
+        for v in [-5.0, f64::NEG_INFINITY] {
+            reg.observe(key.clone(), v, &[0.1, 1.0]);
+        }
+        for v in [1e9, f64::INFINITY, f64::NAN] {
+            reg.observe(key.clone(), v, &[0.1, 1.0]);
+        }
+        let h = &reg.histograms[&key];
+        assert_eq!(h.counts, vec![2, 0, 3]);
+        assert_eq!(h.count, 5);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_and_rejects_bounds_mismatch() {
+        let mut reg_a = MetricsRegistry::new();
+        let mut reg_b = MetricsRegistry::new();
+        let key = MetricKey::new("h", &[("node", "0")]);
+        for v in [0.05, 0.5] {
+            reg_a.observe(key.clone(), v, &[0.1, 1.0]);
+        }
+        for v in [0.07, 5.0, 9.0] {
+            reg_b.observe(key.clone(), v, &[0.1, 1.0]);
+        }
+        let mut merged = reg_a.histograms[&key].clone();
+        merged.merge(&reg_b.histograms[&key]).unwrap();
+        assert_eq!(merged.counts, vec![2, 1, 2]);
+        assert_eq!(merged.count, 5);
+        assert!((merged.sum - 14.62).abs() < 1e-9);
+
+        let mut other_bounds = MetricsRegistry::new();
+        other_bounds.observe(key.clone(), 0.5, &[0.25, 2.0]);
+        let err = merged
+            .merge(&other_bounds.histograms[&key])
+            .unwrap_err();
+        assert!(err.contains("bounds mismatch"));
+    }
+
+    #[test]
+    fn registry_merge_combines_all_three_kinds() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add(MetricKey::new("c_total", &[]), 2);
+        b.counter_add(MetricKey::new("c_total", &[]), 3);
+        b.counter_add(MetricKey::new("only_b_total", &[]), 1);
+        a.gauge_set(MetricKey::new("g", &[]), 1.0);
+        b.gauge_set(MetricKey::new("g", &[]), 7.0);
+        a.observe(MetricKey::new("h", &[]), 0.05, &[0.1]);
+        b.observe(MetricKey::new("h", &[]), 5.0, &[0.1]);
+        b.observe(MetricKey::new("h2", &[]), 5.0, &[0.1]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counters[&MetricKey::new("c_total", &[])], 5);
+        assert_eq!(a.counters[&MetricKey::new("only_b_total", &[])], 1);
+        assert_eq!(a.gauges[&MetricKey::new("g", &[])], 7.0);
+        assert_eq!(a.histograms[&MetricKey::new("h", &[])].counts, vec![1, 1]);
+        assert_eq!(a.histograms[&MetricKey::new("h2", &[])].count, 1);
+
+        let mut clash = MetricsRegistry::new();
+        clash.observe(MetricKey::new("h", &[]), 0.5, &[9.9]);
+        assert!(a.merge(&clash).is_err());
+    }
+
+    #[test]
+    fn label_ordering_is_deterministic_across_insertion_orders() {
+        let forward = MetricKey::new("m", &[("a", "1"), ("b", "2"), ("c", "3")]);
+        let reverse = MetricKey::new("m", &[("c", "3"), ("b", "2"), ("a", "1")]);
+        assert_eq!(forward, reverse);
+        assert_eq!(
+            forward.labels,
+            vec![
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), "2".to_string()),
+                ("c".to_string(), "3".to_string()),
+            ]
+        );
     }
 
     #[test]

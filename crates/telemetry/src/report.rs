@@ -287,6 +287,28 @@ pub fn summarize_dump(doc: &Value) -> Result<String, String> {
         }
     }
 
+    // Energy-ledger intervals, when the dump carries any.
+    let ledger = doc.get("ledger").and_then(|v| v.as_arr()).unwrap_or(&[]);
+    if !ledger.is_empty() {
+        let _ = writeln!(out, "\n[ledger]");
+        let mut busy_by_stage: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+        for iv in ledger {
+            let stage = iv
+                .get("stage")
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            let b0 = iv.get("busy0_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let b1 = iv.get("busy1_s").and_then(|v| v.as_f64()).unwrap_or(b0);
+            let slot = busy_by_stage.entry(stage).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += b1 - b0;
+        }
+        for (stage, (n, busy)) in &busy_by_stage {
+            let _ = writeln!(out, "  {stage}: {n} interval(s), {busy:.6}s busy");
+        }
+    }
+
     // Captured warnings last — the part humans scan for.
     let events = doc.get("events").and_then(|v| v.as_arr()).unwrap_or(&[]);
     if !events.is_empty() {
@@ -299,6 +321,56 @@ pub fn summarize_dump(doc: &Value) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// Reconstruct one item-batch's journey from a dump's `lineage` instants:
+/// every hop the batch's items took (placement, crash redistribution,
+/// steal, elastic handoff, …), in causal recording order. Errors when the
+/// dump carries no lineage records for the batch — either the batch id is
+/// unknown or the run wasn't traced.
+pub fn lineage_chain(doc: &Value, batch: u32) -> Result<String, String> {
+    let instants = doc
+        .get("instants")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing instants array")?;
+    let want = batch.to_string();
+    let mut out = String::new();
+    let mut hops = 0usize;
+    for inst in instants {
+        if inst.get("name").and_then(|v| v.as_str()) != Some("lineage") {
+            continue;
+        }
+        let attrs = inst.get("attrs");
+        let attr = |k: &str| {
+            attrs
+                .and_then(|a| a.get(k))
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string()
+        };
+        if attr("batch") != want {
+            continue;
+        }
+        let ts = inst.get("ts_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "hop {}: {} {} -> {} ({} items) @ {:.6}s",
+            attr("hop"),
+            attr("kind"),
+            attr("from"),
+            attr("to"),
+            attr("items"),
+            ts
+        );
+        hops += 1;
+    }
+    if hops == 0 {
+        return Err(format!(
+            "no lineage records for batch {batch} (unknown batch id, or the run \
+             was not traced with telemetry enabled)"
+        ));
+    }
+    Ok(format!("lineage of batch {batch}: {hops} hop group(s)\n{out}"))
 }
 
 #[cfg(test)]
@@ -382,6 +454,62 @@ mod tests {
         let stats = validate_chrome_trace(&doc).unwrap();
         assert_eq!(stats.span_pairs, 2);
         assert_eq!(stats.instants, 1);
+    }
+
+    #[test]
+    fn lineage_chain_renders_hops_in_order() {
+        let tel = Telemetry::enabled();
+        let hop = |hop: u32, kind: &str, from: &str, to: &str, items: u32, ts: f64| {
+            tel.instant(
+                Track::Coordinator,
+                "lineage",
+                ClockDomain::Sim,
+                ts,
+                vec![
+                    ("batch".into(), "3".into()),
+                    ("hop".into(), hop.to_string()),
+                    ("kind".into(), kind.into()),
+                    ("from".into(), from.into()),
+                    ("to".into(), to.into()),
+                    ("items".into(), items.to_string()),
+                ],
+            );
+        };
+        hop(0, "place", "-", "node1", 5, 0.0);
+        hop(1, "redistribute", "node1", "node0", 3, 2.5);
+        hop(2, "steal", "node0", "node2", 1, 4.0);
+        // Another batch's hop must not leak in.
+        tel.instant(
+            Track::Coordinator,
+            "lineage",
+            ClockDomain::Sim,
+            1.0,
+            vec![("batch".into(), "9".into()), ("hop".into(), "0".into())],
+        );
+        let dump = json_dump(&tel.snapshot(), &[]);
+        let doc = json::parse(&dump).unwrap();
+        let chain = lineage_chain(&doc, 3).unwrap();
+        assert!(chain.starts_with("lineage of batch 3: 3 hop group(s)"));
+        let p0 = chain.find("hop 0: place - -> node1 (5 items)").unwrap();
+        let p1 = chain
+            .find("hop 1: redistribute node1 -> node0 (3 items)")
+            .unwrap();
+        let p2 = chain.find("hop 2: steal node0 -> node2 (1 items)").unwrap();
+        assert!(p0 < p1 && p1 < p2);
+        assert!(lineage_chain(&doc, 42).is_err());
+    }
+
+    #[test]
+    fn summary_includes_ledger_section() {
+        let tel = Telemetry::enabled();
+        tel.ledger_interval(0, "exec", Some(1), 0.0, 2.0, 0.0, 2.0);
+        tel.ledger_interval(0, "transfer", None, 2.0, 2.5, 2.0, 2.5);
+        let dump = json_dump(&tel.snapshot(), &[]);
+        let doc = json::parse(&dump).unwrap();
+        let summary = summarize_dump(&doc).unwrap();
+        assert!(summary.contains("[ledger]"));
+        assert!(summary.contains("exec: 1 interval(s), 2.000000s busy"));
+        assert!(summary.contains("transfer: 1 interval(s), 0.500000s busy"));
     }
 
     #[test]

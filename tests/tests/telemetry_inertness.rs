@@ -214,11 +214,16 @@ fn faulted_run_trace_shows_crash_replan_redistribution() {
     assert!(stats.tracks >= 3, "trace has no per-node tracks");
 }
 
+/// Tests that swap the process-global event sink serialize on this lock
+/// so a concurrently running sink-swapping test can't steal their events.
+static SINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// The estimator's degraded-green-window warning flows through the
 /// structured event layer, so tests can observe it without scraping
 /// stderr.
 #[test]
 fn estimator_degraded_warning_is_capturable() {
+    let _sink_guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let cl = SimCluster::new(NodeSpec::paper_cluster(4, 400.0, 2, 9, 7));
     let capture = Arc::new(CaptureSink::new());
     let previous = event::set_sink(capture.clone());
@@ -239,5 +244,149 @@ fn estimator_degraded_warning_is_capturable() {
                 && e.message.contains("green trace missing or non-finite")
         }),
         "degraded-window warning not captured: {events:?}"
+    );
+}
+
+/// Chaos sweeps — including the planted-corruption schedule — find the
+/// same violations and shrink them to bit-identical minimal specs with
+/// the recorder attached and the flight recorder wired as the event
+/// sink, at every thread count. The shrinker's discovery also lands in
+/// the flight ring, so a `--flight-out` dump carries the reproducer.
+#[test]
+fn chaos_minimal_specs_bit_identical_with_telemetry_on() {
+    use pareto_core::{run_chaos, ChaosConfig};
+    use pareto_telemetry::FlightRecorder;
+
+    let ds = pareto_datagen::rcv1_syn(5, 0.04);
+    let chaos = ChaosConfig {
+        schedules: 4,
+        seed: 2017,
+        inject_corruption: true,
+        ..ChaosConfig::default()
+    };
+    let sweep = |threads: usize, tel: Option<Arc<Telemetry>>| -> Vec<(u64, String)> {
+        let (cl, cfg) = make_framework(2017, threads, tel.clone());
+        let t = tel.unwrap_or_else(Telemetry::disabled);
+        let report = run_chaos(
+            &cl,
+            &ds,
+            WorkloadKind::FrequentPatterns { support: 0.15 },
+            &cfg,
+            &chaos,
+            &t,
+        )
+        .expect("chaos sweep plans cleanly");
+        report
+            .failures
+            .iter()
+            .map(|f| (f.schedule_seed, f.minimal_spec.clone()))
+            .collect()
+    };
+    let _sink_guard = SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for &threads in &THREADS {
+        let off = sweep(threads, None);
+        assert!(
+            !off.is_empty(),
+            "threads {threads}: planted corruption must be caught"
+        );
+        let flight = Arc::new(FlightRecorder::new(256));
+        let previous = event::set_sink(flight.clone());
+        let on = sweep(threads, Some(Telemetry::enabled()));
+        event::set_sink(previous);
+        assert_eq!(
+            off, on,
+            "threads {threads}: minimal specs diverged with telemetry on"
+        );
+        assert!(
+            flight.pushed() > 0,
+            "threads {threads}: flight recorder saw no events"
+        );
+        let dump = flight.dump_json("test");
+        assert!(
+            dump.contains("violated invariants"),
+            "chaos warning missing from flight dump: {dump}"
+        );
+    }
+}
+
+/// With the recorder on, a faulted run leaves an energy ledger whose
+/// intervals exactly cover each node's cumulative-busy axis (the
+/// telescoping property the attribution's reconciliation relies on), and
+/// lineage instants reconstruct the crashed batch's placement and
+/// redistribution.
+#[test]
+fn ledger_covers_busy_time_and_lineage_traces_the_crashed_batch() {
+    use std::collections::BTreeMap;
+
+    let seed = 31u64;
+    let clean = faulted_run_with(seed, 1, &FaultPlan::none(), None);
+    let tc = clean.outcome.recovery.makespan_s * 0.4;
+    let faults = FaultPlan::new().with_crash(1, tc);
+    let tel = Telemetry::enabled();
+    let out = faulted_run_with(seed, 1, &faults, Some(tel.clone()));
+    assert_eq!(out.outcome.recovery.crashed_nodes, vec![1]);
+    let snap = tel.snapshot();
+
+    // Every node that was accounted busy has ledger intervals, and their
+    // busy-axis extents sum to the accounted busy seconds — coverage
+    // without overlap, which is what makes the green integrals telescope.
+    assert!(!snap.ledger.is_empty(), "faulted run recorded no ledger intervals");
+    let mut busy_by_node: BTreeMap<usize, f64> = BTreeMap::new();
+    for iv in &snap.ledger {
+        assert!(
+            iv.busy1_s >= iv.busy0_s,
+            "interval runs backwards on the busy axis: {iv:?}"
+        );
+        *busy_by_node.entry(iv.node).or_insert(0.0) += iv.busy_s();
+    }
+    for run in &out.outcome.report.runs {
+        if run.seconds == 0.0 {
+            continue;
+        }
+        let ledger_busy = busy_by_node.get(&run.node_id).copied().unwrap_or_else(|| {
+            panic!(
+                "node {} accounted {:.6}s busy but has no ledger intervals",
+                run.node_id, run.seconds
+            )
+        });
+        assert!(
+            (ledger_busy - run.seconds).abs() <= 1e-9 * run.seconds.max(1.0),
+            "node {}: ledger busy {:.9}s vs accounted {:.9}s",
+            run.node_id,
+            ledger_busy,
+            run.seconds
+        );
+    }
+
+    // Lineage: batch 1 was placed on node 1 at hop 0, and after the crash
+    // its remnant moved off the dead node as a hop-1 redistribute.
+    let get = |attrs: &[(String, String)], key: &str| -> Option<String> {
+        attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    let lineage: Vec<_> = snap
+        .instants
+        .iter()
+        .filter(|i| i.name == "lineage")
+        .collect();
+    assert!(!lineage.is_empty(), "no lineage instants recorded");
+    assert!(
+        lineage.iter().all(|i| i.track == Track::Coordinator),
+        "lineage instants must live on the coordinator track"
+    );
+    assert!(
+        lineage.iter().any(|i| {
+            get(&i.attrs, "batch").as_deref() == Some("1")
+                && get(&i.attrs, "hop").as_deref() == Some("0")
+                && get(&i.attrs, "kind").as_deref() == Some("place")
+        }),
+        "batch 1's hop-0 placement is missing"
+    );
+    assert!(
+        lineage.iter().any(|i| {
+            get(&i.attrs, "batch").as_deref() == Some("1")
+                && get(&i.attrs, "kind").as_deref() == Some("redistribute")
+                && get(&i.attrs, "from").as_deref() == Some("node1")
+        }),
+        "batch 1's post-crash redistribution is missing"
     );
 }
