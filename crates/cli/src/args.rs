@@ -84,6 +84,9 @@ common options:
   --scale F --seed N      synthetic generation controls
   --threads N             planning worker threads (default 1; the plan is
                           bit-identical at any thread count)
+  --lp-warm <on|off>      LP warm-starting across re-solves (default on;
+                          plans are bit-identical either way, only pivot
+                          counters differ)
   --durability <none|snapshot|wal>  KV durability mode for `run`
                           (default none; wal verifies bit-identical
                            recovery after the workload and prints a
@@ -255,6 +258,10 @@ pub struct Common {
     /// Planning worker threads (1 = serial; results are thread-count
     /// invariant).
     pub threads: usize,
+    /// LP warm-starting across re-solves (plans are bit-identical either
+    /// way; `--lp-warm off` is the reference the identity job diffs
+    /// against).
+    pub lp_warm: bool,
     /// Fault-injection spec (`run` only; see `--faults` in [`USAGE`]).
     /// Parsed against the cluster size at execution time.
     pub faults: Option<String>,
@@ -287,6 +294,7 @@ impl Default for Common {
             scale: 0.25,
             seed: 2017,
             threads: 1,
+            lp_warm: true,
             faults: None,
             elastic: None,
             durability: Durability::None,
@@ -409,6 +417,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .map_err(|e| format!("bad --threads: {e}"))?;
                 if common.threads == 0 {
                     return Err("--threads must be >= 1".into());
+                }
+            }
+            "--lp-warm" => {
+                common.lp_warm = match value("--lp-warm")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("bad --lp-warm {other:?} (expected on|off)")),
                 }
             }
             "--faults" => common.faults = Some(value("--faults")?),

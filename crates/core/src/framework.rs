@@ -25,10 +25,10 @@ use pareto_workloads::{
 };
 
 use crate::estimator::{NodeTimeModel, SamplingPlan};
-use crate::pareto::ParetoPoint;
+use crate::pareto::{LpBasis, ParetoPoint};
 use crate::partitioner::PartitionLayout;
 use crate::elastic::ElasticPlan;
-use crate::recovery::{execute_with_recovery_elastic_traced, RecoveryConfig, RecoveryOutcome};
+use crate::recovery::{execute_with_recovery_elastic_warm, RecoveryConfig, RecoveryOutcome};
 use crate::stages::{PlanEngine, PlanError};
 use crate::stealing::RecordWork;
 
@@ -101,6 +101,12 @@ pub struct FrameworkConfig {
     /// `SnapshotOnCheckpoint` verifies a checkpoint round-trip; `None`
     /// (the default) skips durability entirely — the historical behavior.
     pub durability: Durability,
+    /// Re-seed each partition-LP solve from the previous optimal basis
+    /// (warm-started revised simplex). Plans are bit-identical either way
+    /// — an unusable warm basis falls back to the cold path — so this
+    /// toggle only trades pivots for a tiny basis-mapping cost. Excluded
+    /// from every stage fingerprint for the same reason `threads` is.
+    pub lp_warm: bool,
     /// Worker threads for the planning pipeline (1 = serial). Copied into
     /// the stratifier's config and the heterogeneity estimator, which
     /// shard sketching, cluster assignment/updates, schedule steps, and
@@ -122,6 +128,7 @@ impl Default for FrameworkConfig {
             planning_horizon_s: 6.0 * 3600.0,
             seed: 0x9A9A,
             durability: Durability::None,
+            lp_warm: true,
             threads: 1,
         }
     }
@@ -159,6 +166,11 @@ pub struct Plan {
     pub sizes: Vec<usize>,
     /// Record indices per partition.
     pub partitions: Vec<Vec<usize>>,
+    /// The optimize stage's final LP basis (absent for non-LP strategies).
+    /// Never serialized into plan artifacts/JSON; carried so downstream
+    /// re-solvers (fault/elastic recovery) can warm-start from the
+    /// pre-fault optimum restricted to survivors.
+    pub lp_basis: Option<LpBasis>,
     /// One-time cost of the progressive-sampling estimation (§III: "a
     /// one-time cost (small)… amortized over multiple runs").
     pub estimation_cost: Cost,
@@ -427,7 +439,14 @@ impl<'a> Framework<'a> {
             Strategy::HetEnergyAwareNormalized { alpha } => alpha,
             _ => 1.0,
         };
-        let outcome = execute_with_recovery_elastic_traced(
+        // Runtime re-solves warm-start from the pre-fault optimal basis
+        // (bit-identical outcome either way; gated like planning warmth).
+        let warm = if self.cfg.lp_warm {
+            plan.lp_basis.as_ref()
+        } else {
+            None
+        };
+        let outcome = execute_with_recovery_elastic_warm(
             self.cluster,
             &work,
             &plan.partitions,
@@ -438,6 +457,7 @@ impl<'a> Framework<'a> {
             faults,
             elastic,
             recovery_cfg,
+            warm,
             &self.telemetry,
         );
         Ok(FaultRunOutcome { plan, outcome })

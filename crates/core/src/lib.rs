@@ -75,15 +75,18 @@ pub use framework::{
     PlanTimings, RunOutcome, Strategy,
 };
 pub use frontier::{
-    dominates, explore, pareto_frontier, AlphaSolver, FrontierConfig, FrontierPoint,
-    FrontierReport, FrontierResult, ModelerSolver, Objective, ObjectiveSet,
+    dominates, explore, pareto_frontier, AlphaSolve, AlphaSolver, FrontierConfig,
+    FrontierPoint, FrontierReport, FrontierResult, ModelerSolver, Objective, ObjectiveSet,
 };
-pub use pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
+pub use pareto::{
+    map_partition_basis, LpBasis, LpStats, ParetoModeler, ParetoPoint, PartitionPlanError,
+    SolvedPoint,
+};
 pub use session::{FrontierOutcome, PlanSession};
 pub use stages::{dataset_fingerprint, PlanEngine, PlanError, PlanStage, StageCtx, StageReuse};
 pub use recovery::{
-    execute_with_recovery, execute_with_recovery_elastic, RecoveryConfig, RecoveryConfigError,
-    RecoveryOutcome, RecoveryReport,
+    execute_with_recovery, execute_with_recovery_elastic, execute_with_recovery_elastic_warm,
+    RecoveryConfig, RecoveryConfigError, RecoveryOutcome, RecoveryReport,
 };
 pub use scheduling::{best_start, sweep_start_times, StartTimeOption};
 pub use partitioner::{DataPartitioner, PartitionLayout};

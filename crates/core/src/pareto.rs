@@ -24,6 +24,8 @@ use pareto_energy::NodeEnergyProfile;
 use pareto_lp::{LpError, Problem, Relation, SolveStatus};
 use pareto_stats::{largest_remainder_apportion, LinearFit};
 
+pub use pareto_lp::{Basis as LpBasis, StartKind};
+
 /// Errors from planning.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PartitionPlanError {
@@ -73,6 +75,155 @@ pub struct ParetoPoint {
     /// Predicted total dirty energy `Σ_i k_i·f_i(x_i)` in joules
     /// (paper-linear form; can be negative under green surplus).
     pub predicted_dirty_joules: f64,
+}
+
+/// Tally of LP-solver work behind a planning call, for telemetry and the
+/// warm-vs-cold pivot accounting. Merging is additive, so multi-solve
+/// paths (`solve_normalized`, frontier sweeps) report totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Solves answered by the cold two-phase path with no warm attempt.
+    pub cold: usize,
+    /// Solves answered by an accepted warm start.
+    pub warm: usize,
+    /// Warm attempts abandoned to the deterministic cold fallback (these
+    /// are also cold-answered, but not double-counted in `cold`).
+    pub fallbacks: usize,
+    /// Simplex pivots spent by cold-answered solves (including pivots
+    /// wasted inside abandoned warm attempts).
+    pub pivots_cold: usize,
+    /// Simplex pivots spent by accepted warm solves.
+    pub pivots_warm: usize,
+}
+
+impl LpStats {
+    fn absorb(&mut self, solved: &pareto_lp::Solved) {
+        match solved.start {
+            StartKind::Cold => {
+                self.cold += 1;
+                self.pivots_cold += solved.solution.iterations;
+            }
+            StartKind::Warm => {
+                self.warm += 1;
+                self.pivots_warm += solved.solution.iterations;
+            }
+            StartKind::WarmFallback => {
+                self.fallbacks += 1;
+                self.pivots_cold += solved.solution.iterations;
+            }
+        }
+    }
+
+    /// Total pivots across all counted solves.
+    pub fn pivots(&self) -> usize {
+        self.pivots_cold + self.pivots_warm
+    }
+
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &LpStats) {
+        self.cold += other.cold;
+        self.warm += other.warm;
+        self.fallbacks += other.fallbacks;
+        self.pivots_cold += other.pivots_cold;
+        self.pivots_warm += other.pivots_warm;
+    }
+
+    /// Emit the tally on the inert LP counters (`pareto_lp_solves_total`,
+    /// `pareto_lp_warm_fallbacks_total`, `pareto_lp_pivots_total`).
+    pub fn record(&self, telemetry: &pareto_telemetry::Telemetry) {
+        use pareto_telemetry::metrics;
+        let cold_solves = (self.cold + self.fallbacks) as u64;
+        if cold_solves > 0 {
+            telemetry.counter_add(metrics::LP_SOLVES_TOTAL, &[("start", "cold")], cold_solves);
+        }
+        if self.warm > 0 {
+            telemetry.counter_add(
+                metrics::LP_SOLVES_TOTAL,
+                &[("start", "warm")],
+                self.warm as u64,
+            );
+        }
+        if self.fallbacks > 0 {
+            telemetry.counter_add(
+                metrics::LP_WARM_FALLBACKS_TOTAL,
+                &[],
+                self.fallbacks as u64,
+            );
+        }
+        if self.pivots_cold > 0 {
+            telemetry.counter_add(
+                metrics::LP_PIVOTS_TOTAL,
+                &[("start", "cold")],
+                self.pivots_cold as u64,
+            );
+        }
+        if self.pivots_warm > 0 {
+            telemetry.counter_add(
+                metrics::LP_PIVOTS_TOTAL,
+                &[("start", "warm")],
+                self.pivots_warm as u64,
+            );
+        }
+    }
+}
+
+/// A [`ParetoPoint`] together with the optimal LP basis that produced it
+/// and the solver-work tally, returned by the warm-capable solve paths.
+#[derive(Debug, Clone)]
+pub struct SolvedPoint {
+    /// The plan point — bit-identical whether warm- or cold-started.
+    pub point: ParetoPoint,
+    /// Reusable optimal basis (absent for non-LP paths, e.g. waterfilling).
+    pub basis: Option<LpBasis>,
+    /// Solver work spent producing the point.
+    pub stats: LpStats,
+}
+
+/// Map an optimal partition-LP basis across a roster change so it can seed
+/// the restricted (or extended) problem's solve.
+///
+/// The partition LP's standardized column layout is a pure function of the
+/// node count `p`: columns `0..p` are the `x_i`, `p` is the makespan `v`,
+/// `p+1+i` is row `i`'s slack/surplus, and artificials start at `2p+1`.
+/// Columns belonging to departed nodes are dropped; each newly joined node
+/// seeds its own slack column (idle at the warm vertex — the repair pivots
+/// work onto it). Returns `None` when the basis cannot be mapped exactly
+/// (wrong shape, artificial columns, or a degenerate drop that removes
+/// more than one column per departed node) — callers then solve cold.
+pub fn map_partition_basis(
+    prev_nodes: &[usize],
+    next_nodes: &[usize],
+    basis: &LpBasis,
+) -> Option<LpBasis> {
+    let p_old = prev_nodes.len();
+    let p_new = next_nodes.len();
+    if p_new == 0 || basis.num_rows() != p_old + 1 || basis.num_structural() != p_old + 1 {
+        return None;
+    }
+    let pos_in_next = |id: usize| next_nodes.iter().position(|&n| n == id);
+    let mut cols: Vec<u32> = Vec::with_capacity(p_new + 1);
+    for &c in basis.columns() {
+        let c = c as usize;
+        if c < p_old {
+            if let Some(pos) = pos_in_next(prev_nodes[c]) {
+                cols.push(pos as u32); // x_i survives
+            }
+        } else if c == p_old {
+            cols.push(p_new as u32); // v
+        } else if c < 2 * p_old + 1 {
+            if let Some(pos) = pos_in_next(prev_nodes[c - p_old - 1]) {
+                cols.push((p_new + 1 + pos) as u32); // row slack survives
+            }
+        } else {
+            return None; // artificial basic: redundant rows never warm-start
+        }
+    }
+    for (pos, id) in next_nodes.iter().enumerate() {
+        if !prev_nodes.contains(id) {
+            cols.push((p_new + 1 + pos) as u32);
+        }
+    }
+    LpBasis::from_columns(p_new + 1, p_new + 1, cols)
 }
 
 /// The modeler: owns the per-node models and answers planning queries.
@@ -188,11 +339,14 @@ impl ParetoModeler {
 
     /// Solve the scalarized LP for weight `alpha`, planning `n` records.
     pub fn solve(&self, n: usize, alpha: f64) -> Result<ParetoPoint, PartitionPlanError> {
-        if !(0.0..=1.0).contains(&alpha) || !alpha.is_finite() {
-            return Err(PartitionPlanError::BadAlpha(alpha));
-        }
+        Ok(self.solve_warm(n, alpha, None)?.point)
+    }
+
+    /// Build the scalarized partition LP for weight `alpha` over `n`
+    /// records: variables `x_0 … x_{p-1}, v`, rows `m_i x_i − v ≤ −c_i`
+    /// per node plus `Σ x_i = n`.
+    fn build_lp(&self, n: usize, alpha: f64) -> Problem {
         let p = self.num_nodes();
-        // Variables: x_0 … x_{p-1}, v (index p).
         let mut costs = vec![0.0; p + 1];
         for ((c, e), t) in costs.iter_mut().zip(&self.energy).zip(&self.time) {
             *c = (1.0 - alpha) * e.k() * t.slope;
@@ -209,8 +363,28 @@ impl ParetoModeler {
         let mut sum_row = vec![1.0; p + 1];
         sum_row[p] = 0.0;
         lp.constrain(sum_row, Relation::Eq, n as f64);
-        let sol = lp.solve()?;
-        match sol.status {
+        lp
+    }
+
+    /// [`ParetoModeler::solve`], optionally re-seeding a previous optimal
+    /// basis (same roster, or mapped across rosters via
+    /// [`map_partition_basis`]). The returned point is bit-identical to the
+    /// cold solve — an unusable warm basis deterministically falls back —
+    /// and the new basis rides along for the next solve in a sweep.
+    pub fn solve_warm(
+        &self,
+        n: usize,
+        alpha: f64,
+        warm: Option<&LpBasis>,
+    ) -> Result<SolvedPoint, PartitionPlanError> {
+        if !(0.0..=1.0).contains(&alpha) || !alpha.is_finite() {
+            return Err(PartitionPlanError::BadAlpha(alpha));
+        }
+        let p = self.num_nodes();
+        let solved = self.build_lp(n, alpha).solve_warm(warm)?;
+        let mut stats = LpStats::default();
+        stats.absorb(&solved);
+        match solved.solution.status {
             SolveStatus::Optimal => {}
             SolveStatus::Infeasible => {
                 return Err(PartitionPlanError::Degenerate("LP infeasible"))
@@ -219,8 +393,12 @@ impl ParetoModeler {
                 return Err(PartitionPlanError::Degenerate("LP unbounded"))
             }
         }
-        let fractional: Vec<f64> = sol.x[..p].to_vec();
-        Ok(self.point_from_fractional(alpha, n, fractional))
+        let fractional: Vec<f64> = solved.solution.x[..p].to_vec();
+        Ok(SolvedPoint {
+            point: self.point_from_fractional(alpha, n, fractional),
+            basis: solved.basis,
+            stats,
+        })
     }
 
     /// Exact `α = 1` solution (pure makespan minimization) by
@@ -284,10 +462,26 @@ impl ParetoModeler {
         n: usize,
         alphas: &[f64],
     ) -> Result<Vec<ParetoPoint>, PartitionPlanError> {
-        let points: Vec<ParetoPoint> = alphas
-            .iter()
-            .map(|&a| self.solve(n, a))
-            .collect::<Result<_, _>>()?;
+        Ok(self.frontier_warm(n, alphas)?.0)
+    }
+
+    /// [`ParetoModeler::frontier`] with basis reuse: each solve re-seeds
+    /// the previous alpha's optimal basis (bit-identical by contract), and
+    /// the aggregate solver-work tally is returned for telemetry.
+    pub fn frontier_warm(
+        &self,
+        n: usize,
+        alphas: &[f64],
+    ) -> Result<(Vec<ParetoPoint>, LpStats), PartitionPlanError> {
+        let mut stats = LpStats::default();
+        let mut basis: Option<LpBasis> = None;
+        let mut points: Vec<ParetoPoint> = Vec::with_capacity(alphas.len());
+        for &a in alphas {
+            let solved = self.solve_warm(n, a, basis.as_ref())?;
+            stats.merge(&solved.stats);
+            basis = solved.basis;
+            points.push(solved.point);
+        }
         let pairs: Vec<(f64, f64)> = points
             .iter()
             .map(|p| (p.predicted_makespan, p.predicted_dirty_joules))
@@ -306,7 +500,7 @@ impl ParetoModeler {
                 );
             }
         }
-        Ok(points)
+        Ok((points, stats))
     }
 
     /// Scale-free scalarization — the normalization the paper proposes as
@@ -326,24 +520,52 @@ impl ParetoModeler {
         n: usize,
         alpha: f64,
     ) -> Result<ParetoPoint, PartitionPlanError> {
+        Ok(self.solve_normalized_warm(n, alpha, None)?.point)
+    }
+
+    /// [`ParetoModeler::solve_normalized`] with basis reuse: the seed basis
+    /// warm-starts the `α = 1` extreme, and each internal solve chains its
+    /// basis into the next, so a sweep of normalized alphas re-solves the
+    /// extremes near-freely. The returned basis belongs to the final
+    /// (re-weighted) solve — the right seed for the next sweep point.
+    pub fn solve_normalized_warm(
+        &self,
+        n: usize,
+        alpha: f64,
+        warm: Option<&LpBasis>,
+    ) -> Result<SolvedPoint, PartitionPlanError> {
         if !(0.0..=1.0).contains(&alpha) || !alpha.is_finite() {
             return Err(PartitionPlanError::BadAlpha(alpha));
         }
-        let fast = self.solve(n, 1.0)?;
-        let green = self.solve(n, 0.0)?;
-        let dt = (green.predicted_makespan - fast.predicted_makespan).abs();
-        let de = (fast.predicted_dirty_joules - green.predicted_dirty_joules).abs();
+        let mut stats = LpStats::default();
+        let fast = self.solve_warm(n, 1.0, warm)?;
+        stats.merge(&fast.stats);
+        let green = self.solve_warm(n, 0.0, fast.basis.as_ref().or(warm))?;
+        stats.merge(&green.stats);
+        let dt = (green.point.predicted_makespan - fast.point.predicted_makespan).abs();
+        let de =
+            (fast.point.predicted_dirty_joules - green.point.predicted_dirty_joules).abs();
         if dt <= f64::EPSILON || de <= f64::EPSILON {
             // Degenerate frontier (a single point): any α gives the same
             // optimum; return the time-optimal plan relabeled.
-            let mut point = fast;
+            let mut point = fast.point;
             point.alpha = alpha;
-            return Ok(point);
+            return Ok(SolvedPoint {
+                point,
+                basis: fast.basis,
+                stats,
+            });
         }
         let raw_alpha = alpha * de / (alpha * de + (1.0 - alpha) * dt);
-        let mut point = self.solve(n, raw_alpha)?;
+        let solved = self.solve_warm(n, raw_alpha, green.basis.as_ref().or(warm))?;
+        stats.merge(&solved.stats);
+        let mut point = solved.point;
         point.alpha = alpha;
-        Ok(point)
+        Ok(SolvedPoint {
+            point,
+            basis: solved.basis,
+            stats,
+        })
     }
 
     /// Indices of the non-dominated points among `(time, dirty)` pairs —

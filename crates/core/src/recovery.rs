@@ -51,8 +51,19 @@ use pareto_stats::LinearFit;
 use pareto_telemetry::{ClockDomain, SpanId, Telemetry, Track};
 
 use crate::elastic::ElasticPlan;
-use crate::pareto::ParetoModeler;
+use crate::pareto::{map_partition_basis, LpBasis, LpStats, ParetoModeler};
 use crate::stealing::{steal_back_half, RecordWork};
+
+/// Warm-start state chained across a simulation pass's runtime re-solves:
+/// the roster the most recent basis was solved over plus the basis itself
+/// (seeded from the pre-fault plan), and the cold/warm pivot tallies
+/// recorded to telemetry once per pass. Warm and cold re-solves produce
+/// bit-identical partitions by the LP layer's contract, so the recovery
+/// report is unchanged either way.
+struct LpWarm {
+    slot: Option<(Vec<usize>, LpBasis)>,
+    stats: LpStats,
+}
 
 /// Tunables for the recovery machinery.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -414,6 +425,34 @@ pub fn execute_with_recovery_elastic_traced(
     cfg: &RecoveryConfig,
     telemetry: &Arc<Telemetry>,
 ) -> RecoveryOutcome {
+    execute_with_recovery_elastic_warm(
+        cluster, work, initial, strata, fits, profiles, alpha, faults, elastic, cfg, None,
+        telemetry,
+    )
+}
+
+/// [`execute_with_recovery_elastic_traced`] seeded with the pre-fault
+/// plan's optimal LP basis (`warm`, over the full roster): every runtime
+/// re-solve maps the most recent basis onto the surviving roster
+/// ([`map_partition_basis`]) and warm-starts from it. The outcome is
+/// bit-identical with or without `warm` — the LP layer falls back to a
+/// cold solve whenever the repaired basis cannot be proven optimal — so
+/// only the `pareto_lp_*` counters observe the difference.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with_recovery_elastic_warm(
+    cluster: &SimCluster,
+    work: &[RecordWork],
+    initial: &[Vec<usize>],
+    strata: &[u32],
+    fits: &[LinearFit],
+    profiles: &[NodeEnergyProfile],
+    alpha: f64,
+    faults: &FaultPlan,
+    elastic: &ElasticPlan,
+    cfg: &RecoveryConfig,
+    warm: Option<&LpBasis>,
+    telemetry: &Arc<Telemetry>,
+) -> RecoveryOutcome {
     let p = cluster.num_nodes();
     assert_eq!(initial.len(), p, "one initial queue per node");
     assert_eq!(fits.len(), p, "one time model per node");
@@ -428,8 +467,8 @@ pub fn execute_with_recovery_elastic_traced(
         0.0
     };
     let faulty = simulate(
-        cluster, work, initial, strata, fits, profiles, alpha, faults, elastic, cfg, telemetry,
-        epoch,
+        cluster, work, initial, strata, fits, profiles, alpha, faults, elastic, cfg, warm,
+        telemetry, epoch,
     );
     if telemetry.is_enabled() {
         cluster.advance_sim_epoch(faulty.wall_makespan_s);
@@ -450,6 +489,7 @@ pub fn execute_with_recovery_elastic_traced(
             &FaultPlan::none(),
             &ElasticPlan::none(),
             cfg,
+            warm,
             &Telemetry::disabled(),
             0.0,
         );
@@ -593,12 +633,20 @@ fn simulate(
     faults: &FaultPlan,
     elastic: &ElasticPlan,
     cfg: &RecoveryConfig,
+    warm: Option<&LpBasis>,
     tel: &Telemetry,
     epoch: f64,
 ) -> SimPass {
     let p = cluster.num_nodes();
     let modeler = ParetoModeler::new(fits.to_vec(), profiles.to_vec())
         .expect("node-aligned fits and profiles");
+    // Runtime re-solves chain their bases: the first replan warm-starts
+    // from the pre-fault basis (over the full roster), later ones from the
+    // previous re-solve's basis.
+    let mut lp_warm = LpWarm {
+        slot: warm.map(|b| ((0..p).collect(), b.clone())),
+        stats: LpStats::default(),
+    };
     // A preemption's hard kill rides the crash machinery: the node's
     // effective kill time is the earlier of its scheduled crash and its
     // preempt notice plus grace.
@@ -744,6 +792,7 @@ fn simulate(
                 fits,
                 &modeler,
                 alpha,
+                &mut lp_warm,
                 &mut nodes,
                 orphans,
                 &mut replans,
@@ -836,6 +885,7 @@ fn simulate(
                 fits,
                 &modeler,
                 alpha,
+                &mut lp_warm,
                 &mut nodes,
                 orphans,
                 &mut replans,
@@ -900,6 +950,7 @@ fn simulate(
                     fits,
                     &modeler,
                     alpha,
+                    &mut lp_warm,
                     &mut nodes,
                     orphans,
                     &mut replans,
@@ -919,6 +970,7 @@ fn simulate(
                 fits,
                 &modeler,
                 alpha,
+                &mut lp_warm,
                 &mut nodes,
                 joiner,
                 &mut replans,
@@ -1081,6 +1133,7 @@ fn simulate(
                     fits,
                     &modeler,
                     alpha,
+                    &mut lp_warm,
                     &mut nodes,
                     orphans,
                     &mut replans,
@@ -1130,6 +1183,7 @@ fn simulate(
                     fits,
                     &modeler,
                     alpha,
+                    &mut lp_warm,
                     &mut nodes,
                     orphans,
                     &mut replans,
@@ -1201,6 +1255,7 @@ fn simulate(
                     fits,
                     &modeler,
                     alpha,
+                    &mut lp_warm,
                     &mut nodes,
                     orphans,
                     &mut replans,
@@ -1299,6 +1354,7 @@ fn simulate(
                     fits,
                     &modeler,
                     alpha,
+                    &mut lp_warm,
                     &mut nodes,
                     stolen,
                     &mut replans,
@@ -1337,6 +1393,7 @@ fn simulate(
     // Idle waits only ever advance a node to another *working* node's
     // clock, so the max clock is exactly the wall completion time.
     let wall_makespan_s = nodes.iter().map(|s| s.clock).fold(0.0, f64::max);
+    lp_warm.stats.record(tel);
     SimPass {
         runs,
         wall_makespan_s,
@@ -1466,6 +1523,7 @@ fn replan(
     fits: &[LinearFit],
     modeler: &ParetoModeler,
     alpha: f64,
+    lp_warm: &mut LpWarm,
     nodes: &mut [NodeState],
     orphans: Vec<usize>,
     replans: &mut u32,
@@ -1512,8 +1570,22 @@ fn replan(
             let point = if alpha >= 1.0 {
                 sub.solve_het_aware(orphans.len())
             } else {
-                sub.solve(orphans.len(), alpha)
-                    .unwrap_or_else(|_| sub.solve_het_aware(orphans.len()))
+                // Warm-start from the most recent basis mapped onto the
+                // survivor roster; bit-identical to cold by contract.
+                let warm = lp_warm
+                    .slot
+                    .as_ref()
+                    .and_then(|(roster, basis)| map_partition_basis(roster, &survivors, basis));
+                match sub.solve_warm(orphans.len(), alpha, warm.as_ref()) {
+                    Ok(sp) => {
+                        lp_warm.stats.merge(&sp.stats);
+                        if let Some(b) = sp.basis {
+                            lp_warm.slot = Some((survivors.clone(), b));
+                        }
+                        sp.point
+                    }
+                    Err(_) => sub.solve_het_aware(orphans.len()),
+                }
             };
             point.sizes
         }
@@ -1599,6 +1671,7 @@ fn rebalance_on_join(
     _fits: &[LinearFit],
     modeler: &ParetoModeler,
     alpha: f64,
+    lp_warm: &mut LpWarm,
     nodes: &mut [NodeState],
     joiner: usize,
     replans: &mut u32,
@@ -1621,8 +1694,22 @@ fn rebalance_on_join(
             let point = if alpha >= 1.0 {
                 sub.solve_het_aware(total_queued)
             } else {
-                sub.solve(total_queued, alpha)
-                    .unwrap_or_else(|_| sub.solve_het_aware(total_queued))
+                // The joiner enters the roster idle, exactly the shape
+                // `map_partition_basis` seeds with its slack column.
+                let warm = lp_warm
+                    .slot
+                    .as_ref()
+                    .and_then(|(roster, basis)| map_partition_basis(roster, &eligible, basis));
+                match sub.solve_warm(total_queued, alpha, warm.as_ref()) {
+                    Ok(sp) => {
+                        lp_warm.stats.merge(&sp.stats);
+                        if let Some(b) = sp.basis {
+                            lp_warm.slot = Some((eligible.clone(), b));
+                        }
+                        sp.point
+                    }
+                    Err(_) => sub.solve_het_aware(total_queued),
+                }
             };
             point.sizes
         }

@@ -25,9 +25,9 @@ use pareto_workloads::WorkloadKind;
 use crate::cache::{CacheStats, Fingerprint, FingerprintBuilder};
 use crate::framework::{FrameworkConfig, Plan, Strategy};
 use crate::frontier::{
-    explore, AlphaSolver, FrontierConfig, FrontierPoint, FrontierResult,
+    explore, AlphaSolve, AlphaSolver, FrontierConfig, FrontierPoint, FrontierResult,
 };
-use crate::pareto::{ParetoModeler, PartitionPlanError};
+use crate::pareto::{LpBasis, LpStats, ParetoModeler, PartitionPlanError};
 use crate::partitioner::DataPartitioner;
 use crate::stages::{
     extend_dataset_fingerprint, workload_fingerprint, PlanEngine, PlanError, StageReuse,
@@ -348,7 +348,15 @@ impl<'s, 'a> SessionSolver<'s, 'a> {
 }
 
 impl AlphaSolver for SessionSolver<'_, '_> {
-    fn solve_alpha(&mut self, alpha: f64) -> Result<FrontierPoint, PlanError> {
+    fn solve_alpha(
+        &mut self,
+        alpha: f64,
+        _warm: Option<&LpBasis>,
+    ) -> Result<AlphaSolve, PlanError> {
+        // The advisory basis is ignored: the engine threads its own warm
+        // hint between plans (gated on `FrameworkConfig::lp_warm`) and the
+        // optimize stage records LP counters itself on cache misses, so
+        // nothing would be double-counted here.
         self.session
             .set_strategy(Strategy::HetEnergyAware { alpha });
         let plan = self.session.plan()?;
@@ -362,12 +370,16 @@ impl AlphaSolver for SessionSolver<'_, '_> {
             ));
         }
         let transfer_bytes = self.transfer_bytes(&plan.partitions);
-        Ok(FrontierPoint {
-            alpha,
-            makespan_s: point.predicted_makespan,
-            dirty_joules: point.predicted_dirty_joules,
-            transfer_bytes,
-            sizes: plan.sizes.clone(),
+        Ok(AlphaSolve {
+            point: FrontierPoint {
+                alpha,
+                makespan_s: point.predicted_makespan,
+                dirty_joules: point.predicted_dirty_joules,
+                transfer_bytes,
+                sizes: plan.sizes.clone(),
+            },
+            basis: None,
+            stats: LpStats::default(),
         })
     }
 

@@ -39,7 +39,9 @@ use pareto_workloads::WorkloadKind;
 use crate::cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache};
 use crate::estimator::{EnergyEstimator, HeterogeneityEstimator, NodeTimeModel};
 use crate::framework::{FrameworkConfig, Plan, PlanTimings, Strategy};
-use crate::pareto::{ParetoModeler, ParetoPoint, PartitionPlanError};
+use crate::pareto::{
+    map_partition_basis, LpBasis, ParetoModeler, ParetoPoint, PartitionPlanError,
+};
 use crate::partitioner::DataPartitioner;
 
 /// A planning failure, returned instead of the historical panics so the
@@ -166,7 +168,12 @@ pub struct StageCtx<'a> {
     /// Profile artifact + fingerprint (after the profile stage).
     pub profile: Option<(Arc<ProfileArtifact>, Fingerprint)>,
     /// LP artifact + fingerprint (after the optimize stage, when solved).
-    pub optimize: Option<(Arc<ParetoPoint>, Fingerprint)>,
+    pub optimize: Option<(Arc<OptimizeArtifact>, Fingerprint)>,
+    /// Warm-start seed for the optimize stage's LP: the previous optimal
+    /// basis, already mapped onto the current roster. Advisory only — it
+    /// never enters a fingerprint, and by the solver's bit-identity
+    /// contract the computed artifact is independent of it.
+    pub warm_lp: Option<LpBasis>,
 }
 
 impl StageCtx<'_> {
@@ -462,12 +469,25 @@ fn measure_fingerprint(ctx: &StageCtx<'_>, stratify_fp: Fingerprint) -> Fingerpr
         .finish()
 }
 
+/// The optimize stage's artifact: the chosen Pareto point plus the final
+/// LP basis so later replans (α deltas, appends, roster churn, recovery)
+/// can warm-start. The basis is a pure function of the fingerprinted
+/// inputs — warm starts are bit-identical to cold by the solver's
+/// contract, so caching it alongside the point keeps the cache
+/// content-addressed even though solves may be seeded differently.
+pub struct OptimizeArtifact {
+    /// The optimizer's chosen point.
+    pub point: ParetoPoint,
+    /// Final optimal basis (absent for the waterfilling path).
+    pub basis: Option<LpBasis>,
+}
+
 /// Stage 4: the scalarized LP (or waterfilling for pure Het-Aware). Only
 /// runs for model-driven strategies.
 pub struct OptimizeStage;
 
 impl PlanStage for OptimizeStage {
-    type Artifact = ParetoPoint;
+    type Artifact = OptimizeArtifact;
 
     fn name(&self) -> &'static str {
         "optimize"
@@ -493,13 +513,22 @@ impl PlanStage for OptimizeStage {
         let modeler = ParetoModeler::new(fits, profile.profiles.clone())
             .expect("aligned models and profiles");
         let n = ctx.dataset.len();
-        let point = match ctx.cfg.strategy {
-            Strategy::HetAware => modeler.solve_het_aware(n),
-            Strategy::HetEnergyAware { alpha } => modeler.solve(n, alpha)?,
-            Strategy::HetEnergyAwareNormalized { alpha } => modeler.solve_normalized(n, alpha)?,
+        let warm = ctx.warm_lp.as_ref();
+        let (point, basis) = match ctx.cfg.strategy {
+            Strategy::HetAware => (modeler.solve_het_aware(n), None),
+            Strategy::HetEnergyAware { alpha } => {
+                let solved = modeler.solve_warm(n, alpha, warm)?;
+                solved.stats.record(ctx.telemetry);
+                (solved.point, solved.basis)
+            }
+            Strategy::HetEnergyAwareNormalized { alpha } => {
+                let solved = modeler.solve_normalized_warm(n, alpha, warm)?;
+                solved.stats.record(ctx.telemetry);
+                (solved.point, solved.basis)
+            }
             _ => unreachable!("needs_models gates the strategies"),
         };
-        Ok(point)
+        Ok(OptimizeArtifact { point, basis })
     }
 }
 
@@ -544,7 +573,7 @@ impl PlanStage for PartitionStage {
         let n = ctx.dataset.len();
         let p = ctx.roster.len();
         let sizes = match ctx.optimize.as_ref() {
-            Some((point, _)) => point.sizes.clone(),
+            Some((art, _)) => art.point.sizes.clone(),
             None => DataPartitioner::equal_sizes(n, p),
         };
         let partitioner = DataPartitioner::new(ctx.cfg.seed ^ 0x9A27);
@@ -577,6 +606,10 @@ pub struct PlanEngine<'a> {
     cache: PlanCache,
     roster: Vec<usize>,
     last_reuse: StageReuse,
+    /// The last optimize artifact's basis, tagged with the roster it was
+    /// solved for, seeding the next plan's LP (mapped across roster
+    /// deltas; see [`map_partition_basis`]).
+    lp_warm: Option<(Vec<usize>, LpBasis)>,
 }
 
 impl<'a> PlanEngine<'a> {
@@ -589,6 +622,7 @@ impl<'a> PlanEngine<'a> {
             telemetry: Telemetry::disabled(),
             cache: PlanCache::new(PlanCache::DEFAULT_CAPACITY),
             last_reuse: StageReuse::default(),
+            lp_warm: None,
         }
     }
 
@@ -690,6 +724,15 @@ impl<'a> PlanEngine<'a> {
         let mut timings = PlanTimings::default();
         let wall_start = self.telemetry.wall_now();
         let roster_fp = Fingerprint(self.cluster.roster_fingerprint(&self.roster));
+        // Advisory warm seed: the previous optimize basis mapped onto the
+        // current roster. Never fingerprinted; artifacts are unaffected.
+        let warm_lp = if self.cfg.lp_warm {
+            self.lp_warm
+                .as_ref()
+                .and_then(|(prev, basis)| map_partition_basis(prev, &self.roster, basis))
+        } else {
+            None
+        };
         let mut ctx = StageCtx {
             cluster: self.cluster,
             cfg: &self.cfg,
@@ -704,6 +747,7 @@ impl<'a> PlanEngine<'a> {
             stratification: None,
             profile: None,
             optimize: None,
+            warm_lp,
         };
         let cache = &mut self.cache;
         let mut reuse = StageReuse::default();
@@ -724,10 +768,10 @@ impl<'a> PlanEngine<'a> {
         ctx.profile = Some((profile, profile_fp));
 
         if ctx.needs_models() {
-            let (point, optimize_fp, hit) =
+            let (art, optimize_fp, hit) =
                 run_stage(cache, &OptimizeStage, &ctx, &mut timings.optimize_s)?;
             reuse.optimize = hit;
-            ctx.optimize = Some((point, optimize_fp));
+            ctx.optimize = Some((art, optimize_fp));
         }
 
         let (placed, _, hit) =
@@ -736,6 +780,10 @@ impl<'a> PlanEngine<'a> {
 
         timings.total_s = started.elapsed().as_secs_f64();
         let profile = ctx.profile.as_ref().expect("profile stage ran").0.clone();
+        let lp_basis = ctx
+            .optimize
+            .as_ref()
+            .and_then(|(art, _)| art.basis.clone());
         let plan = Plan {
             stratification: ctx
                 .stratification
@@ -746,12 +794,16 @@ impl<'a> PlanEngine<'a> {
                 .clone(),
             time_models: profile.models.clone(),
             energy_profiles: profile.profiles.clone(),
-            pareto: ctx.optimize.as_ref().map(|(p, _)| p.as_ref().clone()),
+            pareto: ctx.optimize.as_ref().map(|(art, _)| art.point.clone()),
             sizes: placed.sizes.clone(),
             partitions: placed.partitions.clone(),
+            lp_basis: lp_basis.clone(),
             estimation_cost: profile.cost,
             timings,
         };
+        // A cache-hit optimize still yields a basis: warm seeds survive
+        // artifact reuse as well as fresh solves.
+        self.lp_warm = lp_basis.map(|b| (self.roster.clone(), b));
         self.last_reuse = reuse;
         record_plan_telemetry(&self.telemetry, &self.cfg, &plan, dataset.len(), wall_start, reuse);
         Ok(plan)

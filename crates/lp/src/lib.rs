@@ -35,4 +35,4 @@
 
 mod simplex;
 
-pub use simplex::{LpError, Problem, Relation, SolveStatus, Solution};
+pub use simplex::{Basis, LpError, MaximizeProblem, Problem, Relation, Solution, Solved, SolveStatus, StartKind};

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use pareto_lp::{Problem, Relation, SolveStatus};
+use pareto_lp::{Problem, Relation, SolveStatus, StartKind};
 
 /// Costs, ≤-rows, and a box bound describing a random LP.
 type LpSpec = (Vec<f64>, Vec<(Vec<f64>, f64)>, f64);
@@ -156,6 +156,86 @@ proptest! {
         for i in 0..p {
             let f = slopes[i] * sol.x[i] + intercepts[i];
             prop_assert!(sol.x[p] >= f - 1e-5 * (1.0 + f.abs()));
+        }
+    }
+
+    /// Warm-started solves are bit-identical to cold solves: seeding any
+    /// random feasible LP with its own optimal basis, or with the basis of
+    /// an objective-perturbed neighbour, returns exactly the same
+    /// `(status, x, objective)` as solving from scratch.
+    #[test]
+    fn warm_start_is_bit_identical_to_cold(
+        (costs, rows, bound) in bounded_lp(),
+        perturb in proptest::collection::vec(-1.0f64..1.0, 6),
+    ) {
+        let cold = build(&costs, &rows, bound).solve_cold().unwrap();
+        prop_assert_eq!(cold.solution.status, SolveStatus::Optimal);
+        let basis = cold.basis.clone().expect("optimal cold solve has a basis");
+
+        // Re-solving the identical problem from its own basis.
+        let warm = build(&costs, &rows, bound).solve_from(&basis).unwrap();
+        prop_assert_eq!(warm.solution.status, cold.solution.status);
+        prop_assert_eq!(warm.solution.x.clone(), cold.solution.x.clone());
+        prop_assert!(warm.solution.objective.to_bits() == cold.solution.objective.to_bits(),
+            "objective bits differ: warm {} vs cold {}",
+            warm.solution.objective, cold.solution.objective);
+
+        // Perturb the objective and seed with the unperturbed basis: still
+        // bit-identical to that perturbed problem's cold solve.
+        let shifted: Vec<f64> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c + perturb.get(i).copied().unwrap_or(0.0))
+            .collect();
+        let cold2 = build(&shifted, &rows, bound).solve_cold().unwrap();
+        let warm2 = build(&shifted, &rows, bound).solve_from(&basis).unwrap();
+        prop_assert_eq!(warm2.solution.status, cold2.solution.status);
+        prop_assert_eq!(warm2.solution.x.clone(), cold2.solution.x.clone());
+        prop_assert!(warm2.solution.objective.to_bits() == cold2.solution.objective.to_bits(),
+            "perturbed objective bits differ: warm {} vs cold {}",
+            warm2.solution.objective, cold2.solution.objective);
+        prop_assert!(matches!(warm2.start, StartKind::Warm | StartKind::WarmFallback));
+    }
+
+    /// The partition LP's α sweep — the framework's hot path — stays
+    /// bit-identical under basis chaining across the whole sweep.
+    #[test]
+    fn partition_sweep_warm_chain_matches_cold(
+        slopes in proptest::collection::vec(1e-6f64..1e-2, 2..8),
+        intercepts in proptest::collection::vec(0.0f64..5.0, 2..8),
+        ks in proptest::collection::vec(-200.0f64..400.0, 2..8),
+        n in 1usize..50_000,
+    ) {
+        let p = slopes.len().min(intercepts.len()).min(ks.len());
+        let build_partition = |alpha: f64| {
+            let mut costs = vec![0.0; p + 1];
+            for i in 0..p {
+                costs[i] = (1.0 - alpha) * ks[i] * slopes[i];
+            }
+            costs[p] = alpha;
+            let mut lp = Problem::minimize(costs);
+            for i in 0..p {
+                let mut row = vec![0.0; p + 1];
+                row[i] = slopes[i];
+                row[p] = -1.0;
+                lp.constrain(row, Relation::Le, -intercepts[i]);
+            }
+            let mut sum_row = vec![1.0; p + 1];
+            sum_row[p] = 0.0;
+            lp.constrain(sum_row, Relation::Eq, n as f64);
+            lp
+        };
+        let mut basis = None;
+        for step in 0..=4 {
+            let alpha = step as f64 / 4.0;
+            let cold = build_partition(alpha).solve_cold().unwrap();
+            let warm = build_partition(alpha).solve_warm(basis.as_ref()).unwrap();
+            prop_assert_eq!(warm.solution.status, cold.solution.status);
+            prop_assert_eq!(warm.solution.x.clone(), cold.solution.x.clone());
+            prop_assert!(
+                warm.solution.objective.to_bits() == cold.solution.objective.to_bits()
+            );
+            basis = warm.basis;
         }
     }
 }
