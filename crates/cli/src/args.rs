@@ -62,6 +62,26 @@ usage:
                        --with-elastic composes a seeded elastic roster
                        plan — joins, drains, preemptions — into every
                        schedule and shrinks over both event kinds)
+  paretofab serve     --soak [--requests N] [--tenants N] [--clients N]
+                      [--sim-workers N] [--replan-pct N] [--queue-cap N]
+                      [--cache-cap N] [--no-chaos] [--seed N] [--nodes P]
+                      [--threads T] [--dataset-scale F] [--out FILE]
+                      (closed-loop seeded soak through the plan-serving
+                       daemon: N mixed plan/replan requests with injected
+                       solver stalls, crashes, and overload; prints
+                       terminal-outcome counts, p50/p99 latency, cache
+                       hit rate, and shed/degraded/retry tallies. The
+                       summary JSON — written to --out or stdout — is
+                       bit-identical for a given seed across runs and
+                       planning thread counts; wall-clock is reported
+                       separately and never enters the JSON. Exits
+                       nonzero on any audit violation)
+  paretofab serve     --listen ADDR [--workers N] [--queue-cap N]
+                      [--cache-cap N] [--seed N] [--nodes P] [--threads T]
+                      [--dataset-scale F]
+                      (live TCP plan server on ADDR, length-prefixed
+                       frames over a bounded worker pool; runs until
+                       killed)
   paretofab elastic   <common options> [--candidate N] [--out FILE]
                       (autoscaling advisor: plan the full roster, drop the
                        candidate node and replan warm, then decide whether
@@ -222,6 +242,17 @@ pub enum Command {
         /// Compose a seeded elastic roster plan into every schedule.
         with_elastic: bool,
     },
+    /// Plan-serving daemon: deterministic soak (`--soak`) or live TCP
+    /// server (`--listen ADDR`).
+    Serve {
+        /// Shared seed/threads/telemetry options (data-source flags are
+        /// unused: tenant datasets are synthesized per tenant).
+        common: Common,
+        /// Service + traffic shape.
+        opts: ServeOpts,
+        /// Deterministic soak-summary JSON (optional; stdout otherwise).
+        out: Option<PathBuf>,
+    },
     /// Autoscaling advisor: decide whether re-admitting a candidate node
     /// pays for its migration cost, through a warm planning session.
     Elastic {
@@ -232,6 +263,36 @@ pub enum Command {
         /// Deterministic JSON advice report (optional).
         out: Option<PathBuf>,
     },
+}
+
+/// `serve` configuration: mode plus service/traffic shape.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Serve live TCP on this address; `None` runs the deterministic
+    /// closed-loop soak (the `--soak` mode).
+    pub listen: Option<String>,
+    /// Logical soak requests.
+    pub requests: usize,
+    /// Distinct tenants.
+    pub tenants: usize,
+    /// Closed-loop soak clients.
+    pub clients: usize,
+    /// Simulated executor slots in the soak.
+    pub sim_workers: usize,
+    /// Percent of soak requests that are replans.
+    pub replan_pct: u8,
+    /// Admission queue capacity.
+    pub queue_cap: usize,
+    /// Live worker-pool size (`--listen` mode).
+    pub workers: usize,
+    /// Shared plan-cache capacity.
+    pub cache_cap: usize,
+    /// Cluster size for the planning substrate.
+    pub nodes: usize,
+    /// Per-tenant synthetic dataset scale.
+    pub dataset_scale: f64,
+    /// Inject seeded solver stalls / crashes into the soak.
+    pub chaos: bool,
 }
 
 /// Options shared by `partition` and `run`.
@@ -345,6 +406,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let mut record: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut iters: u32 = 3;
+    // `serve` has its own nodes/scale defaults (small planning substrate,
+    // tiny per-tenant datasets); track whether the user overrode them.
+    let mut nodes_explicit = false;
+    let mut soak = false;
+    let mut listen: Option<String> = None;
+    let mut requests: usize = 1000;
+    let mut tenants: usize = 4;
+    let mut clients: usize = 12;
+    let mut sim_workers: usize = 2;
+    let mut replan_pct: u8 = 20;
+    let mut queue_cap: usize = 4;
+    let mut serve_workers: usize = 2;
+    let mut cache_cap: usize = 64;
+    let mut dataset_scale: f64 = 0.01;
+    let mut chaos = true;
 
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -366,7 +442,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "--nodes" => {
                 common.nodes = value("--nodes")?
                     .parse()
-                    .map_err(|e| format!("bad --nodes: {e}"))?
+                    .map_err(|e| format!("bad --nodes: {e}"))?;
+                nodes_explicit = true;
             }
             "--strategy" => strategy_name = Some(value("--strategy")?),
             "--alpha" => {
@@ -535,6 +612,83 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                         .map_err(|e| format!("bad --batch: {e}"))?,
                 )
             }
+            "--soak" => soak = true,
+            "--listen" => listen = Some(value("--listen")?),
+            "--requests" => {
+                requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad --requests: {e}"))?;
+                if requests == 0 {
+                    return Err("--requests must be >= 1".into());
+                }
+            }
+            "--tenants" => {
+                tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("bad --tenants: {e}"))?;
+                if tenants == 0 {
+                    return Err("--tenants must be >= 1".into());
+                }
+            }
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("bad --clients: {e}"))?;
+                if clients == 0 {
+                    return Err("--clients must be >= 1".into());
+                }
+            }
+            "--sim-workers" => {
+                sim_workers = value("--sim-workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --sim-workers: {e}"))?;
+                if sim_workers == 0 {
+                    return Err("--sim-workers must be >= 1".into());
+                }
+            }
+            "--replan-pct" => {
+                replan_pct = value("--replan-pct")?
+                    .parse()
+                    .map_err(|e| format!("bad --replan-pct: {e}"))?;
+                if replan_pct > 100 {
+                    return Err("--replan-pct must be <= 100".into());
+                }
+            }
+            "--queue-cap" => {
+                queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-cap: {e}"))?;
+                if queue_cap == 0 {
+                    return Err("--queue-cap must be >= 1".into());
+                }
+            }
+            "--workers" => {
+                serve_workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if serve_workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--cache-cap" => {
+                cache_cap = value("--cache-cap")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-cap: {e}"))?;
+                if cache_cap == 0 {
+                    return Err("--cache-cap must be >= 1".into());
+                }
+            }
+            "--dataset-scale" => {
+                dataset_scale = value("--dataset-scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --dataset-scale: {e}"))?;
+                if !dataset_scale.is_finite() || dataset_scale <= 0.0 {
+                    return Err(format!(
+                        "--dataset-scale must be finite and > 0, got {dataset_scale}"
+                    ));
+                }
+            }
+            "--no-chaos" => chaos = false,
             "--record" => record = Some(PathBuf::from(value("--record")?)),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
             "--iters" => {
@@ -663,6 +817,35 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 schedules,
                 inject_corruption,
                 with_elastic,
+            })
+        }
+        "serve" => {
+            if !soak && listen.is_none() {
+                return Err("serve needs --soak or --listen ADDR".into());
+            }
+            if soak && listen.is_some() {
+                return Err("--soak and --listen are mutually exclusive".into());
+            }
+            Ok(Command::Serve {
+                opts: ServeOpts {
+                    listen,
+                    requests,
+                    tenants,
+                    clients,
+                    sim_workers,
+                    replan_pct,
+                    queue_cap,
+                    workers: serve_workers,
+                    cache_cap,
+                    // The planning substrate defaults to a small 4-node
+                    // cluster (tenant datasets are tiny); an explicit
+                    // --nodes wins.
+                    nodes: if nodes_explicit { common.nodes } else { 4 },
+                    dataset_scale,
+                    chaos,
+                },
+                common,
+                out,
             })
         }
         "elastic" => {

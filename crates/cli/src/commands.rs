@@ -17,7 +17,9 @@ use pareto_telemetry::{
     event, export, json, report, CaptureSink, FlightRecorder, StderrSink, TeeSink, Telemetry,
 };
 
-use crate::args::{Command, Common};
+use pareto_service::{run_soak, PlanService, RetryPolicy, Server, ServiceConfig, SoakConfig};
+
+use crate::args::{Command, Common, ServeOpts};
 use crate::bench;
 
 /// Dispatch a parsed command.
@@ -63,6 +65,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             inject_corruption,
             with_elastic,
         } => chaos_cmd(&common, schedules, inject_corruption, with_elastic),
+        Command::Serve { common, opts, out } => serve_cmd(&common, &opts, out.as_deref()),
         Command::Elastic {
             common,
             candidate,
@@ -421,7 +424,7 @@ fn frontier(
         "frontier cache     {}",
         if outcome.cache_hit { "hit" } else { "miss" }
     );
-    print_cache_stats(session.cache_stats());
+    print_cache_stats(&session.cache_stats());
 
     if let Some(path) = out {
         write_text(path, &frontier_json(result))?;
@@ -682,7 +685,7 @@ fn plan_cmd(common: &Common, sweep: &[f64], out: Option<&Path>) -> Result<(), St
         let warm_avg_s = warm.iter().sum::<f64>() / warm.len() as f64;
         println!("sweep-timing: cold_s={cold_s:.6} warm_avg_s={warm_avg_s:.6}");
     }
-    print_cache_stats(session.cache_stats());
+    print_cache_stats(&session.cache_stats());
 
     if let Some(path) = out {
         // Deterministic summary (no timings) so CI can diff cold vs warm
@@ -766,7 +769,7 @@ fn replan_cmd(
         warm.timings.total_s
     );
     println!("stage cache        {}", reuse_line(session.last_reuse()));
-    print_cache_stats(session.cache_stats());
+    print_cache_stats(&session.cache_stats());
     if let Some(tel) = &tel {
         tel.finish()?;
     }
@@ -1042,7 +1045,7 @@ fn elastic_cmd(
         plan_line(&restored),
         reuse_line(session.last_reuse())
     );
-    print_cache_stats(session.cache_stats());
+    print_cache_stats(&session.cache_stats());
 
     if let Some(path) = out {
         write_text(path, &advice_json(&advice))?;
@@ -1050,6 +1053,111 @@ fn elastic_cmd(
     }
     if let Some(tel) = &tel {
         tel.finish()?;
+    }
+    Ok(())
+}
+
+/// `serve`: the plan-serving daemon. `--soak` replays a seeded
+/// closed-loop traffic mix — injected solver stalls, crashes, and
+/// overload included — through the service core in simulated time and
+/// emits a deterministic summary JSON (bit-identical for a given seed
+/// across runs and planning thread counts; wall-clock is printed
+/// separately and never enters the JSON). `--listen` serves live TCP
+/// until the process is killed.
+fn serve_cmd(common: &Common, opts: &ServeOpts, out: Option<&Path>) -> Result<(), String> {
+    let tel = TelemetrySession::start(common);
+    let service = ServiceConfig {
+        seed: common.seed,
+        nodes: opts.nodes,
+        threads: common.threads,
+        cache_capacity: opts.cache_cap,
+        dataset_scale: opts.dataset_scale,
+        queue_capacity: opts.queue_cap,
+        workers: opts.workers,
+        ..ServiceConfig::default()
+    };
+
+    if let Some(addr) = &opts.listen {
+        let svc = Arc::new(PlanService::new(service, TelemetrySession::recorder(&tel)));
+        let server = Server::start(svc);
+        let listener = std::net::TcpListener::bind(addr.as_str())
+            .map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))?;
+        println!(
+            "serving plan requests on {local} ({} workers, queue capacity {})",
+            opts.workers, opts.queue_cap
+        );
+        server
+            .serve_tcp(listener)
+            .join()
+            .map_err(|_| "accept loop panicked".to_string())?;
+        return Ok(());
+    }
+
+    let cfg = SoakConfig {
+        service,
+        requests: opts.requests,
+        tenants: opts.tenants,
+        clients: opts.clients,
+        sim_workers: opts.sim_workers,
+        retry: RetryPolicy::default(),
+        replan_pct: opts.replan_pct,
+        chaos: opts.chaos,
+        think_max: 6,
+    };
+    let wall = std::time::Instant::now();
+    let soak = run_soak(cfg, TelemetrySession::recorder(&tel));
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let o = &soak.outcomes;
+    println!(
+        "requests           {} issued, {} terminal",
+        soak.issued,
+        o.total()
+    );
+    println!(
+        "outcomes           served={} degraded={} shed={} error={}",
+        o.served, o.degraded, o.shed, o.error
+    );
+    println!(
+        "resilience         shed_events={} retries={} coalesced={} stalls={} crashes={}",
+        soak.shed_events, soak.retries, soak.coalesced, soak.stalls_injected,
+        soak.crashes_injected
+    );
+    let hit_rate =
+        soak.cache_hits as f64 / (soak.cache_hits + soak.cache_misses).max(1) as f64;
+    println!(
+        "stage cache        {} hits / {} misses ({:.1}% hit rate), {} evictions",
+        soak.cache_hits,
+        soak.cache_misses,
+        100.0 * hit_rate,
+        soak.cache_evictions
+    );
+    println!(
+        "latency            p50={} p99={} sim ticks",
+        soak.latency_p50, soak.latency_p99
+    );
+    // Wall-clock is operator information only — deliberately kept out of
+    // the gated deterministic JSON.
+    println!("soak-wall          {wall_s:.3}s");
+
+    match out {
+        Some(path) => {
+            write_text(path, &soak.json)?;
+            event::info("cli", format!("wrote soak summary to {}", path.display()));
+        }
+        None => println!("{}", soak.json),
+    }
+    if let Some(tel) = &tel {
+        tel.finish()?;
+    }
+    if soak.audit_violations > 0 {
+        return Err(format!(
+            "soak audit violations: {}",
+            soak.audit_violations
+        ));
     }
     Ok(())
 }

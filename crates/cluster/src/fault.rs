@@ -73,6 +73,15 @@ pub enum FaultKind {
         /// Records replayed before the recovery process dies.
         at_record: u32,
     },
+    /// Serving: the node's next `count` LP solves stall past any request
+    /// deadline (a degenerate basis cycling, an NUMA-unlucky allocation —
+    /// the cause is abstracted away). The plan server surfaces each stall
+    /// as a `DeadlineExceeded` at the optimize checkpoint; consecutive
+    /// stalls are what trip a tenant's circuit breaker.
+    SolverStall {
+        /// Number of consecutive stalled solves.
+        count: u32,
+    },
 }
 
 /// A fault bound to a node.
@@ -120,6 +129,11 @@ pub struct FaultSpec {
     pub recovery_crash_prob: f64,
     /// Recovery crashes after a record index drawn from `[0, max)`.
     pub recovery_crash_max_record: u32,
+    /// Per-node solver-stall probability (zero by default, same
+    /// compatibility rule as the storage kinds).
+    pub solver_stall_prob: f64,
+    /// Stall runs last `[1, max]` consecutive solves.
+    pub solver_stall_max: u32,
 }
 
 impl Default for FaultSpec {
@@ -142,6 +156,8 @@ impl Default for FaultSpec {
             snapshot_loss_prob: 0.0,
             recovery_crash_prob: 0.0,
             recovery_crash_max_record: 4,
+            solver_stall_prob: 0.0,
+            solver_stall_max: 3,
         }
     }
 }
@@ -156,6 +172,16 @@ impl FaultSpec {
             bit_rot_prob: 0.35,
             snapshot_loss_prob: 0.25,
             recovery_crash_prob: 0.3,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// The plan-serving soak's spec: compute faults at their defaults plus
+    /// solver stalls enabled (the service maps tenants onto node ids, so
+    /// `solver_stall_prob` is a per-tenant chance of a stall run).
+    pub fn serving() -> Self {
+        FaultSpec {
+            solver_stall_prob: 0.35,
             ..FaultSpec::default()
         }
     }
@@ -292,6 +318,18 @@ impl FaultPlan {
         self
     }
 
+    /// Stall `node_id`'s next `count` LP solves past any deadline (a zero
+    /// count is floored to 1 so the fault is never a no-op).
+    pub fn with_solver_stall(mut self, node_id: usize, count: u32) -> Self {
+        self.events.push(FaultEvent {
+            node_id,
+            kind: FaultKind::SolverStall {
+                count: count.max(1),
+            },
+        });
+        self
+    }
+
     /// All scheduled events.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -415,6 +453,19 @@ impl FaultPlan {
             })
     }
 
+    /// Total consecutive solver stalls scheduled for `node_id` (0 when
+    /// its solver is healthy).
+    pub fn solver_stalls(&self, node_id: usize) -> u32 {
+        self.events
+            .iter()
+            .filter(|e| e.node_id == node_id)
+            .map(|e| match e.kind {
+                FaultKind::SolverStall { count } => count,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// True when `node_id` has any storage fault scheduled (torn write,
     /// bit-rot, snapshot loss, or crash-during-recovery).
     pub fn has_storage_faults(&self, node_id: usize) -> bool {
@@ -481,6 +532,14 @@ impl FaultPlan {
                     * spec.recovery_crash_max_record.max(1) as f64) as u32;
                 plan = plan.with_recovery_crash(node, at);
             }
+            // Serving faults claim indices 23+ (16..=22 belong to the
+            // elastic roster events in `core::elastic`), so enabling them
+            // never perturbs compute, storage, or elastic draws.
+            if unit_draw(seed, node, 23) < spec.solver_stall_prob {
+                let count =
+                    1 + (unit_draw(seed, node, 24) * spec.solver_stall_max.max(1) as f64) as u32;
+                plan = plan.with_solver_stall(node, count.min(spec.solver_stall_max.max(1)));
+            }
         }
         plan
     }
@@ -512,6 +571,9 @@ impl FaultPlan {
                 FaultKind::CrashDuringRecovery { at_record } => {
                     format!("recrash:{}@{}", e.node_id, at_record)
                 }
+                FaultKind::SolverStall { count } => {
+                    format!("stall:{}@{}", e.node_id, count)
+                }
             })
             .collect();
         clauses.join(", ")
@@ -528,6 +590,7 @@ impl FaultPlan {
     /// rot:NODE@OFF@MASK     flip byte OFF%len of NODE's WAL with MASK
     /// snaploss:NODE         lose NODE's checkpoint snapshot
     /// recrash:NODE@R        crash NODE's recovery after R records
+    /// stall:NODE@COUNT      stall NODE's next COUNT LP solves
     /// seeded:SEED           generate a whole plan from SEED
     /// ```
     ///
@@ -642,6 +705,18 @@ impl FaultPlan {
                         .map_err(|_| bad(format!("bad record `{r}` in `{clause}`")))?;
                     plan = plan.with_recovery_crash(parse_node(node.trim())?, at);
                 }
+                "stall" => {
+                    let (node, n) = rest
+                        .split_once('@')
+                        .ok_or_else(|| bad(format!("stall clause `{clause}` needs NODE@COUNT")))?;
+                    let count: u32 = n
+                        .trim()
+                        .parse()
+                        .ok()
+                        .filter(|&c| c > 0)
+                        .ok_or_else(|| bad(format!("bad count `{n}` in `{clause}`")))?;
+                    plan = plan.with_solver_stall(parse_node(node.trim())?, count);
+                }
                 "seeded" => {
                     let seed: u64 = rest
                         .trim()
@@ -652,7 +727,7 @@ impl FaultPlan {
                 }
                 other => {
                     return Err(bad(format!(
-                        "unknown fault kind `{other}` (want crash/slow/kv/net/torn/rot/snaploss/recrash/seeded)"
+                        "unknown fault kind `{other}` (want crash/slow/kv/net/torn/rot/snaploss/recrash/stall/seeded)"
                     )))
                 }
             }
@@ -832,6 +907,56 @@ mod tests {
         assert!(plan.snapshot_lost(3));
         assert_eq!(plan.recovery_crash(0), Some(2));
         assert_eq!(FaultPlan::parse(&plan.to_spec(), 4).unwrap(), plan);
+    }
+
+    #[test]
+    fn solver_stall_builder_query_and_round_trip() {
+        let plan = FaultPlan::new()
+            .with_solver_stall(1, 3)
+            .with_solver_stall(1, 2)
+            .with_solver_stall(2, 0); // floored to 1
+        assert_eq!(plan.solver_stalls(1), 5);
+        assert_eq!(plan.solver_stalls(2), 1);
+        assert_eq!(plan.solver_stalls(0), 0);
+        assert_eq!(FaultPlan::parse(&plan.to_spec(), 4).unwrap(), plan);
+        let parsed = FaultPlan::parse("stall:3@2", 4).unwrap();
+        assert_eq!(parsed.solver_stalls(3), 2);
+        for bad in ["stall:1", "stall:9@2", "stall:1@0", "stall:1@x"] {
+            assert!(FaultPlan::parse(bad, 8).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn serving_generation_extends_without_perturbing_other_draws() {
+        // Same seed, stall prob on vs off: every non-stall event must be
+        // identical because stalls claim fresh event indices (23+).
+        let base = FaultPlan::generate(2017, 8, &FaultSpec::storage());
+        let serving = FaultPlan::generate(
+            2017,
+            8,
+            &FaultSpec {
+                solver_stall_prob: 0.35,
+                ..FaultSpec::storage()
+            },
+        );
+        let non_stall: Vec<_> = serving
+            .events()
+            .iter()
+            .filter(|e| !matches!(e.kind, FaultKind::SolverStall { .. }))
+            .copied()
+            .collect();
+        assert_eq!(base.events(), &non_stall[..]);
+        // Stall counts respect the configured maximum.
+        let all = FaultSpec {
+            solver_stall_prob: 1.0,
+            solver_stall_max: 3,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(5, 16, &all);
+        for node in 0..16 {
+            let stalls = plan.solver_stalls(node);
+            assert!((1..=3).contains(&stalls), "node {node}: {stalls}");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use pareto_stats::split_seed;
 
@@ -275,6 +275,55 @@ impl PlanCache {
             },
         );
         evicted
+    }
+}
+
+/// A [`PlanCache`] behind `Arc<Mutex<…>>` so many sessions (one per
+/// tenant, in the plan-serving daemon) can share one artifact store and
+/// identical dataset digests dedupe fleet-wide.
+///
+/// Single-threaded semantics are unchanged: every engine gets a private
+/// `SharedPlanCache` by default, the lock is uncontended, and the
+/// fingerprint/eviction behavior inside is exactly [`PlanCache`]'s — the
+/// wrapper adds sharing, not policy. Under contention the lock is held for
+/// the duration of one stage (lookup + compute + insert), which is also
+/// what guarantees two tenants missing the same fingerprint compute it
+/// once: the second locker finds the first's artifact already inserted.
+#[derive(Clone)]
+pub struct SharedPlanCache {
+    inner: Arc<Mutex<PlanCache>>,
+}
+
+impl SharedPlanCache {
+    /// A shared cache bounded to `capacity` entries (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        SharedPlanCache {
+            inner: Arc::new(Mutex::new(PlanCache::new(capacity))),
+        }
+    }
+
+    /// Lock the underlying cache. Poisoning is ignored on purpose: the
+    /// cache holds only immutable `Arc`ed artifacts plus counters, so a
+    /// panicking peer cannot leave it half-written, and a serving process
+    /// must not abort because one worker died.
+    pub fn lock(&self) -> MutexGuard<'_, PlanCache> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of the hit/miss/evict counters.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats().clone()
+    }
+
+    /// True when both handles view the same underlying store.
+    pub fn same_store(&self, other: &SharedPlanCache) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new(PlanCache::DEFAULT_CAPACITY)
     }
 }
 

@@ -57,7 +57,7 @@ pub mod stages;
 pub mod stealing;
 
 pub use audit::{audit_elastic_run, audit_fault_run, AuditReport, Invariant, Violation};
-pub use cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache};
+pub use cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache, SharedPlanCache};
 pub use chaos::{
     run_chaos, shrink_combined_schedule, shrink_schedule, ChaosConfig, ChaosReport,
     ScheduleFailure,
@@ -83,7 +83,9 @@ pub use pareto::{
     SolvedPoint,
 };
 pub use session::{FrontierOutcome, PlanSession};
-pub use stages::{dataset_fingerprint, PlanEngine, PlanError, PlanStage, StageCtx, StageReuse};
+pub use stages::{
+    dataset_fingerprint, Deadline, PlanEngine, PlanError, PlanStage, StageCtx, StageReuse,
+};
 pub use recovery::{
     execute_with_recovery, execute_with_recovery_elastic, execute_with_recovery_elastic_warm,
     RecoveryConfig, RecoveryConfigError, RecoveryOutcome, RecoveryReport,

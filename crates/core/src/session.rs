@@ -22,7 +22,7 @@ use pareto_stats::LinearFit;
 use pareto_telemetry::{metrics, Telemetry};
 use pareto_workloads::WorkloadKind;
 
-use crate::cache::{CacheStats, Fingerprint, FingerprintBuilder};
+use crate::cache::{CacheStats, Fingerprint, FingerprintBuilder, SharedPlanCache};
 use crate::framework::{FrameworkConfig, Plan, Strategy};
 use crate::frontier::{
     explore, AlphaSolve, AlphaSolver, FrontierConfig, FrontierPoint, FrontierResult,
@@ -30,7 +30,8 @@ use crate::frontier::{
 use crate::pareto::{LpBasis, LpStats, ParetoModeler, PartitionPlanError};
 use crate::partitioner::DataPartitioner;
 use crate::stages::{
-    extend_dataset_fingerprint, workload_fingerprint, PlanEngine, PlanError, StageReuse,
+    extend_dataset_fingerprint, workload_fingerprint, Deadline, PlanEngine, PlanError,
+    StageReuse,
 };
 
 /// A replanning session over one dataset/workload pair.
@@ -63,6 +64,26 @@ impl<'a> PlanSession<'a> {
         }
     }
 
+    /// Open a `'static` session over a shared cluster handle, so the
+    /// session can move across threads (the plan server keeps one per
+    /// tenant, typically combined with
+    /// [`with_shared_cache`](Self::with_shared_cache)).
+    pub fn new_shared(
+        cluster: Arc<SimCluster>,
+        cfg: FrameworkConfig,
+        dataset: Dataset,
+        workload: WorkloadKind,
+    ) -> PlanSession<'static> {
+        let dataset_fp = crate::stages::dataset_fingerprint(&dataset);
+        PlanSession {
+            engine: PlanEngine::new_shared(cluster, cfg),
+            dataset,
+            workload,
+            dataset_fp,
+            prev_dataset: None,
+        }
+    }
+
     /// Attach a telemetry recorder (cache counters + plan spans).
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.engine = self.engine.with_telemetry(telemetry);
@@ -73,6 +94,20 @@ impl<'a> PlanSession<'a> {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.engine = self.engine.with_cache_capacity(capacity);
         self
+    }
+
+    /// Share an artifact cache with other sessions: identical stage
+    /// fingerprints (same dataset digest, roster, config) dedupe across
+    /// every session holding a clone of the handle.
+    pub fn with_shared_cache(mut self, cache: SharedPlanCache) -> Self {
+        self.engine = self.engine.with_shared_cache(cache);
+        self
+    }
+
+    /// Set the cancellation token polled before every stage of subsequent
+    /// plans ([`Deadline::None`] clears it).
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.engine.set_deadline(deadline);
     }
 
     /// Plan (or replan) with the current dataset, roster, and config.
@@ -174,9 +209,15 @@ impl<'a> PlanSession<'a> {
         self.engine.config()
     }
 
-    /// Cache hit/miss/evict counters accumulated over the session.
-    pub fn cache_stats(&self) -> &CacheStats {
+    /// Snapshot of the cache hit/miss/evict counters accumulated over the
+    /// session (over the whole fleet, for a shared cache).
+    pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// The session's cache handle, for sharing with sibling sessions.
+    pub fn cache(&self) -> &SharedPlanCache {
+        self.engine.cache()
     }
 
     /// Which stages of the last plan were served from the cache.
@@ -202,7 +243,12 @@ impl<'a> PlanSession<'a> {
         cfg.validate().map_err(PlanError::Frontier)?;
         let fp = self.frontier_fingerprint(cfg);
         let telemetry = self.engine.telemetry().clone();
-        if let Some(found) = self.engine.cache_mut().get::<FrontierResult>("frontier", fp) {
+        if let Some(found) = self
+            .engine
+            .cache()
+            .lock()
+            .get::<FrontierResult>("frontier", fp)
+        {
             telemetry.counter_add(
                 metrics::PLAN_CACHE_EVENTS_TOTAL,
                 &[("event", "hit"), ("stage", "frontier")],
@@ -225,7 +271,12 @@ impl<'a> PlanSession<'a> {
         };
         self.engine.config_mut().strategy = saved_strategy;
         let result = Arc::new(explored?);
-        for victim in self.engine.cache_mut().insert("frontier", fp, result.clone()) {
+        let evicted = self
+            .engine
+            .cache()
+            .lock()
+            .insert("frontier", fp, result.clone());
+        for victim in evicted {
             telemetry.counter_add(
                 metrics::PLAN_CACHE_EVENTS_TOTAL,
                 &[("event", "evict"), ("stage", victim)],

@@ -36,7 +36,7 @@ use pareto_stratify::{Stratification, Stratifier, StratifierConfig};
 use pareto_telemetry::{metrics, ClockDomain, SpanId, Telemetry, Track};
 use pareto_workloads::WorkloadKind;
 
-use crate::cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache};
+use crate::cache::{CacheStats, Fingerprint, FingerprintBuilder, PlanCache, SharedPlanCache};
 use crate::estimator::{EnergyEstimator, HeterogeneityEstimator, NodeTimeModel};
 use crate::framework::{FrameworkConfig, Plan, PlanTimings, Strategy};
 use crate::pareto::{
@@ -78,6 +78,14 @@ pub enum PlanError {
     ///
     /// [`RecoveryConfig`]: crate::recovery::RecoveryConfig
     Recovery(crate::recovery::RecoveryConfigError),
+    /// A [`Deadline`] checkpoint tripped before the named stage ran. Every
+    /// stage that completed before the checkpoint is already cached, so a
+    /// retry (or a later request for the same digest) resumes from the
+    /// partial artifacts rather than from scratch.
+    DeadlineExceeded {
+        /// The stage whose checkpoint observed the expired deadline.
+        stage: &'static str,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -96,6 +104,9 @@ impl std::fmt::Display for PlanError {
             PlanError::Lp(e) => write!(f, "partitioning LP failed: {e}"),
             PlanError::Frontier(m) => write!(f, "invalid frontier config: {m}"),
             PlanError::Recovery(e) => write!(f, "invalid recovery config: {e}"),
+            PlanError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded before the {stage} stage")
+            }
         }
     }
 }
@@ -119,6 +130,68 @@ impl From<PartitionPlanError> for PlanError {
 impl From<crate::recovery::RecoveryConfigError> for PlanError {
     fn from(e: crate::recovery::RecoveryConfigError) -> Self {
         PlanError::Recovery(e)
+    }
+}
+
+/// A cooperative cancellation token polled at every stage boundary of
+/// [`PlanEngine::plan_with_fingerprint`]. The pipeline checks it *before*
+/// each stage, so when it trips the stages already computed are cached and
+/// the caller gets [`PlanError::DeadlineExceeded`] naming the first stage
+/// that did not run.
+///
+/// The deadline is control-plane state: it never enters a fingerprint, and
+/// a plan that completes under a deadline is bit-identical to one computed
+/// without it — the token can only abort work, never change it.
+#[derive(Debug, Clone, Default)]
+pub enum Deadline {
+    /// Never expires.
+    #[default]
+    None,
+    /// A deterministic budget of stage checkpoints: each poll consumes
+    /// one, and the poll that finds the budget exhausted trips. This is
+    /// the variant simulated serving uses — `Budget(k)` expires before the
+    /// `k+1`-th stage on every run, on every thread count.
+    Budget(u64),
+    /// Expires at a wall-clock instant (real-server request deadlines).
+    Wall(Instant),
+    /// Trips as soon as the flag reads `true` (remote cancellation).
+    Flag(Arc<std::sync::atomic::AtomicBool>),
+}
+
+impl Deadline {
+    /// Wall-clock deadline `timeout` from now.
+    pub fn after(timeout: std::time::Duration) -> Self {
+        Deadline::Wall(Instant::now() + timeout)
+    }
+
+    /// True for [`Deadline::None`].
+    pub fn is_none(&self) -> bool {
+        matches!(self, Deadline::None)
+    }
+
+    /// Consume one checkpoint before running `stage`. Returns
+    /// [`PlanError::DeadlineExceeded`] once the deadline has passed.
+    pub fn poll(&mut self, stage: &'static str) -> Result<(), PlanError> {
+        let expired = match self {
+            Deadline::None => false,
+            Deadline::Budget(remaining) => {
+                if *remaining == 0 {
+                    true
+                } else {
+                    *remaining -= 1;
+                    false
+                }
+            }
+            Deadline::Wall(at) => Instant::now() >= *at,
+            Deadline::Flag(cancelled) => {
+                cancelled.load(std::sync::atomic::Ordering::Relaxed)
+            }
+        };
+        if expired {
+            Err(PlanError::DeadlineExceeded { stage })
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -596,20 +669,39 @@ impl PlanStage for PartitionStage {
     }
 }
 
+/// How an engine holds its cluster: borrowed (the historical embedding,
+/// zero-cost) or shared (`Arc`, for engines that must be `'static` — one
+/// per tenant in the plan server).
+enum ClusterRef<'a> {
+    Borrowed(&'a SimCluster),
+    Shared(Arc<SimCluster>),
+}
+
+impl ClusterRef<'_> {
+    fn get(&self) -> &SimCluster {
+        match self {
+            ClusterRef::Borrowed(c) => c,
+            ClusterRef::Shared(c) => c,
+        }
+    }
+}
+
 /// The staged engine: a cluster + configuration + artifact cache + active
 /// node roster. [`crate::Framework::plan`] wraps a fresh (cold) engine per
 /// call; [`crate::session::PlanSession`] keeps one warm across replans.
 pub struct PlanEngine<'a> {
-    cluster: &'a SimCluster,
+    cluster: ClusterRef<'a>,
     cfg: FrameworkConfig,
     telemetry: Arc<Telemetry>,
-    cache: PlanCache,
+    cache: SharedPlanCache,
     roster: Vec<usize>,
     last_reuse: StageReuse,
     /// The last optimize artifact's basis, tagged with the roster it was
     /// solved for, seeding the next plan's LP (mapped across roster
     /// deltas; see [`map_partition_basis`]).
     lp_warm: Option<(Vec<usize>, LpBasis)>,
+    /// Cooperative cancellation token, polled before every stage.
+    deadline: Deadline,
 }
 
 impl<'a> PlanEngine<'a> {
@@ -617,12 +709,29 @@ impl<'a> PlanEngine<'a> {
     pub fn new(cluster: &'a SimCluster, cfg: FrameworkConfig) -> Self {
         PlanEngine {
             roster: (0..cluster.num_nodes()).collect(),
-            cluster,
+            cluster: ClusterRef::Borrowed(cluster),
             cfg,
             telemetry: Telemetry::disabled(),
-            cache: PlanCache::new(PlanCache::DEFAULT_CAPACITY),
+            cache: SharedPlanCache::default(),
             last_reuse: StageReuse::default(),
             lp_warm: None,
+            deadline: Deadline::None,
+        }
+    }
+
+    /// Like [`new`](Self::new) over a shared cluster handle, yielding a
+    /// `'static` engine that can move across threads (the plan server
+    /// keeps one per tenant).
+    pub fn new_shared(cluster: Arc<SimCluster>, cfg: FrameworkConfig) -> PlanEngine<'static> {
+        PlanEngine {
+            roster: (0..cluster.num_nodes()).collect(),
+            cluster: ClusterRef::Shared(cluster),
+            cfg,
+            telemetry: Telemetry::disabled(),
+            cache: SharedPlanCache::default(),
+            last_reuse: StageReuse::default(),
+            lp_warm: None,
+            deadline: Deadline::None,
         }
     }
 
@@ -632,10 +741,25 @@ impl<'a> PlanEngine<'a> {
         self
     }
 
-    /// Bound the artifact cache to `capacity` entries.
+    /// Bound the artifact cache to `capacity` entries (replaces the
+    /// engine's private cache with a fresh one).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = PlanCache::new(capacity);
+        self.cache = SharedPlanCache::new(capacity);
         self
+    }
+
+    /// Plug in a fleet-shared artifact cache (replacing the engine's
+    /// private one). Identical stage fingerprints then dedupe across every
+    /// engine holding a clone of the handle.
+    pub fn with_shared_cache(mut self, cache: SharedPlanCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Set the cancellation token polled before every stage of subsequent
+    /// plans ([`Deadline::None`] clears it).
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
     }
 
     /// Configuration in force (mutable: α/strategy deltas edit in place).
@@ -649,8 +773,8 @@ impl<'a> PlanEngine<'a> {
     }
 
     /// The cluster this engine plans for.
-    pub fn cluster(&self) -> &'a SimCluster {
-        self.cluster
+    pub fn cluster(&self) -> &SimCluster {
+        self.cluster.get()
     }
 
     /// Active node ids (sorted).
@@ -665,7 +789,7 @@ impl<'a> PlanEngine<'a> {
         if roster.is_empty() {
             return Err(PlanError::EmptyRoster);
         }
-        let p = self.cluster.num_nodes();
+        let p = self.cluster.get().num_nodes();
         if let Some(&bad) = roster.iter().find(|&&id| id >= p) {
             return Err(PlanError::UnknownNode {
                 node: bad,
@@ -676,15 +800,17 @@ impl<'a> PlanEngine<'a> {
         Ok(())
     }
 
-    /// Cache hit/miss/evict counters.
-    pub fn cache_stats(&self) -> &CacheStats {
+    /// Snapshot of the cache hit/miss/evict counters. With a shared cache
+    /// the counters cover every engine on the handle, not just this one.
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Direct cache access for same-crate composite artifacts (the
-    /// frontier stage stores its whole result under one fingerprint).
-    pub(crate) fn cache_mut(&mut self) -> &mut PlanCache {
-        &mut self.cache
+    /// The cache handle (shared or private), for same-crate composite
+    /// artifacts (the frontier stage stores its whole result under one
+    /// fingerprint) and for plugging the handle into sibling engines.
+    pub fn cache(&self) -> &SharedPlanCache {
+        &self.cache
     }
 
     /// The attached telemetry recorder.
@@ -723,7 +849,7 @@ impl<'a> PlanEngine<'a> {
         let started = Instant::now();
         let mut timings = PlanTimings::default();
         let wall_start = self.telemetry.wall_now();
-        let roster_fp = Fingerprint(self.cluster.roster_fingerprint(&self.roster));
+        let roster_fp = Fingerprint(self.cluster.get().roster_fingerprint(&self.roster));
         // Advisory warm seed: the previous optimize basis mapped onto the
         // current roster. Never fingerprinted; artifacts are unaffected.
         let warm_lp = if self.cfg.lp_warm {
@@ -734,7 +860,7 @@ impl<'a> PlanEngine<'a> {
             None
         };
         let mut ctx = StageCtx {
-            cluster: self.cluster,
+            cluster: self.cluster.get(),
             cfg: &self.cfg,
             dataset,
             workload,
@@ -749,33 +875,44 @@ impl<'a> PlanEngine<'a> {
             optimize: None,
             warm_lp,
         };
-        let cache = &mut self.cache;
+        // The cache lock is taken per stage (not across the plan), so on a
+        // shared cache concurrent tenants pipeline: while one computes
+        // `optimize` another can compute `sketch`. The deadline is polled
+        // *before* each stage — an expired token leaves every stage that
+        // already ran cached for the next attempt.
+        let cache = &self.cache;
+        let deadline = &mut self.deadline;
         let mut reuse = StageReuse::default();
 
+        deadline.poll(SketchStage.name())?;
         let (signatures, sketch_fp, hit) =
-            run_stage(cache, &SketchStage, &ctx, &mut timings.sketch_s)?;
+            run_stage(&mut cache.lock(), &SketchStage, &ctx, &mut timings.sketch_s)?;
         reuse.sketch = hit;
         ctx.signatures = Some((signatures, sketch_fp));
 
+        deadline.poll(StratifyStage.name())?;
         let (stratification, stratify_fp, hit) =
-            run_stage(cache, &StratifyStage, &ctx, &mut timings.stratify_s)?;
+            run_stage(&mut cache.lock(), &StratifyStage, &ctx, &mut timings.stratify_s)?;
         reuse.stratify = hit;
         ctx.stratification = Some((stratification, stratify_fp));
 
+        deadline.poll(ProfileStage.name())?;
         let (profile, profile_fp, hit) =
-            run_stage(cache, &ProfileStage, &ctx, &mut timings.profile_s)?;
+            run_stage(&mut cache.lock(), &ProfileStage, &ctx, &mut timings.profile_s)?;
         reuse.profile = hit;
         ctx.profile = Some((profile, profile_fp));
 
         if ctx.needs_models() {
+            deadline.poll(OptimizeStage.name())?;
             let (art, optimize_fp, hit) =
-                run_stage(cache, &OptimizeStage, &ctx, &mut timings.optimize_s)?;
+                run_stage(&mut cache.lock(), &OptimizeStage, &ctx, &mut timings.optimize_s)?;
             reuse.optimize = hit;
             ctx.optimize = Some((art, optimize_fp));
         }
 
+        deadline.poll(PartitionStage.name())?;
         let (placed, _, hit) =
-            run_stage(cache, &PartitionStage, &ctx, &mut timings.optimize_s)?;
+            run_stage(&mut cache.lock(), &PartitionStage, &ctx, &mut timings.optimize_s)?;
         reuse.partition = hit;
 
         timings.total_s = started.elapsed().as_secs_f64();

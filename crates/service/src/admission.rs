@@ -1,0 +1,188 @@
+//! Admission control: a bounded queue with deterministic load-shedding,
+//! plus the request coalescer.
+//!
+//! Both structures are pure state machines over caller-held locks — no
+//! threads, no clocks — so the deterministic soak harness and the live
+//! thread-pool server share them verbatim. The live server wraps
+//! [`BoundedQueue`] in a `Mutex`/`Condvar` pair ([`crate::server`]); the
+//! soak harness drives it from its single-threaded event loop.
+//!
+//! Shedding is *synchronous and typed*: `offer` on a full queue returns
+//! [`Admission::Shed`] immediately — the caller answers the client with
+//! a [`crate::proto::Response::Shed`] right away. A client can always
+//! distinguish "rejected under load" from "still waiting"; nothing ever
+//! hangs on a full queue.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Outcome of offering a request to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission<T> {
+    /// Enqueued; position is the depth at admission (0 = next to run).
+    Queued {
+        /// Queue depth before this item was appended.
+        position: usize,
+    },
+    /// Rejected: the queue was at capacity. The item comes back so the
+    /// caller can answer its client with a typed shed.
+    Shed {
+        /// The rejected item.
+        item: T,
+        /// The capacity (== observed depth) at rejection.
+        queue_depth: usize,
+    },
+}
+
+/// A capacity-bounded FIFO.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Total items ever admitted.
+    pub admitted: u64,
+    /// Total offers rejected.
+    pub shed: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (floored to 1:
+    /// a zero-capacity queue would shed every request unconditionally,
+    /// which is a misconfiguration, not a policy).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            items: VecDeque::new(),
+            capacity: capacity.max(1),
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Offer an item: enqueue or shed, never block.
+    pub fn offer(&mut self, item: T) -> Admission<T> {
+        if self.items.len() >= self.capacity {
+            self.shed += 1;
+            return Admission::Shed { item, queue_depth: self.items.len() };
+        }
+        let position = self.items.len();
+        self.items.push_back(item);
+        self.admitted += 1;
+        Admission::Queued { position }
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Role assigned to a request by the coalescer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceRole {
+    /// First request for this work key: runs the computation.
+    Leader,
+    /// Identical work is already in flight: this request waits for the
+    /// leader's result instead of computing.
+    Follower,
+}
+
+/// Folds concurrent identical requests into one computation.
+///
+/// The work key is a fingerprint of everything that determines the
+/// answer — tenant, dataset digest, α, request kind — computed by the
+/// server. The first arrival becomes the [`CoalesceRole::Leader`];
+/// later arrivals while the leader is in flight become followers and are
+/// answered with the leader's response (re-stamped with their own ids).
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    inflight: BTreeMap<u64, Vec<u64>>,
+    /// Total requests that attached as followers.
+    pub coalesced: u64,
+}
+
+impl Coalescer {
+    /// Fresh coalescer with nothing in flight.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register request `id` for work `key`.
+    pub fn attach(&mut self, key: u64, id: u64) -> CoalesceRole {
+        match self.inflight.get_mut(&key) {
+            None => {
+                self.inflight.insert(key, Vec::new());
+                CoalesceRole::Leader
+            }
+            Some(followers) => {
+                followers.push(id);
+                self.coalesced += 1;
+                CoalesceRole::Follower
+            }
+        }
+    }
+
+    /// The leader for `key` finished: returns the follower request ids
+    /// to answer (in attach order) and retires the key.
+    pub fn complete(&mut self, key: u64) -> Vec<u64> {
+        self.inflight.remove(&key).unwrap_or_default()
+    }
+
+    /// Number of distinct work keys currently in flight.
+    pub fn inflight_keys(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_at_capacity_and_recovers() {
+        let mut q = BoundedQueue::new(2);
+        assert_eq!(q.offer('a'), Admission::Queued { position: 0 });
+        assert_eq!(q.offer('b'), Admission::Queued { position: 1 });
+        // The shed item comes back to the caller.
+        assert_eq!(q.offer('c'), Admission::Shed { item: 'c', queue_depth: 2 });
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.offer('d'), Admission::Queued { position: 1 });
+        assert_eq!(q.admitted, 3);
+        assert_eq!(q.shed, 1);
+    }
+
+    #[test]
+    fn zero_capacity_floors_to_one() {
+        let mut q = BoundedQueue::new(0);
+        assert_eq!(q.offer(1), Admission::Queued { position: 0 });
+        assert_eq!(q.offer(2), Admission::Shed { item: 2, queue_depth: 1 });
+    }
+
+    #[test]
+    fn coalescer_folds_concurrent_identical_work() {
+        let mut c = Coalescer::new();
+        assert_eq!(c.attach(0xAA, 1), CoalesceRole::Leader);
+        assert_eq!(c.attach(0xAA, 2), CoalesceRole::Follower);
+        assert_eq!(c.attach(0xAA, 3), CoalesceRole::Follower);
+        // A different key is independent work.
+        assert_eq!(c.attach(0xBB, 4), CoalesceRole::Leader);
+        assert_eq!(c.complete(0xAA), vec![2, 3]);
+        assert_eq!(c.coalesced, 2);
+        // Key retired: the next arrival leads again.
+        assert_eq!(c.attach(0xAA, 5), CoalesceRole::Leader);
+        assert_eq!(c.complete(0xBB), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed errors for telemetry artifacts.
+//!
+//! Historically the parsers/validators in this crate reported failures as
+//! bare `String`s. A long-running serving process cannot afford that: it
+//! needs to *classify* a malformed dump (retryable? operator error? data
+//! corruption?) without string-matching, and nothing on the artifact path
+//! may panic. Every fallible telemetry API now returns a
+//! [`TelemetryError`]; `From<TelemetryError> for String` keeps the CLI's
+//! `Result<_, String>` plumbing source-compatible.
+
+/// A typed failure while parsing, validating, or merging telemetry
+/// artifacts. Each variant carries a human-readable `detail` naming the
+/// first malformation found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// A document failed JSON parsing before any schema check ran.
+    Json {
+        /// Position + description from the parser.
+        detail: String,
+    },
+    /// A version-1 telemetry dump violated its schema (missing section,
+    /// bad span, dangling parent, …).
+    MalformedDump {
+        /// What was wrong, including the offending span/section.
+        detail: String,
+    },
+    /// A chrome trace violated its invariants (non-monotonic timestamps,
+    /// unmatched `B`/`E` pairs, unknown phases).
+    MalformedTrace {
+        /// What was wrong, including the offending event index.
+        detail: String,
+    },
+    /// A Prometheus text exposition was malformed (bad sample line, label
+    /// escaping, non-cumulative histogram buckets, …).
+    MalformedExposition {
+        /// What was wrong, including the line number.
+        detail: String,
+    },
+    /// A lineage query named a batch the dump has no records for.
+    LineageNotFound {
+        /// The requested batch id.
+        batch: u32,
+    },
+    /// Two histograms with different bucket bounds were asked to merge —
+    /// refused because it would silently misbin.
+    HistogramMismatch {
+        /// The metric whose merge was refused (empty for bare
+        /// [`crate::metrics::Histogram`] merges).
+        metric: String,
+        /// The mismatched bounds.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelemetryError::Json { detail } => write!(f, "invalid JSON: {detail}"),
+            TelemetryError::MalformedDump { detail } => {
+                write!(f, "malformed telemetry dump: {detail}")
+            }
+            TelemetryError::MalformedTrace { detail } => {
+                write!(f, "malformed chrome trace: {detail}")
+            }
+            TelemetryError::MalformedExposition { detail } => {
+                write!(f, "malformed Prometheus exposition: {detail}")
+            }
+            TelemetryError::LineageNotFound { batch } => write!(
+                f,
+                "no lineage records for batch {batch} (unknown batch id, or the run \
+                 was not traced with telemetry enabled)"
+            ),
+            TelemetryError::HistogramMismatch { metric, detail } => {
+                if metric.is_empty() {
+                    write!(f, "histogram bounds mismatch: {detail}")
+                } else {
+                    write!(f, "histogram bounds mismatch on {metric}: {detail}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+impl From<TelemetryError> for String {
+    fn from(e: TelemetryError) -> String {
+        e.to_string()
+    }
+}

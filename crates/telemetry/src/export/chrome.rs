@@ -211,12 +211,8 @@ pub fn chrome_trace(snapshot: &TelemetrySnapshot) -> String {
         let mut merged: Vec<ChromeEvent> = Vec::with_capacity(span_events.len() + instants.len());
         let mut ii = instants.into_iter().peekable();
         for ev in span_events {
-            while let Some(inst) = ii.peek() {
-                if inst.ts_us < ev.ts_us {
-                    merged.push(ii.next().unwrap());
-                } else {
-                    break;
-                }
+            while let Some(inst) = ii.next_if(|inst| inst.ts_us < ev.ts_us) {
+                merged.push(inst);
             }
             merged.push(ev);
         }

@@ -167,8 +167,14 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
 ///   plus `_sum` and `_count` samples whose `_count` equals the `+Inf`
 ///   bucket.
 ///
-/// Returns the first malformation found.
-pub fn validate_exposition(text: &str) -> Result<(), String> {
+/// Returns the first malformation found, typed
+/// ([`crate::TelemetryError::MalformedExposition`]); never panics.
+pub fn validate_exposition(text: &str) -> Result<(), crate::TelemetryError> {
+    validate_exposition_inner(text)
+        .map_err(|detail| crate::TelemetryError::MalformedExposition { detail })
+}
+
+fn validate_exposition_inner(text: &str) -> Result<(), String> {
     use std::collections::BTreeMap;
 
     #[derive(Default)]
@@ -269,7 +275,9 @@ pub fn validate_exposition(text: &str) -> Result<(), String> {
                 }
                 "_sum" => h.sum = Some(value),
                 "_count" => h.count = Some(value),
-                _ => unreachable!(),
+                // The suffix filter above admits only the three arms; a
+                // no-op (rather than a panic) keeps the validator total.
+                _ => {}
             }
             break;
         }
@@ -365,6 +373,7 @@ h_s_count 1
 ";
         assert!(validate_exposition(bad_cumulative)
             .unwrap_err()
+            .to_string()
             .contains("not cumulative"));
 
         // Missing +Inf bucket.
@@ -376,6 +385,7 @@ h_s_count 1
 ";
         assert!(validate_exposition(no_inf)
             .unwrap_err()
+            .to_string()
             .contains("+Inf"));
 
         // Missing _sum / _count.
@@ -384,13 +394,13 @@ h_s_count 1
 h_s_bucket{le=\"+Inf\"} 1
 h_s_count 1
 ";
-        assert!(validate_exposition(no_sum).unwrap_err().contains("_sum"));
+        assert!(validate_exposition(no_sum).unwrap_err().to_string().contains("_sum"));
         let no_count = "\
 # TYPE h_s histogram
 h_s_bucket{le=\"+Inf\"} 1
 h_s_sum 1.0
 ";
-        assert!(validate_exposition(no_count).unwrap_err().contains("_count"));
+        assert!(validate_exposition(no_count).unwrap_err().to_string().contains("_count"));
 
         // _count disagreeing with the +Inf bucket.
         let bad_count = "\
@@ -401,6 +411,7 @@ h_s_count 5
 ";
         assert!(validate_exposition(bad_count)
             .unwrap_err()
+            .to_string()
             .contains("!= +Inf bucket"));
 
         // Unescaped quote inside a label value.

@@ -136,16 +136,22 @@ fn write_escaped(s: &str, out: &mut String) {
 }
 
 /// Parse a JSON document; the whole input must be one value plus optional
-/// trailing whitespace.
-pub fn parse(input: &str) -> Result<Value, String> {
+/// trailing whitespace. Malformations are typed
+/// ([`TelemetryError::Json`]), never panics.
+///
+/// [`TelemetryError::Json`]: crate::TelemetryError::Json
+pub fn parse(input: &str) -> Result<Value, crate::TelemetryError> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {pos}"));
-    }
-    Ok(value)
+    let inner = |bytes: &[u8], pos: &mut usize| -> Result<Value, String> {
+        let value = parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if *pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    };
+    inner(bytes, &mut pos).map_err(|detail| crate::TelemetryError::Json { detail })
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {

@@ -25,6 +25,7 @@
 //! and validates those files back (monotonic timestamps per track,
 //! matched B/E pairs).
 
+pub mod error;
 pub mod event;
 pub mod export;
 pub mod flight;
@@ -39,6 +40,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+pub use error::TelemetryError;
 pub use event::{CaptureSink, Event, EventSink, Severity, StderrSink, TeeSink};
 pub use flight::{FlightFrame, FlightRecorder};
 pub use ledger::{BusyInterval, GreenSource, LedgerRow, ReferenceTotal};

@@ -72,13 +72,13 @@ impl Histogram {
     /// Fold another histogram into this one (per-bucket count sums plus
     /// `sum`/`count`). The bucket bounds must match exactly — merging
     /// differently-bucketed histograms would silently misbin, so it is a
-    /// typed error instead.
-    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+    /// typed error ([`crate::TelemetryError::HistogramMismatch`]) instead.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), crate::TelemetryError> {
         if self.bounds != other.bounds {
-            return Err(format!(
-                "histogram bounds mismatch: {:?} vs {:?}",
-                self.bounds, other.bounds
-            ));
+            return Err(crate::TelemetryError::HistogramMismatch {
+                metric: String::new(),
+                detail: format!("{:?} vs {:?}", self.bounds, other.bounds),
+            });
         }
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
             *mine += theirs;
@@ -133,6 +133,25 @@ pub const LP_WARM_FALLBACKS_TOTAL: &str = "pareto_lp_warm_fallbacks_total";
 /// this counter.
 pub const LP_PIVOTS_TOTAL: &str = "pareto_lp_pivots_total";
 
+/// Counter of plan-service requests, labelled `{outcome=served|degraded|
+/// shed|error}`. Every admitted or shed request increments exactly one
+/// outcome, so the series total equals the request count — the soak
+/// harness reconciles the two. Inert: recording never changes plans.
+pub const SERVICE_REQUESTS_TOTAL: &str = "pareto_service_requests_total";
+
+/// Counter of per-tenant circuit-breaker transitions, labelled
+/// `{to=open|half_open|closed}`. A trip to `open` means K consecutive
+/// solver failures; `closed` means a half-open probe succeeded.
+pub const SERVICE_BREAKER_TRANSITIONS_TOTAL: &str = "pareto_service_breaker_transitions_total";
+
+/// Counter of client-side retry attempts (first tries excluded),
+/// labelled `{reason=shed|error}`.
+pub const SERVICE_RETRIES_TOTAL: &str = "pareto_service_retries_total";
+
+/// Counter of requests folded into an in-flight identical computation by
+/// the coalescer instead of planning independently.
+pub const SERVICE_COALESCED_TOTAL: &str = "pareto_service_coalesced_total";
+
 /// The registry proper.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
@@ -178,7 +197,7 @@ impl MetricsRegistry {
     /// other side's value (last write wins), histograms merge per-bucket.
     /// Fails (leaving the overlapping series merged so far) on a
     /// histogram bounds mismatch.
-    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), String> {
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), crate::TelemetryError> {
         for (key, v) in &other.counters {
             self.counter_add(key.clone(), *v);
         }
@@ -187,9 +206,15 @@ impl MetricsRegistry {
         }
         for (key, h) in &other.histograms {
             match self.histograms.get_mut(key) {
-                Some(mine) => mine
-                    .merge(h)
-                    .map_err(|e| format!("{}: {e}", key.name))?,
+                Some(mine) => mine.merge(h).map_err(|e| match e {
+                    crate::TelemetryError::HistogramMismatch { detail, .. } => {
+                        crate::TelemetryError::HistogramMismatch {
+                            metric: key.name.to_string(),
+                            detail,
+                        }
+                    }
+                    other => other,
+                })?,
                 None => {
                     self.histograms.insert(key.clone(), h.clone());
                 }
@@ -276,7 +301,7 @@ mod tests {
         let err = merged
             .merge(&other_bounds.histograms[&key])
             .unwrap_err();
-        assert!(err.contains("bounds mismatch"));
+        assert!(err.to_string().contains("bounds mismatch"));
     }
 
     #[test]

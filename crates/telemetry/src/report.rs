@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::json::Value;
+use crate::TelemetryError;
 
 /// What a chrome-trace validation saw.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -24,8 +25,14 @@ pub struct ChromeStats {
 }
 
 /// Validate a parsed chrome-trace document: per-track monotonic `ts`,
-/// matched/same-name `B`/`E` pairs, no unclosed spans.
-pub fn validate_chrome_trace(doc: &Value) -> Result<ChromeStats, String> {
+/// matched/same-name `B`/`E` pairs, no unclosed spans. Malformations are
+/// typed ([`TelemetryError::MalformedTrace`]), never panics.
+pub fn validate_chrome_trace(doc: &Value) -> Result<ChromeStats, TelemetryError> {
+    validate_chrome_trace_inner(doc)
+        .map_err(|detail| TelemetryError::MalformedTrace { detail })
+}
+
+fn validate_chrome_trace_inner(doc: &Value) -> Result<ChromeStats, String> {
     let events = doc
         .get("traceEvents")
         .and_then(|v| v.as_arr())
@@ -116,7 +123,13 @@ pub struct DumpStats {
 
 /// Validate a parsed version-1 telemetry dump: required sections present,
 /// spans well-formed (end ≥ start, known clock), parents resolvable.
-pub fn validate_dump(doc: &Value) -> Result<DumpStats, String> {
+/// Malformations are typed ([`TelemetryError::MalformedDump`]), never
+/// panics.
+pub fn validate_dump(doc: &Value) -> Result<DumpStats, TelemetryError> {
+    validate_dump_inner(doc).map_err(|detail| TelemetryError::MalformedDump { detail })
+}
+
+fn validate_dump_inner(doc: &Value) -> Result<DumpStats, String> {
     if doc.get("version").and_then(|v| v.as_f64()) != Some(1.0) {
         return Err("not a version-1 telemetry dump".into());
     }
@@ -181,7 +194,7 @@ pub fn validate_dump(doc: &Value) -> Result<DumpStats, String> {
 
 /// Render a human summary of a validated dump: the span tree with
 /// durations, top-level metrics, and captured warnings.
-pub fn summarize_dump(doc: &Value) -> Result<String, String> {
+pub fn summarize_dump(doc: &Value) -> Result<String, TelemetryError> {
     let stats = validate_dump(doc)?;
     let mut out = String::new();
     let _ = writeln!(
@@ -327,12 +340,15 @@ pub fn summarize_dump(doc: &Value) -> Result<String, String> {
 /// every hop the batch's items took (placement, crash redistribution,
 /// steal, elastic handoff, …), in causal recording order. Errors when the
 /// dump carries no lineage records for the batch — either the batch id is
-/// unknown or the run wasn't traced.
-pub fn lineage_chain(doc: &Value, batch: u32) -> Result<String, String> {
+/// unknown or the run wasn't traced
+/// ([`TelemetryError::LineageNotFound`]).
+pub fn lineage_chain(doc: &Value, batch: u32) -> Result<String, TelemetryError> {
     let instants = doc
         .get("instants")
         .and_then(|v| v.as_arr())
-        .ok_or("missing instants array")?;
+        .ok_or(TelemetryError::MalformedDump {
+            detail: "missing instants array".into(),
+        })?;
     let want = batch.to_string();
     let mut out = String::new();
     let mut hops = 0usize;
@@ -365,10 +381,7 @@ pub fn lineage_chain(doc: &Value, batch: u32) -> Result<String, String> {
         hops += 1;
     }
     if hops == 0 {
-        return Err(format!(
-            "no lineage records for batch {batch} (unknown batch id, or the run \
-             was not traced with telemetry enabled)"
-        ));
+        return Err(TelemetryError::LineageNotFound { batch });
     }
     Ok(format!("lineage of batch {batch}: {hops} hop group(s)\n{out}"))
 }
@@ -421,7 +434,7 @@ mod tests {
         )
         .unwrap();
         let err = validate_chrome_trace(&doc).unwrap_err();
-        assert!(err.contains("backwards"), "{err}");
+        assert!(err.to_string().contains("backwards"), "{err}");
     }
 
     #[test]
@@ -439,7 +452,7 @@ mod tests {
         )
         .unwrap();
         let err = validate_chrome_trace(&doc).unwrap_err();
-        assert!(err.contains("unclosed"), "{err}");
+        assert!(err.to_string().contains("unclosed"), "{err}");
         let doc = json::parse(
             r#"{"traceEvents":[{"name":"a","ph":"E","ts":1.0,"pid":1,"tid":1}]}"#,
         )
@@ -522,6 +535,6 @@ mod tests {
         )
         .unwrap();
         let err = validate_dump(&doc).unwrap_err();
-        assert!(err.contains("dangling"), "{err}");
+        assert!(err.to_string().contains("dangling"), "{err}");
     }
 }

@@ -347,3 +347,70 @@ proptest! {
         assert_plans_identical(&warm, &cold, &format!("{ctx}, threads {threads}, seed {seed}"));
     }
 }
+
+/// Satellite for the serving daemon: two sessions sharing one
+/// [`pareto_core::SharedPlanCache`] behave exactly like private-cache
+/// sessions plan-wise — bit-identical to cold references — while the
+/// second session's identical request is served from artifacts the first
+/// session computed.
+#[test]
+fn shared_cache_sessions_replan_bit_identically() {
+    use std::sync::Arc;
+
+    use pareto_core::SharedPlanCache;
+
+    let seed = 47;
+    let ds = dataset(seed);
+    let cl = Arc::new(cluster(seed));
+    let strategy = Strategy::HetEnergyAware { alpha: 0.99 };
+    let shared = SharedPlanCache::new(64);
+
+    let mut a = PlanSession::new_shared(cl.clone(), cfg(seed, 1, strategy), ds.clone(), WORKLOAD)
+        .with_shared_cache(shared.clone());
+    let mut b = PlanSession::new_shared(cl.clone(), cfg(seed, 1, strategy), ds.clone(), WORKLOAD)
+        .with_shared_cache(shared.clone());
+    assert!(a.cache().same_store(b.cache()), "sessions must share one store");
+
+    // Session A pays for the pipeline once.
+    let plan_a = a.plan().expect("session A plan");
+    let misses_after_a: u64 = shared
+        .stats()
+        .events()
+        .filter(|(_, kind, _)| *kind == "miss")
+        .map(|(_, _, n)| n)
+        .sum();
+    assert!(misses_after_a >= 5, "cold plan must miss every stage");
+
+    // Session B asks for the same work: every stage is a shared-cache hit
+    // and the plan is bit-identical.
+    let plan_b = b.plan().expect("session B plan");
+    let misses_after_b: u64 = shared
+        .stats()
+        .events()
+        .filter(|(_, kind, _)| *kind == "miss")
+        .map(|(_, _, n)| n)
+        .sum();
+    assert_eq!(
+        misses_after_a, misses_after_b,
+        "session B must be served entirely from session A's artifacts"
+    );
+    assert_plans_identical(&plan_a, &plan_b, "shared-cache siblings");
+
+    // Both match a cold, private-cache reference: sharing is an
+    // optimization, never an oracle.
+    let cold = Framework::new(&cl, cfg(seed, 1, strategy)).plan(&ds, WORKLOAD);
+    assert_plans_identical(&plan_a, &cold, "shared vs cold");
+
+    // A warm replan after an alpha change only re-solves downstream
+    // stages, and still matches a cold reference bit for bit.
+    a.set_alpha(0.9);
+    let warm = a.plan().expect("alpha replan via shared cache");
+    let cold_alpha = Framework::new(
+        &cl,
+        cfg(seed, 1, Strategy::HetEnergyAware { alpha: 0.9 }),
+    )
+    .plan(&ds, WORKLOAD);
+    assert_plans_identical(&warm, &cold_alpha, "shared-cache alpha replan");
+    let reuse = a.last_reuse();
+    assert!(reuse.sketch && reuse.stratify && reuse.profile, "upstream stages must be reused");
+}

@@ -390,3 +390,87 @@ fn ledger_covers_busy_time_and_lineage_traces_the_crashed_batch() {
         "batch 1's post-crash redistribution is missing"
     );
 }
+
+/// The plan-serving soak is built from the simulation's own bookkeeping,
+/// so attaching an enabled recorder may not change one byte of the
+/// summary JSON — while the recorder itself must come back rich with the
+/// service's outcome and breaker counters.
+#[test]
+fn service_soak_is_inert_to_recording_but_counters_are_rich() {
+    use pareto_service::soak::{run_soak, SoakConfig};
+    use pareto_telemetry::metrics::{
+        SERVICE_BREAKER_TRANSITIONS_TOTAL, SERVICE_REQUESTS_TOTAL, SERVICE_RETRIES_TOTAL,
+    };
+
+    let cfg = SoakConfig {
+        requests: 300,
+        ..SoakConfig::default()
+    };
+
+    let silent = run_soak(cfg.clone(), None);
+    let tel = Telemetry::enabled();
+    let recorded = run_soak(cfg, Some(tel.clone()));
+
+    assert_eq!(
+        silent.json, recorded.json,
+        "recording must not change the soak summary by one byte"
+    );
+
+    // The requests counter tallies *responses*: served/degraded/error are
+    // always terminal, while every shed response counts — including the
+    // ones a client retries away (the retry is a new request).
+    let snap = tel.snapshot();
+    for (label, want) in [
+        ("served", recorded.outcomes.served),
+        ("degraded", recorded.outcomes.degraded),
+        ("shed", recorded.shed_events),
+        ("error", recorded.outcomes.error),
+    ] {
+        let got: u64 = snap
+            .metrics
+            .counters
+            .iter()
+            .filter(|(k, _)| {
+                k.name == SERVICE_REQUESTS_TOTAL
+                    && k.labels.iter().any(|(n, v)| n == "outcome" && v == label)
+            })
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(got, want, "outcome counter {label:?} out of balance");
+    }
+    let retry_total: u64 = snap
+        .metrics
+        .counters
+        .iter()
+        .filter(|(k, _)| k.name == SERVICE_RETRIES_TOTAL)
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(retry_total, recorded.retries, "retry counter out of balance");
+    // Scattered soak stalls may never hit one tenant three times in a
+    // row, so drive a breaker trip deterministically and check the
+    // transition lands on the recorder.
+    use pareto_service::{PlanService, Request, RequestKind, ServiceConfig};
+    let breaker_tel = Telemetry::enabled();
+    let service = PlanService::new(ServiceConfig::default(), Some(breaker_tel.clone()));
+    for i in 0..3u64 {
+        service.handle(
+            &Request {
+                id: i,
+                tenant: "t0".into(),
+                deadline_budget: 0,
+                kind: RequestKind::Plan { alpha: 0.99 },
+            },
+            i,
+            true,
+        );
+    }
+    let breaker_snap = breaker_tel.snapshot();
+    assert!(
+        breaker_snap.metrics.counters.iter().any(|(k, v)| {
+            k.name == SERVICE_BREAKER_TRANSITIONS_TOTAL
+                && k.labels.iter().any(|(n, v)| n == "to" && v == "open")
+                && *v > 0
+        }),
+        "three consecutive solver failures must record an open transition"
+    );
+}
